@@ -1,0 +1,148 @@
+package coterie_test
+
+// One benchmark per table and figure of the paper's evaluation, plus the
+// ablation benches called out in DESIGN.md. Each wraps the corresponding
+// internal/eval experiment in quick mode so `go test -bench=.` regenerates
+// the whole evaluation in minutes; run cmd/benchtab without -quick for the
+// paper-grade version.
+
+import (
+	"sync"
+	"testing"
+
+	"coterie/internal/eval"
+)
+
+var (
+	labOnce sync.Once
+	lab     *eval.Lab
+)
+
+func benchLab(b *testing.B) *eval.Lab {
+	b.Helper()
+	labOnce.Do(func() {
+		opts := eval.DefaultOptions()
+		opts.Quick = true
+		lab = eval.NewLab(opts)
+	})
+	return lab
+}
+
+func run(b *testing.B, fn func() error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Scaling(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table1(); return err })
+}
+
+func BenchmarkFig1IntraPlayerSimilarity(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig1(); return err })
+}
+
+func BenchmarkFig2InterPlayerSimilarity(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig2(); return err })
+}
+
+func BenchmarkFig3NearObjectEffect(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig3(); return err })
+}
+
+func BenchmarkFig5SimilarityVsCutoff(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig5(); return err })
+}
+
+func BenchmarkFig6ViolationVsK(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig6(); return err })
+}
+
+func BenchmarkTable3AdaptiveCutoff(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table3(); return err })
+}
+
+func BenchmarkFig7CutoffDistribution(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig7(); return err })
+}
+
+func BenchmarkFig8DensityCorrelation(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig8(); return err })
+}
+
+func BenchmarkTable5CacheVersions(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table5("viking"); return err })
+}
+
+func BenchmarkTable6HitRatios(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table6(); return err })
+}
+
+func BenchmarkTable7QoE(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table7(); return err })
+}
+
+func BenchmarkFig11Scalability(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig11(); return err })
+}
+
+func BenchmarkTable8CoteriePerformance(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table8(); return err })
+}
+
+func BenchmarkTable9NetworkUsage(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table9(); return err })
+}
+
+func BenchmarkFig12ResourceUsage(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Fig12(); return err })
+}
+
+func BenchmarkTable10UserStudy(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.Table10(); return err })
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.ReplacementAblation("viking", 24); return err })
+}
+
+func BenchmarkAblationGlobalCutoff(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.CutoffAblation("viking"); return err })
+}
+
+func BenchmarkAblationLookupCriteria(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.LookupAblation("viking"); return err })
+}
+
+func BenchmarkAblationPrefetchWindow(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.PrefetchAblation("viking"); return err })
+}
+
+func BenchmarkAblationOverhearing(b *testing.B) {
+	l := benchLab(b)
+	run(b, func() error { _, err := l.OverhearAblation("viking"); return err })
+}

@@ -1,0 +1,156 @@
+// Coterie-client plays a synthetic movement trace against a running
+// coterie-server over real TCP, exercising the full client pipeline:
+// per-tick cache lookup, far-BE prefetching on misses, frame decode, and
+// FI synchronisation. It reports the cache hit ratio, bytes fetched and
+// latency percentiles.
+//
+// Usage (after starting coterie-server -game viking):
+//
+//	coterie-client -game viking -addr localhost:7368 -seconds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"coterie/internal/cache"
+	"coterie/internal/codec"
+	"coterie/internal/core"
+	"coterie/internal/fisync"
+	"coterie/internal/games"
+	"coterie/internal/geom"
+	"coterie/internal/server"
+	"coterie/internal/trace"
+)
+
+func main() {
+	game := flag.String("game", "viking", "game to play")
+	addr := flag.String("addr", "localhost:7368", "server address")
+	seconds := flag.Float64("seconds", 30, "trace length to replay")
+	player := flag.Int("player", 0, "player id")
+	seed := flag.Int64("seed", 42, "movement seed")
+	record := flag.String("record", "", "save the generated movement trace to this file")
+	replay := flag.String("replay", "", "replay a previously recorded trace instead of generating one")
+	flag.Parse()
+
+	spec, err := games.ByName(*game)
+	if err != nil {
+		log.Fatalf("coterie-client: %v", err)
+	}
+	// The client runs the same offline preprocessing the server did so
+	// its cache lookups use identical leaf regions and thresholds (the
+	// paper ships the preprocessing output with the app).
+	log.Printf("preparing %s client state...", spec.FullName)
+	env, err := core.PrepareEnv(spec, core.EnvOptions{})
+	if err != nil {
+		log.Fatalf("coterie-client: %v", err)
+	}
+	cl, err := server.Dial(*addr, spec.Name, uint8(*player))
+	if err != nil {
+		log.Fatalf("coterie-client: %v", err)
+	}
+	defer cl.Close()
+	fi, err := server.DialFI(*addr)
+	if err != nil {
+		log.Fatalf("coterie-client: fi sync: %v", err)
+	}
+	defer fi.Close()
+
+	var tr *trace.Trace
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			log.Fatalf("coterie-client: %v", err)
+		}
+		tr, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("coterie-client: reading trace: %v", err)
+		}
+		if tr.Game != spec.Name {
+			log.Fatalf("coterie-client: trace is for %q, not %q", tr.Game, spec.Name)
+		}
+		log.Printf("replaying %s (%.0f s recorded)", *replay, tr.Seconds())
+	} else {
+		tr = trace.Generate(env.Game, *seconds, *seed)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			log.Fatalf("coterie-client: %v", err)
+		}
+		if err := tr.Save(f); err != nil {
+			log.Fatalf("coterie-client: saving trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("coterie-client: %v", err)
+		}
+		log.Printf("recorded movement trace to %s", *record)
+	}
+	meta := env.MetaFor()
+	grid := env.Game.Scene.Grid
+	cfg, _ := cache.Version(3)
+	frameCache := cache.New(cfg)
+
+	var fetchLatencies []float64
+	var bytesFetched int64
+	var seq uint32
+	lastPt := geom.GridPoint{I: -1, J: -1}
+	start := time.Now()
+	for tick := 0; tick < tr.Len(); tick++ {
+		pos := tr.Pos[tick]
+		pt := grid.Snap(pos)
+		if pt == lastPt {
+			continue
+		}
+		lastPt = pt
+		frameCache.SetPlayerPos(pos)
+
+		leaf, sig, thresh := meta(pt)
+		req := cache.Request{
+			Point: pt, Pos: grid.Pos(pt), LeafID: leaf, NearSig: sig,
+			DistThresh: thresh, Player: *player,
+		}
+		if _, ok := frameCache.Lookup(req); !ok {
+			t0 := time.Now()
+			data, err := cl.Fetch(pt)
+			if err != nil {
+				log.Fatalf("coterie-client: fetch %v: %v", pt, err)
+			}
+			fetchLatencies = append(fetchLatencies, float64(time.Since(t0).Microseconds())/1000)
+			bytesFetched += int64(len(data))
+			if _, err := codec.Decode(data); err != nil {
+				log.Fatalf("coterie-client: frame %v does not decode: %v", pt, err)
+			}
+			frameCache.Insert(cache.Entry{
+				Point: pt, Pos: req.Pos, LeafID: leaf, NearSig: sig,
+				Data: data, Size: len(data), Owner: *player,
+			})
+		}
+		// FI sync each tick over UDP, like the paper's PUN path; a lost
+		// datagram just means syncing again next frame.
+		seq++
+		if _, err := fi.Sync(fisync.State{Player: uint8(*player), Seq: seq, Pos: pos}, 250*time.Millisecond); err != nil {
+			log.Printf("coterie-client: FI sync dropped: %v", err)
+		}
+	}
+	elapsed := time.Since(start)
+
+	st := frameCache.Stats()
+	fmt.Printf("replayed %.0fs of movement in %v\n", *seconds, elapsed.Round(time.Millisecond))
+	fmt.Printf("cache: %d lookups, hit ratio %.1f%% (paper: ~80%%)\n",
+		st.Hits+st.Misses, st.HitRatio()*100)
+	fmt.Printf("fetched %d frames, %.2f MB total\n", len(fetchLatencies), float64(bytesFetched)/1e6)
+	if len(fetchLatencies) > 0 {
+		sort.Float64s(fetchLatencies)
+		q := func(p float64) float64 {
+			return fetchLatencies[int(math.Min(p*float64(len(fetchLatencies)), float64(len(fetchLatencies)-1)))]
+		}
+		fmt.Printf("fetch latency p50 %.1f ms, p95 %.1f ms\n", q(0.5), q(0.95))
+	}
+}

@@ -1,0 +1,87 @@
+// Coterie-server hosts the far-BE frame server for one game over real
+// TCP: it runs the offline preprocessing (adaptive cutoff scheme and cache
+// distance thresholds), then serves pre-rendered, pre-encoded panoramic
+// far-BE frames and FI synchronisation to clients (§5.1).
+//
+// Usage:
+//
+//	coterie-server -game viking -addr :7368
+//	coterie-client -game viking -addr localhost:7368
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/games"
+	"coterie/internal/geom"
+	"coterie/internal/render"
+	"coterie/internal/server"
+)
+
+func main() {
+	game := flag.String("game", "viking", "game to host (see games catalog)")
+	addr := flag.String("addr", ":7368", "listen address")
+	width := flag.Int("width", 256, "panorama width in pixels")
+	height := flag.Int("height", 128, "panorama height in pixels")
+	prerender := flag.Float64("prerender", 0, "warm up frames within this radius (m) of the spawn before serving")
+	stride := flag.Int("prerender-stride", 16, "grid stride for prerendering (1 = every point)")
+	flag.Parse()
+
+	spec, err := games.ByName(*game)
+	if err != nil {
+		log.Fatalf("coterie-server: %v", err)
+	}
+	log.Printf("preparing %s (offline preprocessing: adaptive cutoff + thresholds)...", spec.FullName)
+	start := time.Now()
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg: render.Config{W: *width, H: *height},
+	})
+	if err != nil {
+		log.Fatalf("coterie-server: %v", err)
+	}
+	log.Printf("ready in %v: %d leaf regions, far-BE frames ~%d KB",
+		time.Since(start).Round(time.Millisecond),
+		env.Map.Stats.LeafCount, env.Sizer.FarBE/1024)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("coterie-server: %v", err)
+	}
+	srv := server.New(env)
+
+	if *prerender > 0 {
+		region := geom.Rect{
+			MinX: env.Game.Spawn.X - *prerender, MinZ: env.Game.Spawn.Z - *prerender,
+			MaxX: env.Game.Spawn.X + *prerender, MaxZ: env.Game.Spawn.Z + *prerender,
+		}
+		t0 := time.Now()
+		stats, err := srv.PrerenderRegion(region, *stride, 0)
+		if err != nil {
+			log.Fatalf("coterie-server: prerender: %v", err)
+		}
+		log.Printf("prerendered %d frames (%.1f MB) over %d points in %v",
+			stats.Rendered, float64(stats.Bytes)/1e6, stats.Points,
+			time.Since(t0).Round(time.Millisecond))
+	}
+
+	// FI sync runs over UDP on the same port, like the paper's PUN setup
+	// (frames over TCP, FI over UDP).
+	pc, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		log.Fatalf("coterie-server: udp: %v", err)
+	}
+	go func() {
+		if err := srv.ServeFIUDP(pc); err != nil {
+			log.Printf("coterie-server: fi sync: %v", err)
+		}
+	}()
+
+	log.Printf("serving %s on %s (frames: tcp, FI sync: udp)", spec.Name, ln.Addr())
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("coterie-server: %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module coterie
+
+go 1.22

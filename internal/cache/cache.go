@@ -1,0 +1,328 @@
+// Package cache implements the Coterie client's far-BE frame cache (§5.3).
+//
+// A cached far-BE frame for one grid point can be reused for a nearby grid
+// point, but only under three criteria, all of which the lookup checks:
+//
+//  1. the cached frame's grid point is within the leaf region's distance
+//     threshold of the requested point;
+//  2. both points fall in the same leaf region (different regions may have
+//     different cutoff radii, which would leave a gap between near and far
+//     BE);
+//  3. both points have the same near-BE object set (otherwise merging the
+//     rendered near BE with the cached far BE would drop or duplicate
+//     objects).
+//
+// Of the candidates, the closest one is returned. The cache also supports
+// the five lookup configurations of Table 4 (exact/similar ×
+// intra-player/inter-player) used by the §4.6 caching study, and the two
+// replacement policies of §5.3: LRU (temporal locality) and FLF,
+// furthest-location-first (spatial locality).
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"coterie/internal/geom"
+)
+
+// Policy selects the replacement policy.
+type Policy int
+
+const (
+	// LRU evicts the least recently used frame.
+	LRU Policy = iota
+	// FLF evicts the frame whose grid point is furthest from the player's
+	// current position in the virtual world.
+	FLF
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "LRU"
+	case FLF:
+		return "FLF"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config selects a cache behaviour.
+type Config struct {
+	// CapacityBytes bounds the total size of cached frame payloads;
+	// 0 means unlimited (the §4.6 study uses an infinite cache).
+	CapacityBytes int64
+	// Policy is the replacement policy used when CapacityBytes is hit.
+	Policy Policy
+	// ServeSimilar enables criteria-based similar-frame hits; when false
+	// only exact grid-point matches hit (Versions 1-2 of Table 4).
+	ServeSimilar bool
+	// IntraPlayer serves frames the client prefetched itself.
+	IntraPlayer bool
+	// InterPlayer serves frames overheard from other players' prefetches.
+	InterPlayer bool
+}
+
+// Version returns the cache configuration for the five versions of
+// Table 4. Version 3 (intra-player, similar) is the configuration shipped
+// in Coterie; inter-player caching adds little on top of it (§4.6) and
+// needs wireless overhearing unsupported by phone NICs.
+func Version(v int) (Config, error) {
+	switch v {
+	case 1:
+		return Config{IntraPlayer: true}, nil
+	case 2:
+		return Config{InterPlayer: true}, nil
+	case 3:
+		return Config{IntraPlayer: true, ServeSimilar: true}, nil
+	case 4:
+		return Config{InterPlayer: true, ServeSimilar: true}, nil
+	case 5:
+		return Config{IntraPlayer: true, InterPlayer: true, ServeSimilar: true}, nil
+	default:
+		return Config{}, fmt.Errorf("cache: unknown version %d (Table 4 defines 1-5)", v)
+	}
+}
+
+// Entry is one cached far-BE frame plus the metadata the lookup criteria
+// need.
+type Entry struct {
+	Point   geom.GridPoint
+	Pos     geom.Vec2 // ground position of Point
+	LeafID  int       // cutoff leaf region containing Point
+	NearSig uint64    // near-BE object-set signature at Point
+	Data    []byte    // encoded frame payload (may be nil in trace studies)
+	Size    int       // payload size in bytes (used even when Data is nil)
+	Owner   int       // player that prefetched the frame
+
+	seq uint64 // LRU clock
+}
+
+// Request describes a lookup for the far-BE frame of one grid point.
+type Request struct {
+	Point      geom.GridPoint
+	Pos        geom.Vec2
+	LeafID     int
+	NearSig    uint64
+	DistThresh float64 // the requesting point's leaf distance threshold
+	Player     int     // requesting player
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses        int64
+	ExactHits           int64
+	Inserts, Evictions  int64
+	BytesStored         int64
+	BytesServedFromHits int64
+}
+
+// HitRatio returns hits / (hits + misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Cache is a per-client frame cache. It is not safe for concurrent use;
+// each simulated client owns one.
+type Cache struct {
+	cfg     Config
+	byPoint map[geom.GridPoint]*Entry
+	cells   map[cellKey][]*Entry
+	cell    float64
+	clock   uint64
+	stats   Stats
+	// playerPos is the owner's latest position, the FLF eviction
+	// reference point.
+	playerPos geom.Vec2
+}
+
+type cellKey struct{ cx, cz int32 }
+
+// New creates a cache with the given configuration.
+func New(cfg Config) *Cache {
+	return &Cache{
+		cfg:     cfg,
+		byPoint: make(map[geom.GridPoint]*Entry),
+		cells:   make(map[cellKey][]*Entry),
+		cell:    8, // bucket size in metres; lookups scan nearby buckets
+	}
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len returns the number of cached frames.
+func (c *Cache) Len() int { return len(c.byPoint) }
+
+// SetPlayerPos updates the FLF eviction reference point.
+func (c *Cache) SetPlayerPos(p geom.Vec2) { c.playerPos = p }
+
+func (c *Cache) cellOf(p geom.Vec2) cellKey {
+	return cellKey{int32(math.Floor(p.X / c.cell)), int32(math.Floor(p.Z / c.cell))}
+}
+
+// Insert stores a frame, evicting per policy if the capacity is exceeded.
+// Inserting a frame for an already-cached grid point replaces it.
+func (c *Cache) Insert(e Entry) {
+	if old, ok := c.byPoint[e.Point]; ok {
+		c.removeEntry(old)
+	}
+	c.clock++
+	e.seq = c.clock
+	ent := &e
+	c.byPoint[e.Point] = ent
+	k := c.cellOf(e.Pos)
+	c.cells[k] = append(c.cells[k], ent)
+	c.stats.Inserts++
+	c.stats.BytesStored += int64(e.Size)
+
+	if c.cfg.CapacityBytes > 0 {
+		for c.stats.BytesStored > c.cfg.CapacityBytes && len(c.byPoint) > 1 {
+			victim := c.pickVictim(ent)
+			if victim == nil {
+				break
+			}
+			c.removeEntry(victim)
+			c.stats.Evictions++
+		}
+	}
+}
+
+// pickVictim chooses an eviction victim per the policy, never the entry
+// just inserted.
+func (c *Cache) pickVictim(keep *Entry) *Entry {
+	var victim *Entry
+	switch c.cfg.Policy {
+	case FLF:
+		worst := -1.0
+		for _, e := range c.byPoint {
+			if e == keep {
+				continue
+			}
+			d := e.Pos.Dist(c.playerPos)
+			// Deterministic tie-break on the grid point: map iteration
+			// order must not leak into simulation results.
+			if d > worst || (d == worst && victim != nil && lessPoint(e.Point, victim.Point)) {
+				worst, victim = d, e
+			}
+		}
+	default: // LRU
+		var oldest uint64 = math.MaxUint64
+		for _, e := range c.byPoint {
+			if e == keep {
+				continue
+			}
+			if e.seq < oldest { // seq is unique: no tie-break needed
+				oldest, victim = e.seq, e
+			}
+		}
+	}
+	return victim
+}
+
+func (c *Cache) removeEntry(e *Entry) {
+	delete(c.byPoint, e.Point)
+	k := c.cellOf(e.Pos)
+	bucket := c.cells[k]
+	for i := range bucket {
+		if bucket[i] == e {
+			bucket[i] = bucket[len(bucket)-1]
+			c.cells[k] = bucket[:len(bucket)-1]
+			break
+		}
+	}
+	c.stats.BytesStored -= int64(e.Size)
+}
+
+// visible reports whether the entry may serve the requesting player under
+// the intra/inter configuration.
+func (c *Cache) visible(e *Entry, player int) bool {
+	if e.Owner == player {
+		return c.cfg.IntraPlayer
+	}
+	return c.cfg.InterPlayer
+}
+
+// Lookup finds the best cached frame for the request. The second return is
+// false on a miss. The hit/miss counters are updated; use Peek for a
+// side-effect-free probe.
+func (c *Cache) Lookup(req Request) (*Entry, bool) {
+	e, exact := c.peek(req)
+	if e != nil {
+		c.touch(e)
+		c.stats.Hits++
+		if exact {
+			c.stats.ExactHits++
+		}
+		c.stats.BytesServedFromHits += int64(e.Size)
+		return e, true
+	}
+	c.stats.Misses++
+	return nil, false
+}
+
+// Peek is Lookup without statistics or recency side effects.
+func (c *Cache) Peek(req Request) (*Entry, bool) {
+	e, _ := c.peek(req)
+	return e, e != nil
+}
+
+func (c *Cache) peek(req Request) (found *Entry, exact bool) {
+	// Exact grid-point match serves under any configuration that can see
+	// the entry (Versions 1-2 serve only these).
+	if e, ok := c.byPoint[req.Point]; ok && c.visible(e, req.Player) {
+		return e, true
+	}
+	if !c.cfg.ServeSimilar || req.DistThresh <= 0 {
+		return nil, false
+	}
+	// Scan the buckets overlapping the threshold disc for the closest
+	// entry satisfying all three criteria.
+	r := req.DistThresh
+	k0 := c.cellOf(geom.V2(req.Pos.X-r, req.Pos.Z-r))
+	k1 := c.cellOf(geom.V2(req.Pos.X+r, req.Pos.Z+r))
+	best := math.Inf(1)
+	for cz := k0.cz; cz <= k1.cz; cz++ {
+		for cx := k0.cx; cx <= k1.cx; cx++ {
+			for _, e := range c.cells[cellKey{cx, cz}] {
+				if !c.visible(e, req.Player) {
+					continue
+				}
+				if e.LeafID != req.LeafID { // criterion 2
+					continue
+				}
+				if e.NearSig != req.NearSig { // criterion 3
+					continue
+				}
+				d := e.Pos.Dist(req.Pos)
+				if d <= r && d < best { // criterion 1 + closest wins
+					best, found = d, e
+				}
+			}
+		}
+	}
+	return found, false
+}
+
+// touch refreshes LRU recency.
+func (c *Cache) touch(e *Entry) {
+	c.clock++
+	e.seq = c.clock
+}
+
+// lessPoint orders grid points row-major for deterministic tie-breaking.
+func lessPoint(a, b geom.GridPoint) bool {
+	if a.J != b.J {
+		return a.J < b.J
+	}
+	return a.I < b.I
+}

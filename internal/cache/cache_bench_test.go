@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"testing"
+
+	"coterie/internal/geom"
+)
+
+func populated(n int) *Cache {
+	cfg, _ := Version(3)
+	c := New(cfg)
+	for i := 0; i < n; i++ {
+		c.Insert(entry(i%100, i/100, i%7, uint64(i%5), 0, 200*1024))
+	}
+	return c
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := populated(500)
+	r := req(50, 2, 50%7, uint64(50%5), 3, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(r)
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := populated(500)
+	r := req(5000, 5000, 1, 1, 3, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(r)
+	}
+}
+
+func BenchmarkInsertWithLRUEviction(b *testing.B) {
+	cfg, _ := Version(3)
+	cfg.CapacityBytes = 100 << 20 // ~500 frames of 200 KB
+	c := New(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(entry(i%1000, i/1000, 0, 1, 0, 200*1024))
+	}
+}
+
+func BenchmarkInsertWithFLFEviction(b *testing.B) {
+	cfg, _ := Version(3)
+	cfg.CapacityBytes = 100 << 20
+	cfg.Policy = FLF
+	c := New(cfg)
+	c.SetPlayerPos(geom.V2(0, 0))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Insert(entry(i%1000, i/1000, 0, 1, 0, 200*1024))
+	}
+}

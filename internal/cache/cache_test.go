@@ -1,0 +1,287 @@
+package cache
+
+import (
+	"testing"
+
+	"coterie/internal/geom"
+)
+
+func entry(i, j int, leaf int, sig uint64, owner, size int) Entry {
+	return Entry{
+		Point:   geom.GridPoint{I: i, J: j},
+		Pos:     geom.V2(float64(i), float64(j)),
+		LeafID:  leaf,
+		NearSig: sig,
+		Size:    size,
+		Owner:   owner,
+	}
+}
+
+func req(i, j int, leaf int, sig uint64, thresh float64, player int) Request {
+	return Request{
+		Point:      geom.GridPoint{I: i, J: j},
+		Pos:        geom.V2(float64(i), float64(j)),
+		LeafID:     leaf,
+		NearSig:    sig,
+		DistThresh: thresh,
+		Player:     player,
+	}
+}
+
+func TestVersionConfigs(t *testing.T) {
+	for v := 1; v <= 5; v++ {
+		if _, err := Version(v); err != nil {
+			t.Fatalf("Version(%d): %v", v, err)
+		}
+	}
+	if _, err := Version(0); err == nil {
+		t.Fatal("expected error for version 0")
+	}
+	v3, _ := Version(3)
+	if !v3.IntraPlayer || v3.InterPlayer || !v3.ServeSimilar {
+		t.Fatalf("V3 = %+v", v3)
+	}
+	v5, _ := Version(5)
+	if !v5.IntraPlayer || !v5.InterPlayer || !v5.ServeSimilar {
+		t.Fatalf("V5 = %+v", v5)
+	}
+}
+
+func TestExactHit(t *testing.T) {
+	cfg, _ := Version(1)
+	c := New(cfg)
+	c.Insert(entry(5, 5, 0, 1, 0, 100))
+	got, ok := c.Lookup(req(5, 5, 0, 1, 0, 0))
+	if !ok || got.Point != (geom.GridPoint{I: 5, J: 5}) {
+		t.Fatal("exact lookup missed")
+	}
+	if _, ok := c.Lookup(req(5, 6, 0, 1, 0, 0)); ok {
+		t.Fatal("V1 must not serve similar frames")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.ExactHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestSimilarHitThreeCriteria(t *testing.T) {
+	cfg, _ := Version(3)
+	c := New(cfg)
+	c.Insert(entry(10, 10, 7, 42, 0, 100))
+
+	// All criteria satisfied: within threshold, same leaf, same near set.
+	if _, ok := c.Lookup(req(12, 10, 7, 42, 3, 0)); !ok {
+		t.Fatal("similar lookup should hit")
+	}
+	// Criterion 1: too far.
+	if _, ok := c.Lookup(req(20, 10, 7, 42, 3, 0)); ok {
+		t.Fatal("hit outside distance threshold")
+	}
+	// Criterion 2: different leaf region.
+	if _, ok := c.Lookup(req(12, 10, 8, 42, 3, 0)); ok {
+		t.Fatal("hit across leaf regions")
+	}
+	// Criterion 3: different near-BE object set.
+	if _, ok := c.Lookup(req(12, 10, 7, 43, 3, 0)); ok {
+		t.Fatal("hit with mismatched near set")
+	}
+}
+
+func TestClosestCandidateWins(t *testing.T) {
+	cfg, _ := Version(3)
+	c := New(cfg)
+	c.Insert(entry(10, 10, 0, 1, 0, 100))
+	c.Insert(entry(13, 10, 0, 1, 0, 100))
+	got, ok := c.Lookup(req(12, 10, 0, 1, 5, 0))
+	if !ok || got.Point.I != 13 {
+		t.Fatalf("closest entry should win, got %+v", got)
+	}
+}
+
+func TestIntraVsInterVisibility(t *testing.T) {
+	// V3 sees only own frames; V4 only others'; V5 both.
+	own := entry(10, 10, 0, 1, 0, 100)
+	other := entry(30, 30, 0, 1, 1, 100)
+
+	v3, _ := Version(3)
+	c := New(v3)
+	c.Insert(own)
+	c.Insert(other)
+	if _, ok := c.Lookup(req(11, 10, 0, 1, 3, 0)); !ok {
+		t.Fatal("V3 should serve own frame")
+	}
+	if _, ok := c.Lookup(req(31, 30, 0, 1, 3, 0)); ok {
+		t.Fatal("V3 must not serve other players' frames")
+	}
+
+	v4, _ := Version(4)
+	c = New(v4)
+	c.Insert(own)
+	c.Insert(other)
+	if _, ok := c.Lookup(req(11, 10, 0, 1, 3, 0)); ok {
+		t.Fatal("V4 must not serve own frames")
+	}
+	if _, ok := c.Lookup(req(31, 30, 0, 1, 3, 0)); !ok {
+		t.Fatal("V4 should serve other players' frames")
+	}
+
+	v5, _ := Version(5)
+	c = New(v5)
+	c.Insert(own)
+	c.Insert(other)
+	if _, ok := c.Lookup(req(11, 10, 0, 1, 3, 0)); !ok {
+		t.Fatal("V5 should serve own frame")
+	}
+	if _, ok := c.Lookup(req(31, 30, 0, 1, 3, 0)); !ok {
+		t.Fatal("V5 should serve other players' frames")
+	}
+}
+
+func TestReplaceSamePoint(t *testing.T) {
+	cfg, _ := Version(3)
+	c := New(cfg)
+	c.Insert(entry(5, 5, 0, 1, 0, 100))
+	e := entry(5, 5, 0, 1, 0, 250)
+	c.Insert(e)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after replace", c.Len())
+	}
+	if got := c.Stats().BytesStored; got != 250 {
+		t.Fatalf("bytes stored = %d, want 250", got)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg, _ := Version(3)
+	cfg.CapacityBytes = 300
+	cfg.Policy = LRU
+	c := New(cfg)
+	c.Insert(entry(1, 1, 0, 1, 0, 100))
+	c.Insert(entry(2, 2, 0, 1, 0, 100))
+	c.Insert(entry(3, 3, 0, 1, 0, 100))
+	// Touch (1,1) so (2,2) becomes least recent.
+	if _, ok := c.Lookup(req(1, 1, 0, 1, 0, 0)); !ok {
+		t.Fatal("touch lookup missed")
+	}
+	c.Insert(entry(4, 4, 0, 1, 0, 100))
+	if _, ok := c.Peek(req(2, 2, 0, 1, 0, 0)); ok {
+		t.Fatal("LRU should have evicted (2,2)")
+	}
+	if _, ok := c.Peek(req(1, 1, 0, 1, 0, 0)); !ok {
+		t.Fatal("recently used (1,1) should survive")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestFLFEviction(t *testing.T) {
+	cfg, _ := Version(3)
+	cfg.CapacityBytes = 300
+	cfg.Policy = FLF
+	c := New(cfg)
+	c.SetPlayerPos(geom.V2(0, 0))
+	c.Insert(entry(1, 1, 0, 1, 0, 100))
+	c.Insert(entry(50, 50, 0, 1, 0, 100))
+	c.Insert(entry(2, 2, 0, 1, 0, 100))
+	c.Insert(entry(3, 3, 0, 1, 0, 100)) // forces eviction
+	if _, ok := c.Peek(req(50, 50, 0, 1, 0, 0)); ok {
+		t.Fatal("FLF should have evicted the furthest entry (50,50)")
+	}
+	if _, ok := c.Peek(req(1, 1, 0, 1, 0, 0)); !ok {
+		t.Fatal("near entry should survive FLF")
+	}
+}
+
+func TestCapacityRespected(t *testing.T) {
+	cfg, _ := Version(3)
+	cfg.CapacityBytes = 1000
+	c := New(cfg)
+	for i := 0; i < 100; i++ {
+		c.Insert(entry(i, 0, 0, 1, 0, 100))
+	}
+	if got := c.Stats().BytesStored; got > 1000 {
+		t.Fatalf("stored %d bytes > capacity", got)
+	}
+	if c.Len() > 10 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestPeekHasNoSideEffects(t *testing.T) {
+	cfg, _ := Version(3)
+	c := New(cfg)
+	c.Insert(entry(5, 5, 0, 1, 0, 100))
+	c.Peek(req(5, 5, 0, 1, 0, 0))
+	c.Peek(req(9, 9, 0, 1, 0, 0))
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("peek changed stats: %+v", st)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty stats should have ratio 0")
+	}
+	s.Hits, s.Misses = 3, 1
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("ratio = %v", s.HitRatio())
+	}
+}
+
+func TestZeroThresholdNeverServesSimilar(t *testing.T) {
+	cfg, _ := Version(3)
+	c := New(cfg)
+	c.Insert(entry(10, 10, 0, 1, 0, 100))
+	if _, ok := c.Lookup(req(11, 10, 0, 1, 0, 0)); ok {
+		t.Fatal("zero threshold must not serve similar frames")
+	}
+}
+
+func TestLookupAcrossBucketBoundary(t *testing.T) {
+	// Entries land in 8m buckets; a lookup near a boundary must still see
+	// entries in the adjacent bucket.
+	cfg, _ := Version(3)
+	c := New(cfg)
+	e := Entry{Point: geom.GridPoint{I: 100, J: 0}, Pos: geom.V2(7.9, 0), LeafID: 0, NearSig: 1, Size: 10}
+	c.Insert(e)
+	r := Request{Point: geom.GridPoint{I: 101, J: 0}, Pos: geom.V2(8.1, 0), LeafID: 0, NearSig: 1, DistThresh: 1}
+	if _, ok := c.Lookup(r); !ok {
+		t.Fatal("lookup failed across bucket boundary")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "LRU" || FLF.String() != "FLF" {
+		t.Fatal("policy names wrong")
+	}
+	if Policy(9).String() == "" {
+		t.Fatal("unknown policy should still print")
+	}
+}
+
+func TestFLFDeterministicTieBreak(t *testing.T) {
+	// Two candidates at the same distance: the row-major smaller grid
+	// point must always be evicted, independent of map iteration order.
+	for trial := 0; trial < 20; trial++ {
+		cfg, _ := Version(3)
+		cfg.CapacityBytes = 300
+		cfg.Policy = FLF
+		c := New(cfg)
+		c.SetPlayerPos(geom.V2(0, 0))
+		c.Insert(entry(10, 0, 0, 1, 0, 100))
+		c.Insert(entry(0, 10, 0, 1, 0, 100)) // same distance from origin
+		c.Insert(entry(1, 1, 0, 1, 0, 100))
+		c.Insert(entry(2, 2, 0, 1, 0, 100)) // forces one eviction
+		_, okA := c.Peek(req(10, 0, 0, 1, 0, 0))
+		_, okB := c.Peek(req(0, 10, 0, 1, 0, 0))
+		if okA == okB {
+			t.Fatalf("exactly one of the tied entries should survive: %v %v", okA, okB)
+		}
+		if !okB {
+			t.Fatal("tie-break should evict the row-major smaller point (10,0)")
+		}
+	}
+}

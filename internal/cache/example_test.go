@@ -1,0 +1,41 @@
+package cache_test
+
+import (
+	"fmt"
+
+	"coterie/internal/cache"
+	"coterie/internal/geom"
+)
+
+// Example walks one reuse cycle: a frame prefetched for one grid point
+// serves a nearby grid point that shares the leaf region and near-BE
+// object set.
+func Example() {
+	cfg, _ := cache.Version(3) // the shipped configuration: intra-player, similar frames
+	c := cache.New(cfg)
+
+	prefetched := geom.GridPoint{I: 320, J: 480}
+	c.Insert(cache.Entry{
+		Point:   prefetched,
+		Pos:     geom.V2(10.0, 15.0),
+		LeafID:  7,
+		NearSig: 0xBEEF,
+		Size:    280 * 1024,
+	})
+
+	// Three grid steps later the player needs a frame again.
+	req := cache.Request{
+		Point:      geom.GridPoint{I: 323, J: 480},
+		Pos:        geom.V2(10.09, 15.0),
+		LeafID:     7,
+		NearSig:    0xBEEF,
+		DistThresh: 0.15,
+	}
+	if e, ok := c.Lookup(req); ok {
+		fmt.Printf("reused frame for %v (%.2f m away)\n", e.Point, e.Pos.Dist(req.Pos))
+	}
+	fmt.Printf("hit ratio %.0f%%\n", c.Stats().HitRatio()*100)
+	// Output:
+	// reused frame for (320,480) (0.09 m away)
+	// hit ratio 100%
+}

@@ -1,0 +1,136 @@
+package codec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// bitWriter packs bits most-significant-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  uint64
+	nCur uint // bits currently held in cur (< 8)
+}
+
+func (w *bitWriter) writeBit(b uint64) {
+	w.cur = w.cur<<1 | (b & 1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, byte(w.cur))
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// writeBits writes the low n bits of v, most significant first. n <= 56.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.writeBit(v >> uint(i))
+	}
+}
+
+// bytes flushes any partial byte (padding with zeros) and returns the
+// buffer.
+func (w *bitWriter) bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, byte(w.cur<<(8-w.nCur)))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits most-significant-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int  // byte index
+	bit uint // bits consumed in current byte
+}
+
+var errBitUnderflow = errors.New("codec: bitstream underflow")
+
+func (r *bitReader) readBit() (uint64, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errBitUnderflow
+	}
+	b := uint64(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// Exponential-Golomb codes, as used by H.264's CAVLC for header syntax.
+// ue(v): unsigned; se(v): signed mapped as 0,-1,1,-2,2,...
+
+func (w *bitWriter) writeUE(v uint32) {
+	x := uint64(v) + 1
+	n := bitLen64(x)
+	// n-1 leading zeros, then the n-bit value.
+	w.writeBits(0, n-1)
+	w.writeBits(x, n)
+}
+
+func (r *bitReader) readUE() (uint32, error) {
+	var zeros uint
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 32 {
+			return 0, fmt.Errorf("codec: malformed exp-golomb code")
+		}
+	}
+	rest, err := r.readBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return uint32((uint64(1)<<zeros | rest) - 1), nil
+}
+
+func (w *bitWriter) writeSE(v int32) {
+	var u uint32
+	if v > 0 {
+		u = uint32(2*v - 1)
+	} else {
+		u = uint32(-2 * v)
+	}
+	w.writeUE(u)
+}
+
+func (r *bitReader) readSE() (int32, error) {
+	u, err := r.readUE()
+	if err != nil {
+		return 0, err
+	}
+	if u&1 == 1 {
+		return int32(u/2 + 1), nil
+	}
+	return -int32(u / 2), nil
+}
+
+func bitLen64(x uint64) uint {
+	var n uint
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

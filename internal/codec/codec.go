@@ -1,0 +1,220 @@
+// Package codec implements the intra-frame video codec Coterie's server
+// uses to pre-encode panoramic far-BE frames before shipping them to
+// clients. The paper uses x264 with Constant Rate Factor 25 (§5.1); this
+// package is a from-scratch stand-in with the same structure as an H.264
+// intra frame: 8x8 block DCT, CRF-controlled quantisation, DC prediction,
+// zigzag scan, run-length coding and Exp-Golomb entropy coding.
+//
+// What matters for reproducing the paper is that encoded size tracks
+// content complexity: far-BE frames (near objects removed) compress to a
+// fraction of whole-BE frames, which is the source of Coterie's "smaller
+// frames" advantage even before caching (Fig. 11, "Coterie w/o cache").
+// A real transform codec has that property by construction.
+package codec
+
+import (
+	"errors"
+	"fmt"
+
+	"coterie/internal/img"
+)
+
+// DefaultCRF matches the server-side x264 setting in the paper.
+const DefaultCRF = 25
+
+const (
+	magic   = 0xC07E
+	version = 1
+)
+
+// Encode compresses the luma frame at the given CRF (0 near-lossless .. 51
+// worst). The output is self-describing and decoded by Decode.
+func Encode(g *img.Gray, crf int) []byte {
+	q := quantTable(crf)
+	bw := &bitWriter{buf: make([]byte, 0, g.W*g.H/8)}
+	bw.writeBits(magic, 16)
+	bw.writeBits(version, 8)
+	bw.writeBits(uint64(uint8(clampCRF(crf))), 8)
+	bw.writeUE(uint32(g.W))
+	bw.writeUE(uint32(g.H))
+
+	bw64 := blocksAcross(g.W)
+	bh64 := blocksAcross(g.H)
+
+	var src, coef [64]float64
+	prevDC := int32(0)
+	for by := 0; by < bh64; by++ {
+		for bx := 0; bx < bw64; bx++ {
+			loadBlock(g, bx*blockSize, by*blockSize, &src)
+			fdct8x8(&src, &coef)
+			// Quantise into zigzag order.
+			var zz [64]int32
+			for i := 0; i < 64; i++ {
+				c := coef[zigzag[i]] / q[zigzag[i]]
+				if c >= 0 {
+					zz[i] = int32(c + 0.5)
+				} else {
+					zz[i] = int32(c - 0.5)
+				}
+			}
+			// DC prediction from the previous block in scan order.
+			dc := zz[0]
+			bw.writeSE(dc - prevDC)
+			prevDC = dc
+			encodeAC(bw, zz[1:])
+		}
+	}
+	return bw.bytes()
+}
+
+// encodeAC writes the 63 AC coefficients as (run, level) pairs terminated
+// by an end-of-block marker (run code 0 reserved: we encode run+1, with 0
+// meaning EOB).
+func encodeAC(bw *bitWriter, ac []int32) {
+	run := uint32(0)
+	for _, v := range ac {
+		if v == 0 {
+			run++
+			continue
+		}
+		bw.writeUE(run + 1)
+		bw.writeSE(v)
+		run = 0
+	}
+	bw.writeUE(0) // end of block
+}
+
+// Decode reconstructs a frame produced by Encode.
+func Decode(data []byte) (*img.Gray, error) {
+	br := &bitReader{buf: data}
+	m, err := br.readBits(16)
+	if err != nil || m != magic {
+		return nil, errors.New("codec: bad magic")
+	}
+	ver, err := br.readBits(8)
+	if err != nil || ver != version {
+		return nil, fmt.Errorf("codec: unsupported version %d", ver)
+	}
+	crfBits, err := br.readBits(8)
+	if err != nil {
+		return nil, err
+	}
+	q := quantTable(int(crfBits))
+	w32, err := br.readUE()
+	if err != nil {
+		return nil, err
+	}
+	h32, err := br.readUE()
+	if err != nil {
+		return nil, err
+	}
+	w, h := int(w32), int(h32)
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("codec: implausible dimensions %dx%d", w, h)
+	}
+	g := img.NewGray(w, h)
+
+	bw64 := blocksAcross(w)
+	bh64 := blocksAcross(h)
+	var coef, pix [64]float64
+	prevDC := int32(0)
+	for by := 0; by < bh64; by++ {
+		for bx := 0; bx < bw64; bx++ {
+			var zz [64]int32
+			d, err := br.readSE()
+			if err != nil {
+				return nil, err
+			}
+			prevDC += d
+			zz[0] = prevDC
+			if err := decodeAC(br, zz[1:]); err != nil {
+				return nil, err
+			}
+			for i := 0; i < 64; i++ {
+				coef[zigzag[i]] = float64(zz[i]) * q[zigzag[i]]
+			}
+			idct8x8(&coef, &pix)
+			storeBlock(g, bx*blockSize, by*blockSize, &pix)
+		}
+	}
+	return g, nil
+}
+
+func decodeAC(br *bitReader, ac []int32) error {
+	idx := 0
+	for {
+		runCode, err := br.readUE()
+		if err != nil {
+			return err
+		}
+		if runCode == 0 {
+			return nil // end of block
+		}
+		idx += int(runCode) - 1
+		if idx >= len(ac) {
+			return errors.New("codec: AC run overflows block")
+		}
+		level, err := br.readSE()
+		if err != nil {
+			return err
+		}
+		ac[idx] = level
+		idx++
+		if idx > len(ac) {
+			return errors.New("codec: AC index overflows block")
+		}
+	}
+}
+
+// loadBlock copies an 8x8 block (level-shifted by -128) clamping reads at
+// the image edge by replicating border pixels.
+func loadBlock(g *img.Gray, x0, y0 int, dst *[64]float64) {
+	for y := 0; y < blockSize; y++ {
+		sy := y0 + y
+		if sy >= g.H {
+			sy = g.H - 1
+		}
+		for x := 0; x < blockSize; x++ {
+			sx := x0 + x
+			if sx >= g.W {
+				sx = g.W - 1
+			}
+			dst[y*blockSize+x] = float64(g.Pix[sy*g.W+sx]) - 128
+		}
+	}
+}
+
+func storeBlock(g *img.Gray, x0, y0 int, src *[64]float64) {
+	for y := 0; y < blockSize; y++ {
+		sy := y0 + y
+		if sy >= g.H {
+			continue
+		}
+		for x := 0; x < blockSize; x++ {
+			sx := x0 + x
+			if sx >= g.W {
+				continue
+			}
+			v := src[y*blockSize+x] + 128
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			g.Pix[sy*g.W+sx] = uint8(v + 0.5)
+		}
+	}
+}
+
+func blocksAcross(n int) int { return (n + blockSize - 1) / blockSize }
+
+func clampCRF(crf int) int {
+	if crf < 0 {
+		return 0
+	}
+	if crf > 51 {
+		return 51
+	}
+	return crf
+}

@@ -1,0 +1,54 @@
+package codec
+
+import (
+	"math/rand"
+	"testing"
+
+	"coterie/internal/img"
+)
+
+func benchImage(w, h int) *img.Gray {
+	rng := rand.New(rand.NewSource(1))
+	g := img.NewGray(w, h)
+	// Structured content: gradient + soft blobs (compressible, like a
+	// rendered panorama).
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, uint8(40+x/3+y/2))
+		}
+	}
+	for i := 0; i < w*h/400; i++ {
+		cx, cy, v := rng.Intn(w), rng.Intn(h), uint8(rng.Intn(256))
+		for dy := -4; dy <= 4; dy++ {
+			for dx := -4; dx <= 4; dx++ {
+				x, y := cx+dx, cy+dy
+				if x >= 0 && y >= 0 && x < w && y < h {
+					g.Set(x, y, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func BenchmarkEncode256x128(b *testing.B) {
+	src := benchImage(256, 128)
+	b.ReportAllocs()
+	b.SetBytes(int64(src.W * src.H))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Encode(src, DefaultCRF)
+	}
+}
+
+func BenchmarkDecode256x128(b *testing.B) {
+	data := Encode(benchImage(256, 128), DefaultCRF)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

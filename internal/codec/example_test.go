@@ -1,0 +1,28 @@
+package codec_test
+
+import (
+	"fmt"
+
+	"coterie/internal/codec"
+	"coterie/internal/img"
+)
+
+// Example encodes and decodes a small frame at the server's CRF setting.
+func Example() {
+	frame := img.NewGray(64, 32)
+	for y := 0; y < frame.H; y++ {
+		for x := 0; x < frame.W; x++ {
+			frame.Set(x, y, uint8(64+x+y))
+		}
+	}
+	data := codec.Encode(frame, codec.DefaultCRF)
+	decoded, err := codec.Decode(data)
+	if err != nil {
+		panic(err)
+	}
+	mad, _ := img.MeanAbsDiff(frame, decoded)
+	fmt.Printf("decoded %dx%d, compressed %dx smaller, mean error under %d grey levels\n",
+		decoded.W, decoded.H, (frame.W*frame.H)/len(data), int(mad)+1)
+	// Output:
+	// decoded 64x32, compressed 19x smaller, mean error under 1 grey levels
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"coterie/internal/fisync"
+	"coterie/internal/geom"
+	"coterie/internal/trace"
+)
+
+// frame starts one per-frame pipeline iteration for the client (§5.1): it
+// samples the pose, synchronises FI, runs the system-specific rendering
+// path, and schedules the display completion, which in turn starts the
+// next frame.
+func (c *client) frame() {
+	now := c.sim.Now()
+	if now >= c.endMs {
+		return
+	}
+	tick := int(now / tickMs)
+	if tick >= c.tr.Len() {
+		return
+	}
+	pos := c.tr.Pos[tick]
+	vel := c.velocity(tick)
+
+	// FI synchronisation through the server (task 4); the latency is part
+	// of the Eq. 2 max, which the display scheduling below accounts for.
+	c.seq++
+	c.hub.Update(fisync.State{
+		Player:  uint8(c.id),
+		Seq:     c.seq,
+		Pos:     pos,
+		Heading: math.Atan2(vel.Z, vel.X),
+	})
+	c.hub.Snapshot(uint8(c.id))
+
+	dev := c.env.Device
+	switch c.cfg.System {
+	case Mobile:
+		spec := c.env.Game.Spec
+		renderMs := dev.FullSceneRenderMs(int(float64(c.env.Game.Scene.TotalTriangles())/spec.LODFactor())) + dev.FIRenderMs
+		c.display(now, now+renderMs, renderMs, false, 0)
+
+	case ThinClient:
+		pt := c.env.Game.Scene.Grid.Snap(pos)
+		size := c.env.Sizer.SizeFor(ThinClient, pt)
+		// Sequential remote pipeline: render + encode on the server, then
+		// transfer, then hardware decode and display locally.
+		c.sim.After(serverRenderMs+serverEncodeMs, func() {
+			c.wifi.Transfer(c.id, size, func(start, end float64) {
+				c.src.latencies.add(end - start)
+				c.noteSize(size)
+				readyAt := end + dev.DecodeMs(size) + mergeMs
+				c.display(now, readyAt, thinOverlayMs, true, size)
+			})
+		})
+
+	default: // BE-prefetching systems (Multi-Furion variants, Coterie)
+		cur := c.env.Game.Scene.Grid.Snap(pos)
+		c.cache.SetPlayerPos(pos)
+
+		localMs := dev.FIRenderMs
+		if c.cfg.System.splitsNearFar() {
+			radius := c.env.Map.RadiusAt(pos)
+			tris := c.env.Game.Scene.TrianglesWithin(c.q, pos, radius)
+			localMs += dev.NearBEFrameMs(tris)
+		}
+
+		// Per Eq. 2, the frame interval is the max over the four parallel
+		// tasks plus merging; the prefetch of the next frames (task 3) is
+		// one of those tasks, so a frame cannot complete before its
+		// prefetch does. Join the decode path and the prefetch path.
+		join := &frameJoin{pending: 1, ready: now}
+
+		// Prefetch request for the upcoming grid point (task 3): cache
+		// first, server on miss. This stream defines the cache hit ratio.
+		look := c.pf.Cfg.LookaheadSec
+		predicted := c.env.Game.Scene.Grid.Snap(geom.V2(pos.X+vel.X*look, pos.Z+vel.Z*look))
+		if c.pf.RequestTracked(predicted, func(_ int, at float64) { join.arrive(at) }) {
+			join.pending++
+		}
+
+		// The display blocks on the BE frame for this interval (task 2).
+		// Coterie looks the current point up in the similarity cache;
+		// Furion-style systems decode whatever the previous frame's
+		// prefetch targeted ("decode previously prefetched BE for grid
+		// point i", §2.2).
+		need := cur
+		if !c.cfg.System.similarityCache() && c.hasPrevPredicted {
+			need = c.prevPredicted
+		}
+		c.prevPredicted, c.hasPrevPredicted = predicted, true
+
+		join.fire = func(prefetchDone float64) {
+			c.pf.Ensure(need, now, func(size int, readyAt float64) {
+				c.noteSize(size)
+				decodeDone := readyAt + dev.DecodeMs(size)
+				tasksDone := math.Max(math.Max(now+localMs, prefetchDone),
+					math.Max(decodeDone, now+syncMs))
+				c.display(now, tasksDone+mergeMs, localMs, true, size)
+			})
+		}
+		join.arrive(now)
+	}
+}
+
+// frameJoin waits for the parallel per-frame tasks of Eq. 2 and fires once
+// with the latest completion time.
+type frameJoin struct {
+	pending int
+	ready   float64
+	fire    func(readyAt float64)
+}
+
+func (j *frameJoin) arrive(at float64) {
+	if at > j.ready {
+		j.ready = at
+	}
+	j.pending--
+	if j.pending == 0 && j.fire != nil {
+		j.fire(j.ready)
+	}
+}
+
+// velocity estimates the player's velocity in m/s from the trace.
+func (c *client) velocity(tick int) geom.Vec2 {
+	const horizon = 6 // ticks (100 ms)
+	j := tick + horizon
+	if j >= c.tr.Len() {
+		j = c.tr.Len() - 1
+	}
+	if j <= tick {
+		return geom.Vec2{}
+	}
+	d := c.tr.Pos[j].Sub(c.tr.Pos[tick])
+	return d.Scale(trace.TickHz / float64(j-tick))
+}
+
+func (c *client) noteSize(size int) {
+	c.sizeSum += float64(size)
+	c.sizeCount++
+}
+
+// display schedules the frame completion: the pipeline is ready at
+// readyAt, the frame reaches the display at the vsync-floored time.
+// Responsiveness (motion-to-photon) counts pose sampling to pipeline
+// readiness — a pipeline faster than the refresh interval yields
+// responsiveness below 16.7 ms, as in Table 7.
+func (c *client) display(start, readyAt float64, renderMs float64, decoding bool, size int) {
+	dev := c.env.Device
+	displayAt := readyAt
+	if min := start + dev.VsyncMs; displayAt < min {
+		displayAt = min
+	}
+	c.sim.At(displayAt, func() {
+		if c.lastDisplay == 0 {
+			c.lastDisplay = start
+		}
+		inter := displayAt - c.lastDisplay
+		c.lastDisplay = displayAt
+		c.frames++
+		c.interSum += inter
+		c.inters = append(c.inters, float32(inter))
+		c.respSum += sensorMs + (readyAt - start)
+
+		// Resource accounting over this frame interval.
+		netMbps := c.currentNetMbps()
+		cpu := dev.CPUUtil(renderMs, decoding, netMbps)
+		gpu := dev.GPUUtil(renderMs, inter)
+		power := dev.PowerW(cpu, gpu, netMbps)
+		c.therm.Step(power, inter/1000)
+		c.cpuSum += cpu
+		c.gpuSum += gpu
+		c.powerSum += power
+		c.bucket(displayAt, cpu, gpu, power, inter)
+
+		c.frame()
+	})
+}
+
+// currentNetMbps estimates the client's instantaneous download rate from
+// its share of the medium.
+func (c *client) currentNetMbps() float64 {
+	if c.src == nil {
+		return 0
+	}
+	active := c.wifi.ActiveTransfers()
+	if active == 0 {
+		return 0
+	}
+	// This client's flows get an equal share; approximate by assuming it
+	// owns one of the active transfers.
+	return c.cfg.WiFiGoodput() / float64(active)
+}
+
+// WiFiGoodput returns the configured medium goodput in Mbps.
+func (cfg SessionConfig) WiFiGoodput() float64 {
+	if cfg.WiFi.GoodputMbps > 0 {
+		return cfg.WiFi.GoodputMbps
+	}
+	return 500
+}
+
+// bucket accumulates per-second resource series samples (Fig 12).
+func (c *client) bucket(now float64, cpu, gpu, power, weight float64) {
+	sec := int(now / 1000)
+	if sec != c.curSec && c.secWeight > 0 {
+		c.series = append(c.series, SeriesPoint{
+			Sec:    c.curSec,
+			CPUPct: c.secCPU / c.secWeight * 100,
+			GPUPct: c.secGPU / c.secWeight * 100,
+			PowerW: c.secPower / c.secWeight,
+			TempC:  c.therm.Temperature(),
+		})
+		c.secCPU, c.secGPU, c.secPower, c.secWeight = 0, 0, 0, 0
+	}
+	c.curSec = sec
+	c.secCPU += cpu * weight
+	c.secGPU += gpu * weight
+	c.secPower += power * weight
+	c.secWeight += weight
+}
+
+// metrics finalises the client's aggregates.
+func (c *client) metrics() PlayerMetrics {
+	m := PlayerMetrics{Frames: c.frames, TempC: c.therm.Temperature()}
+	if c.frames > 0 {
+		m.InterFrameMs = c.interSum / float64(c.frames)
+		sorted := append([]float32(nil), c.inters...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		m.P95InterFrameMs = float64(sorted[int(0.95*float64(len(sorted)-1))])
+		m.P99InterFrameMs = float64(sorted[int(0.99*float64(len(sorted)-1))])
+		m.ResponsivenessMs = c.respSum / float64(c.frames)
+		m.CPUPct = c.cpuSum / float64(c.frames) * 100
+		m.GPUPct = c.gpuSum / float64(c.frames) * 100
+		m.PowerW = c.powerSum / float64(c.frames)
+	}
+	elapsed := c.lastDisplay / 1000
+	if elapsed <= 0 {
+		elapsed = c.endMs / 1000
+	}
+	m.FPS = float64(c.frames) / elapsed
+	if c.sizeCount > 0 {
+		m.FrameKB = c.sizeSum / float64(c.sizeCount) / 1024
+	}
+	if c.src != nil {
+		m.NetDelayMs = c.src.latencies.mean()
+		m.BEMbps = float64(c.wifi.FlowBytes(c.id)) * 8 / 1e6 / (c.endMs / 1000)
+	}
+	if c.cache != nil {
+		m.CacheHitRatio = c.cache.Stats().HitRatio()
+	}
+	if c.pf != nil {
+		m.PrefetchIssued = c.pf.Stats().Issued
+	}
+	return m
+}

@@ -1,0 +1,377 @@
+// Package core assembles the Coterie system out of the substrates: it
+// prepares a game environment (scene, offline cutoff map, distance
+// thresholds, frame-size model) and runs multiplayer sessions of Coterie
+// and of the paper's baselines over the discrete-event testbed, producing
+// the metrics the paper's tables and figures report.
+//
+// The evaluated systems (§3, §7):
+//
+//   - Mobile: local rendering of everything on the phone.
+//   - Thin-client: remote rendering; the server renders, encodes and
+//     streams every display frame.
+//   - Multi-Furion: the replicated Furion architecture — FI rendered
+//     locally, whole-BE panoramas prefetched per grid point.
+//   - Multi-Furion+cache: the same plus an exact-match frame cache.
+//   - Coterie w/o cache: near BE rendered locally, far-BE panoramas
+//     prefetched per grid point (smaller frames, no reuse).
+//   - Coterie: the full design — near BE local, far-BE prefetch through
+//     the similarity frame cache.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"coterie/internal/cache"
+	"coterie/internal/codec"
+	"coterie/internal/cutoff"
+	"coterie/internal/device"
+	"coterie/internal/games"
+	"coterie/internal/geom"
+	"coterie/internal/netsim"
+	"coterie/internal/render"
+)
+
+// SystemKind identifies one of the evaluated system designs.
+type SystemKind int
+
+const (
+	// Mobile renders everything locally (§2.2).
+	Mobile SystemKind = iota
+	// ThinClient streams every rendered frame from the server (§2.2).
+	ThinClient
+	// MultiFurion replicates Furion per player: whole-BE prefetch (§3).
+	MultiFurion
+	// MultiFurionCache adds an exact-match frame cache to Multi-Furion
+	// (Fig 11).
+	MultiFurionCache
+	// CoterieNoCache prefetches far-BE frames without reuse (Fig 11).
+	CoterieNoCache
+	// Coterie is the full system (§5).
+	Coterie
+)
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	switch k {
+	case Mobile:
+		return "Mobile"
+	case ThinClient:
+		return "Thin-client"
+	case MultiFurion:
+		return "Multi-Furion"
+	case MultiFurionCache:
+		return "Multi-Furion+cache"
+	case CoterieNoCache:
+		return "Coterie w/o cache"
+	case Coterie:
+		return "Coterie"
+	default:
+		return fmt.Sprintf("SystemKind(%d)", int(k))
+	}
+}
+
+// usesBEPrefetch reports whether the system prefetches BE frames from the
+// server (everything except Mobile and Thin-client).
+func (k SystemKind) usesBEPrefetch() bool {
+	switch k {
+	case MultiFurion, MultiFurionCache, CoterieNoCache, Coterie:
+		return true
+	}
+	return false
+}
+
+// splitsNearFar reports whether the system renders near BE on the device.
+func (k SystemKind) splitsNearFar() bool {
+	return k == CoterieNoCache || k == Coterie
+}
+
+// similarityCache reports whether the system reuses similar frames.
+func (k SystemKind) similarityCache() bool { return k == Coterie }
+
+// EnvOptions controls environment preparation.
+type EnvOptions struct {
+	// Device is the client hardware model; zero value means Pixel2.
+	Device device.Profile
+	// RenderCfg sets the panoramic frame resolution for size sampling and
+	// threshold calibration.
+	RenderCfg render.Config
+	// CutoffParams configures the adaptive cutoff scheme; zero value
+	// means cutoff.DefaultParams.
+	CutoffParams cutoff.Params
+	// ThresholdLeaves is the number of leaves sampled by
+	// cutoff.CalibrateThresholds; 0 means 3.
+	ThresholdLeaves int
+	// SizeSamples is the number of locations sampled for the frame-size
+	// model; 0 means 12.
+	SizeSamples int
+	// CRF is the encoder quality; 0 means codec.DefaultCRF.
+	CRF int
+}
+
+// Env is a prepared game environment shared by sessions: the built game,
+// its offline preprocessing output, and the frame-size model.
+type Env struct {
+	Game     *games.Game
+	Device   device.Profile
+	Map      *cutoff.Map
+	Renderer *render.Renderer
+	Sizer    *FrameSizer
+	CRF      int
+}
+
+// PrepareEnv builds a game and runs the offline preprocessing: the
+// adaptive cutoff scheme, the cache distance thresholds, and frame-size
+// sampling. This corresponds to the paper's per-app installation step
+// (§4.3, §6).
+func PrepareEnv(spec games.Spec, opts EnvOptions) (*Env, error) {
+	if opts.Device.Name == "" {
+		opts.Device = device.Pixel2()
+	}
+	if opts.CutoffParams.K == 0 {
+		opts.CutoffParams = cutoff.DefaultParams()
+	}
+	if opts.ThresholdLeaves == 0 {
+		opts.ThresholdLeaves = 3
+	}
+	if opts.SizeSamples == 0 {
+		opts.SizeSamples = 12
+	}
+	if opts.CRF == 0 {
+		opts.CRF = codec.DefaultCRF
+	}
+	g := games.Build(spec)
+	m, err := cutoff.Compute(g.Scene, opts.Device.NearBERenderMs, opts.CutoffParams)
+	if err != nil {
+		return nil, fmt.Errorf("core: cutoff scheme failed: %w", err)
+	}
+	r := render.New(g.Scene, opts.RenderCfg)
+	tc := cutoff.DefaultThresholdConfig()
+	if err := cutoff.CalibrateThresholds(m, r, opts.ThresholdLeaves, tc); err != nil {
+		return nil, fmt.Errorf("core: threshold calibration failed: %w", err)
+	}
+	sizer, err := NewFrameSizer(g, m, r, opts.CRF, opts.SizeSamples)
+	if err != nil {
+		return nil, fmt.Errorf("core: frame sizing failed: %w", err)
+	}
+	return &Env{
+		Game:     g,
+		Device:   opts.Device,
+		Map:      m,
+		Renderer: r,
+		Sizer:    sizer,
+		CRF:      opts.CRF,
+	}, nil
+}
+
+// MetaFor builds the prefetch.Meta function for this environment: leaf
+// region, near-set signature and distance threshold of a grid point. The
+// near-set signature uses the leaf's cutoff radius, since that radius
+// defines which objects belong to the near BE.
+func (e *Env) MetaFor() func(pt geom.GridPoint) (int, uint64, float64) {
+	q := e.Game.Scene.NewQuery()
+	type meta struct {
+		leaf   int
+		sig    uint64
+		thresh float64
+	}
+	memo := make(map[geom.GridPoint]meta)
+	return func(pt geom.GridPoint) (int, uint64, float64) {
+		if m, ok := memo[pt]; ok {
+			return m.leaf, m.sig, m.thresh
+		}
+		pos := e.Game.Scene.Grid.Pos(pt)
+		leaf := e.Map.LeafAt(pos)
+		if leaf == nil {
+			return -1, 0, 0
+		}
+		sig := e.Game.Scene.NearSetSignature(q, pos, leaf.Radius)
+		m := meta{leaf: leaf.ID, sig: sig, thresh: leaf.DistThresh}
+		if len(memo) < 1<<20 {
+			memo[pt] = m
+		}
+		return m.leaf, m.sig, m.thresh
+	}
+}
+
+// display4KPixels is the panoramic frame resolution the paper prefetches
+// (3840x2160); sampled sizes are scaled to it.
+const display4KPixels = 3840 * 2160
+
+// sizeScaleExponent converts encoded bytes measured at the experiment
+// resolution to the 4K operating point: compressed video rate grows
+// sublinearly with pixel count (roughly rate ~ pixels^0.9 at constant
+// quality), because higher resolutions add proportionally more smooth
+// area than edges.
+const sizeScaleExponent = 0.9
+
+// FrameSizer models encoded frame sizes at 4K from real renders at the
+// experiment resolution: it renders sample panoramas, encodes them with
+// the codec, and scales byte counts to 4K pixel counts. Per-request sizes
+// get a small deterministic jitter so transfers are not artificially
+// uniform.
+type FrameSizer struct {
+	// WholeBE is the mean encoded whole-BE panorama size in bytes (what
+	// Multi-Furion transfers per grid point).
+	WholeBE int
+	// FarBE is the mean encoded far-BE panorama size (what Coterie
+	// transfers on a cache miss).
+	FarBE int
+	// Thin is the mean encoded full-detail display frame (what the
+	// thin-client streams every frame).
+	Thin int
+}
+
+// sizerConfig is the fixed resolution the size model samples at. Fixing
+// it decouples the modelled 4K byte counts from the experiment render
+// resolution (compressed bits-per-pixel varies with resolution, so
+// sampling at the experiment resolution would make transfer sizes depend
+// on an unrelated knob).
+var sizerConfig = render.Config{W: 192, H: 96}
+
+// NewFrameSizer samples frame sizes across the world. The passed renderer
+// selects the scene; sampling happens at the fixed sizer resolution.
+func NewFrameSizer(g *games.Game, m *cutoff.Map, _ *render.Renderer, crf, samples int) (*FrameSizer, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("core: need at least one size sample")
+	}
+	r := render.New(g.Scene, sizerConfig)
+	var whole, far, thin float64
+	count := 0
+	// Deterministic stratified sample positions around the spawn region
+	// and across the world.
+	for i := 0; i < samples; i++ {
+		f := (float64(i) + 0.5) / float64(samples)
+		pos := geom.V2(
+			g.Scene.Bounds.MinX+f*g.Scene.Bounds.Width(),
+			g.Scene.Bounds.MinZ+(1-f)*g.Scene.Bounds.Depth(),
+		)
+		if i%3 == 0 { // bias a third of samples near the playable area
+			pos = g.Scene.Bounds.ClampPoint(geom.V2(
+				g.Spawn.X+(f-0.5)*20,
+				g.Spawn.Z+(0.5-f)*20,
+			))
+		}
+		leaf := m.LeafAt(pos)
+		if leaf == nil {
+			continue
+		}
+		eye := g.Scene.EyeAt(pos)
+		wholePano := r.Panorama(eye, 0, math.Inf(1), nil)
+		farPano := r.Panorama(eye, leaf.Radius, math.Inf(1), nil)
+		scale := math.Pow(float64(display4KPixels)/float64(wholePano.W*wholePano.H), sizeScaleExponent)
+		whole += float64(len(codec.Encode(wholePano, crf))) * scale
+		far += float64(len(codec.Encode(farPano, crf))) * scale
+
+		fov, err := render.FoVCrop(wholePano, 0, math.Pi/2, math.Pi/2)
+		if err != nil {
+			return nil, err
+		}
+		fovScale := math.Pow(float64(display4KPixels)/float64(fov.W*fov.H), sizeScaleExponent)
+		thin += float64(len(codec.Encode(fov, crf))) * fovScale
+		count++
+	}
+	if count == 0 {
+		return nil, fmt.Errorf("core: no usable size samples")
+	}
+	return &FrameSizer{
+		WholeBE: int(whole / float64(count)),
+		FarBE:   int(far / float64(count)),
+		Thin:    int(thin / float64(count)),
+	}, nil
+}
+
+// SizeFor returns the modelled transfer size for a system's BE frame at a
+// grid point, with deterministic per-point jitter.
+func (fs *FrameSizer) SizeFor(kind SystemKind, pt geom.GridPoint) int {
+	var base int
+	switch {
+	case kind == ThinClient:
+		base = fs.Thin
+	case kind.splitsNearFar():
+		base = fs.FarBE
+	default:
+		base = fs.WholeBE
+	}
+	return jitterSize(base, pt)
+}
+
+// jitterSize applies a +-8% deterministic hash jitter.
+func jitterSize(base int, pt geom.GridPoint) int {
+	h := uint64(pt.I)*0x9E3779B97F4A7C15 ^ uint64(pt.J)*0xBF58476D1CE4E5B9
+	h ^= h >> 33
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 29
+	f := 0.92 + 0.16*float64(h%1024)/1023
+	return int(float64(base) * f)
+}
+
+// simSource adapts the WiFi medium to the prefetch.Source interface with a
+// small server turnaround time (the Coterie server serves pre-rendered,
+// pre-encoded frames, §5.1).
+type simSource struct {
+	sim      *netsim.Sim
+	wifi     *netsim.WiFi
+	sizer    *FrameSizer
+	kind     SystemKind
+	serverMs float64
+	// latencies accumulates per-transfer network delays for reporting.
+	latencies *latencyAcc
+	// onDeliver, when set, observes every completed fetch (used by the
+	// overhearing extension to populate other players' caches, §4.6).
+	onDeliver func(pt geom.GridPoint, size int)
+}
+
+type latencyAcc struct {
+	sum   float64
+	count int64
+}
+
+func (l *latencyAcc) add(ms float64) {
+	l.sum += ms
+	l.count++
+}
+
+func (l *latencyAcc) mean() float64 {
+	if l.count == 0 {
+		return 0
+	}
+	return l.sum / float64(l.count)
+}
+
+// Fetch implements prefetch.Source over the simulated medium.
+func (s *simSource) Fetch(player int, pt geom.GridPoint, done func([]byte, int, float64, float64)) {
+	size := s.sizer.SizeFor(s.kind, pt)
+	s.sim.After(s.serverMs, func() {
+		s.wifi.Transfer(player, size, func(start, end float64) {
+			s.latencies.add(end - start + s.serverMs)
+			if s.onDeliver != nil {
+				s.onDeliver(pt, size)
+			}
+			done(nil, size, start, end)
+		})
+	})
+}
+
+// cacheConfigFor returns the cache configuration a system uses.
+func cacheConfigFor(kind SystemKind, policy cache.Policy, capacity int64) cache.Config {
+	switch kind {
+	case MultiFurionCache:
+		cfg, _ := cache.Version(1) // exact matching only
+		cfg.Policy = policy
+		cfg.CapacityBytes = capacity
+		return cfg
+	case Coterie:
+		cfg, _ := cache.Version(3) // intra-player similar frames
+		cfg.Policy = policy
+		cfg.CapacityBytes = capacity
+		return cfg
+	default:
+		// Multi-Furion and Coterie-no-cache hold only recently prefetched
+		// frames (a small staging buffer, not a reuse cache).
+		cfg, _ := cache.Version(1)
+		cfg.Policy = cache.LRU
+		cfg.CapacityBytes = 64 * 1024 * 1024 // ~100 whole-BE frames
+		return cfg
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+
+	"coterie/internal/cache"
+	"coterie/internal/device"
+	"coterie/internal/fisync"
+	"coterie/internal/geom"
+	"coterie/internal/netsim"
+	"coterie/internal/prefetch"
+	"coterie/internal/trace"
+	"coterie/internal/world"
+)
+
+// Timing constants of the testbed pipeline in milliseconds.
+const (
+	tickMs = 1000.0 / trace.TickHz
+	// mergeMs is the cost of compositing near BE + FI with the decoded
+	// far BE (§5.1 task 5, the +T_merge term of Eq. 2).
+	mergeMs = 1.2
+	// syncMs is the FI synchronisation latency through the server (the
+	// paper measures 2-3 ms per interval).
+	syncMs = 2.5
+	// sensorMs is the pose-sampling latency counted by responsiveness.
+	sensorMs = 0.5
+	// serverRenderMs and serverEncodeMs model the thin-client server
+	// rendering and encoding one 4K frame on demand; the GTX 1080 Ti
+	// renders fast but 4K H.264 encoding dominates.
+	serverRenderMs = 10
+	serverEncodeMs = 13
+	// serverLookupMs is the Coterie/Furion server turnaround for a
+	// pre-rendered, pre-encoded frame.
+	serverLookupMs = 0.4
+	// thinOverlayMs is the thin client's local per-frame GPU work
+	// (reprojection and UI overlay).
+	thinOverlayMs = 3.0
+)
+
+// SessionConfig describes one testbed run.
+type SessionConfig struct {
+	System  SystemKind
+	Players int
+	Seconds float64
+	Seed    int64
+	// WiFi is the shared medium; zero value uses the 802.11ac defaults.
+	WiFi netsim.WiFiConfig
+	// CachePolicy is the replacement policy (LRU default).
+	CachePolicy cache.Policy
+	// CacheBytes caps the frame cache; 0 means 512 MB (a Pixel 2 can
+	// dedicate about that much of its 4 GB to frames).
+	CacheBytes int64
+	// Prefetch tunes the lookahead prefetcher; zero value uses defaults.
+	Prefetch prefetch.Config
+	// Overhear enables the inter-player caching extension the paper
+	// evaluates and rejects (§4.6): every server reply is overheard by
+	// all clients and inserted into their caches (cache Version 5).
+	// Current phone NICs cannot do this (no promiscuous mode), so the
+	// shipped design leaves it off; it exists here for the ablation.
+	Overhear bool
+}
+
+// PlayerMetrics aggregates one client's session, matching the columns of
+// Tables 1, 7 and 8.
+type PlayerMetrics struct {
+	Frames       int64
+	FPS          float64
+	InterFrameMs float64
+	// P95InterFrameMs and P99InterFrameMs are tail latencies; VR comfort
+	// depends on the tail, not the mean.
+	P95InterFrameMs  float64
+	P99InterFrameMs  float64
+	ResponsivenessMs float64
+	CPUPct           float64
+	GPUPct           float64
+	PowerW           float64
+	TempC            float64
+	FrameKB          float64 // mean BE transfer size
+	NetDelayMs       float64 // mean BE transfer latency
+	BEMbps           float64 // per-player BE bandwidth
+	CacheHitRatio    float64
+	PrefetchIssued   int64
+}
+
+// SeriesPoint is one per-second sample of Fig 12's resource traces.
+type SeriesPoint struct {
+	Sec    int
+	CPUPct float64
+	GPUPct float64
+	PowerW float64
+	TempC  float64
+}
+
+// Result is the outcome of a session.
+type Result struct {
+	Game    string
+	System  SystemKind
+	Players int
+	Seconds float64
+	Per     []PlayerMetrics
+	// Mean is the across-players average.
+	Mean PlayerMetrics
+	// FIKbps is the total FI sync traffic through the server.
+	FIKbps float64
+	// Series holds player 0's per-second resource samples.
+	Series []SeriesPoint
+}
+
+// RunSession executes one deterministic testbed session.
+func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
+	if cfg.Players < 1 {
+		return nil, fmt.Errorf("core: need at least one player")
+	}
+	if cfg.Seconds <= 0 {
+		return nil, fmt.Errorf("core: session duration must be positive")
+	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 512 << 20
+	}
+	if cfg.Prefetch.LookaheadSec == 0 {
+		cfg.Prefetch = prefetch.DefaultConfig()
+	}
+
+	sim := netsim.NewSim()
+	wifi := netsim.NewWiFi(sim, cfg.WiFi)
+	hub := fisync.NewHub()
+	traces := trace.GenerateParty(env.Game, cfg.Players, cfg.Seconds, cfg.Seed)
+
+	endMs := cfg.Seconds * 1000
+	clients := make([]*client, cfg.Players)
+	for i := 0; i < cfg.Players; i++ {
+		c := &client{
+			env:   env,
+			cfg:   cfg,
+			id:    i,
+			sim:   sim,
+			wifi:  wifi,
+			hub:   hub,
+			tr:    traces[i],
+			endMs: endMs,
+			q:     env.Game.Scene.NewQuery(),
+			therm: env.Device.NewThermal(),
+		}
+		if cfg.System.usesBEPrefetch() {
+			src := &simSource{
+				sim:       sim,
+				wifi:      wifi,
+				sizer:     env.Sizer,
+				kind:      cfg.System,
+				serverMs:  serverLookupMs,
+				latencies: &latencyAcc{},
+			}
+			c.src = src
+			ccfg := cacheConfigFor(cfg.System, cfg.CachePolicy, cfg.CacheBytes)
+			if cfg.Overhear && cfg.System.similarityCache() {
+				ccfg, _ = cache.Version(5)
+				ccfg.Policy = cfg.CachePolicy
+				ccfg.CapacityBytes = cfg.CacheBytes
+			}
+			c.cache = cache.New(ccfg)
+			pfCfg := cfg.Prefetch
+			if !cfg.System.similarityCache() {
+				// Furion-style prefetch aims at the next grid point only
+				// (one frame ahead); Coterie's cache reuse creates the
+				// larger prefetching window (§5.2) that lets it aim
+				// further out.
+				pfCfg.NeighborHops = 0
+				pfCfg.LookaheadSec = 1.2 * tickMs / 1000
+			}
+			c.pf = prefetch.New(env.Game.Scene.Grid, env.MetaFor(), c.cache, src, i, pfCfg)
+		} else if cfg.System == ThinClient {
+			c.src = &simSource{
+				sim:       sim,
+				wifi:      wifi,
+				sizer:     env.Sizer,
+				kind:      ThinClient,
+				serverMs:  0,
+				latencies: &latencyAcc{},
+			}
+		}
+		clients[i] = c
+	}
+	if cfg.Overhear && cfg.System.similarityCache() {
+		wireOverhearing(env, clients)
+	}
+	for _, c := range clients {
+		c.frame()
+	}
+	sim.Run(endMs)
+
+	res := &Result{
+		Game:    env.Game.Spec.Name,
+		System:  cfg.System,
+		Players: cfg.Players,
+		Seconds: cfg.Seconds,
+	}
+	for _, c := range clients {
+		res.Per = append(res.Per, c.metrics())
+		if c.id == 0 {
+			res.Series = c.series
+		}
+	}
+	res.Mean = meanMetrics(res.Per)
+	res.FIKbps = float64(hub.UploadBytes+hub.DownloadBytes) * 8 / 1000 / cfg.Seconds
+	return res, nil
+}
+
+// wireOverhearing makes every completed fetch visible to every client's
+// cache (the §4.6 emulation assumption: "the reply from the server is
+// overheard and cached by all the players").
+func wireOverhearing(env *Env, clients []*client) {
+	meta := env.MetaFor()
+	grid := env.Game.Scene.Grid
+	for _, owner := range clients {
+		owner := owner
+		owner.src.onDeliver = func(pt geom.GridPoint, size int) {
+			leaf, sig, _ := meta(pt)
+			e := cache.Entry{
+				Point: pt, Pos: grid.Pos(pt),
+				LeafID: leaf, NearSig: sig,
+				Size: size, Owner: owner.id,
+			}
+			for _, other := range clients {
+				if other != owner && other.cache != nil {
+					other.cache.Insert(e)
+				}
+			}
+		}
+	}
+}
+
+func meanMetrics(per []PlayerMetrics) PlayerMetrics {
+	var m PlayerMetrics
+	if len(per) == 0 {
+		return m
+	}
+	n := float64(len(per))
+	for _, p := range per {
+		m.Frames += p.Frames
+		m.FPS += p.FPS / n
+		m.InterFrameMs += p.InterFrameMs / n
+		m.P95InterFrameMs += p.P95InterFrameMs / n
+		m.P99InterFrameMs += p.P99InterFrameMs / n
+		m.ResponsivenessMs += p.ResponsivenessMs / n
+		m.CPUPct += p.CPUPct / n
+		m.GPUPct += p.GPUPct / n
+		m.PowerW += p.PowerW / n
+		m.TempC += p.TempC / n
+		m.FrameKB += p.FrameKB / n
+		m.NetDelayMs += p.NetDelayMs / n
+		m.BEMbps += p.BEMbps / n
+		m.CacheHitRatio += p.CacheHitRatio / n
+		m.PrefetchIssued += p.PrefetchIssued
+	}
+	return m
+}
+
+// client is one simulated phone.
+type client struct {
+	env   *Env
+	cfg   SessionConfig
+	id    int
+	sim   *netsim.Sim
+	wifi  *netsim.WiFi
+	hub   *fisync.Hub
+	tr    *trace.Trace
+	endMs float64
+
+	cache *cache.Cache
+	pf    *prefetch.Prefetcher
+	src   *simSource
+	q     *world.Query
+	therm *device.Thermal
+
+	seq uint32
+	// prevPredicted is the grid point the previous frame's prefetch
+	// request targeted; Furion-style systems display the frame prefetched
+	// for that prediction (§2.2 steps 3-4).
+	prevPredicted    geom.GridPoint
+	hasPrevPredicted bool
+
+	lastDisplay float64
+	frames      int64
+	interSum    float64
+	inters      []float32
+	respSum     float64
+	cpuSum      float64
+	gpuSum      float64
+	powerSum    float64
+	sizeSum     float64
+	sizeCount   int64
+	series      []SeriesPoint
+	secCPU      float64
+	secGPU      float64
+	secPower    float64
+	secWeight   float64
+	curSec      int
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"testing"
+
+	"coterie/internal/cache"
+)
+
+func TestThinClientMetrics(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunSession(env, SessionConfig{System: ThinClient, Players: 1, Seconds: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mean
+	// The remote pipeline cannot reach 60 FPS: server render+encode plus
+	// transfer plus decode exceeds a vsync interval.
+	if m.FPS >= 40 {
+		t.Fatalf("Thin-client FPS = %.1f, should be far below 60", m.FPS)
+	}
+	if m.FrameKB <= 0 || m.NetDelayMs <= 0 {
+		t.Fatalf("missing transfer metrics: %+v", m)
+	}
+	// Thin-client responsiveness tracks the whole remote pipeline.
+	if m.ResponsivenessMs < 30 {
+		t.Fatalf("Thin-client responsiveness %.1f ms implausibly low", m.ResponsivenessMs)
+	}
+}
+
+func TestCoterieResponsivenessUnderVsync(t *testing.T) {
+	// Table 7: Coterie's motion-to-photon latency is below the 16.7 ms
+	// refresh interval (the pipeline finishes early and waits for vsync).
+	env := testEnv(t)
+	res, err := RunSession(env, SessionConfig{System: Coterie, Players: 2, Seconds: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.ResponsivenessMs >= env.Device.VsyncMs {
+		t.Fatalf("responsiveness %.1f ms, want under the vsync interval", res.Mean.ResponsivenessMs)
+	}
+}
+
+func TestOverhearingSession(t *testing.T) {
+	env := testEnv(t)
+	base, err := RunSession(env, SessionConfig{System: Coterie, Players: 3, Seconds: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	over, err := RunSession(env, SessionConfig{System: Coterie, Players: 3, Seconds: 5, Seed: 4, Overhear: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overhearing can only help the hit ratio, and per the paper it helps
+	// little.
+	if over.Mean.CacheHitRatio < base.Mean.CacheHitRatio-0.03 {
+		t.Fatalf("overhearing reduced hits: %.2f -> %.2f",
+			base.Mean.CacheHitRatio, over.Mean.CacheHitRatio)
+	}
+	// Overhear has no effect on non-similarity systems.
+	mf, err := RunSession(env, SessionConfig{System: MultiFurion, Players: 2, Seconds: 3, Seed: 4, Overhear: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.Mean.Frames == 0 {
+		t.Fatal("Multi-Furion session with Overhear flag did not run")
+	}
+}
+
+func TestFLFPolicySession(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunSession(env, SessionConfig{
+		System:      Coterie,
+		Players:     1,
+		Seconds:     5,
+		Seed:        5,
+		CachePolicy: cache.FLF,
+		CacheBytes:  8 << 20, // small cache to force evictions
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mean.CacheHitRatio <= 0.2 {
+		t.Fatalf("FLF small-cache hit ratio %.2f", res.Mean.CacheHitRatio)
+	}
+}
+
+func TestSeriesCoversSession(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunSession(env, SessionConfig{System: Coterie, Players: 1, Seconds: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) < 4 {
+		t.Fatalf("series has %d points for a 6 s run", len(res.Series))
+	}
+	prevSec := -1
+	for _, p := range res.Series {
+		if p.Sec <= prevSec {
+			t.Fatalf("series not monotonic at %d", p.Sec)
+		}
+		prevSec = p.Sec
+		if p.CPUPct <= 0 || p.CPUPct > 100 || p.GPUPct < 0 || p.GPUPct > 100 {
+			t.Fatalf("implausible series point %+v", p)
+		}
+		if p.TempC < env.Device.AmbientC-1 || p.TempC > env.Device.ThermalCapC {
+			t.Fatalf("temperature %v out of range", p.TempC)
+		}
+	}
+}
+
+func TestFurionCacheVariantMatchesPlain(t *testing.T) {
+	// Fig 11: Multi-Furion with the exact-match cache performs like plain
+	// Multi-Furion (exact matches never happen on fresh paths).
+	env := testEnv(t)
+	plain, err := RunSession(env, SessionConfig{System: MultiFurion, Players: 2, Seconds: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := RunSession(env, SessionConfig{System: MultiFurionCache, Players: 2, Seconds: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := plain.Mean.FPS - cached.Mean.FPS; diff > 4 || diff < -4 {
+		t.Fatalf("exact cache changed Multi-Furion FPS: %.1f vs %.1f",
+			plain.Mean.FPS, cached.Mean.FPS)
+	}
+}
+
+func TestFIKbpsGrowsWithPlayers(t *testing.T) {
+	env := testEnv(t)
+	var prev float64
+	for _, n := range []int{1, 2, 4} {
+		res, err := RunSession(env, SessionConfig{System: Coterie, Players: n, Seconds: 3, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.FIKbps <= prev {
+			t.Fatalf("FI traffic did not grow at %d players: %.1f <= %.1f", n, res.FIKbps, prev)
+		}
+		prev = res.FIKbps
+	}
+}
+
+func TestTailLatencyMetrics(t *testing.T) {
+	env := testEnv(t)
+	res, err := RunSession(env, SessionConfig{System: Coterie, Players: 2, Seconds: 5, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mean
+	// With most frames pinned at vsync and rare spikes, the mean can sit
+	// above p95; the quantiles themselves must still be ordered and at
+	// least a vsync interval.
+	if m.P95InterFrameMs < env.Device.VsyncMs-0.1 {
+		t.Fatalf("p95 (%.1f) below the vsync interval", m.P95InterFrameMs)
+	}
+	if m.P99InterFrameMs < m.P95InterFrameMs {
+		t.Fatalf("p99 (%.1f) below p95 (%.1f)", m.P99InterFrameMs, m.P95InterFrameMs)
+	}
+	// Coterie's tail stays within a couple of frame intervals.
+	if m.P99InterFrameMs > 3*env.Device.VsyncMs {
+		t.Fatalf("p99 inter-frame %.1f ms implausibly long", m.P99InterFrameMs)
+	}
+}

@@ -1,0 +1,296 @@
+// Package cutoff implements the paper's adaptive cutoff scheme (§4.3): the
+// offline preprocessing step that recursively partitions a game's virtual
+// world into a quadtree of leaf regions, each with the largest near-BE /
+// far-BE cutoff radius whose near-BE render time satisfies Constraint 1
+// (RT_FI + RT_NearBE < 16.7 ms).
+//
+// Customising a radius per grid point is computationally infeasible (a
+// world can have hundreds of millions of grid points, Table 3); a single
+// global radius wastes similarity in sparse areas. The adaptive scheme
+// exploits the observation that object density changes gradually and tends
+// to be uniform within a small region: it samples K random locations per
+// region, computes each location's maximal radius, and splits the region
+// into four quadrants when the radii disagree. For the paper's largest
+// world (CTS, 268M grid points) this reduces the cutoff calculations to a
+// few hundred leaf regions.
+package cutoff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"coterie/internal/geom"
+	"coterie/internal/world"
+)
+
+// RenderTimer estimates the on-device render time in milliseconds for a
+// near BE containing the given triangle count. Use
+// device.Profile.NearBERenderMs.
+type RenderTimer func(tris int) float64
+
+// Params controls the partitioning.
+type Params struct {
+	// K is the number of random locations sampled per region. The paper
+	// determines K=10 experimentally (Fig 6): it bounds Constraint-1
+	// violations below 0.25%.
+	K int
+	// BudgetMs is the near-BE render-time budget from Constraint 1
+	// (device.Profile.NearBEBudgetMs(), 12.7 ms minus margin on Pixel 2).
+	BudgetMs float64
+	// Tolerance is the allowed max/min ratio of sampled radii within a
+	// region before it is split.
+	Tolerance float64
+	// AbsTolerance is an absolute radius spread (metres) below which a
+	// region counts as uniform regardless of ratio.
+	AbsTolerance float64
+	// MinRadius and MaxRadius bound the cutoff search.
+	MinRadius, MaxRadius float64
+	// MinRegion stops subdivision when a child region side would fall
+	// below this size (metres). Zero selects an automatic value scaled to
+	// the world (longer dimension / 64, clamped to [1, 20] m): adapting
+	// below that granularity buys nothing because the radii the scheme
+	// produces are themselves metres wide.
+	MinRegion float64
+	// MaxDepth is a safety bound on quadtree depth.
+	MaxDepth int
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+// DefaultParams returns the paper's configuration.
+func DefaultParams() Params {
+	return Params{
+		K:            10,
+		BudgetMs:     12.7,
+		Tolerance:    1.30,
+		AbsTolerance: 0.5,
+		MinRadius:    0.5,
+		MaxRadius:    200,
+		MinRegion:    0, // auto
+		MaxDepth:     10,
+		Seed:         1,
+	}
+}
+
+// Region is a quadtree leaf: a rectangle of the world sharing one cutoff
+// radius and one cache distance threshold.
+type Region struct {
+	ID     int
+	Bounds geom.Rect
+	Depth  int
+	// Radius is the near/far BE cutoff radius for every location in the
+	// region: the minimum of the K sampled maximal radii (§4.3).
+	Radius float64
+	// DistThresh is the cache lookup distance threshold derived for this
+	// region (§5.3); zero until thresholds are derived.
+	DistThresh float64
+	// TriDensity is the mean sampled object density (triangles per square
+	// metre), recorded for the Fig 8 density/radius correlation.
+	TriDensity float64
+}
+
+// node is an internal quadtree node.
+type node struct {
+	bounds   geom.Rect
+	children *[4]node // nil at leaves
+	leaf     int32    // index into Map.Regions when children == nil
+}
+
+// Stats summarises a partitioning run (the Table 3 columns).
+type Stats struct {
+	LeafCount   int
+	DepthAvg    float64
+	DepthMax    int
+	CutoffCalcs int // number of per-location maximal-radius computations
+	ProcTime    time.Duration
+}
+
+// Map is the offline preprocessing output for one game world.
+type Map struct {
+	Scene   *world.Scene
+	Params  Params
+	Regions []Region
+	Stats   Stats
+	root    node
+}
+
+// Compute runs the adaptive cutoff scheme over the scene.
+func Compute(scene *world.Scene, rt RenderTimer, p Params) (*Map, error) {
+	if p.K < 1 {
+		return nil, fmt.Errorf("cutoff: K must be >= 1, got %d", p.K)
+	}
+	if p.BudgetMs <= 0 || p.MinRadius <= 0 || p.MaxRadius <= p.MinRadius {
+		return nil, fmt.Errorf("cutoff: invalid params %+v", p)
+	}
+	if p.MinRegion <= 0 {
+		longer := math.Max(scene.Bounds.Width(), scene.Bounds.Depth())
+		p.MinRegion = math.Min(math.Max(longer/64, 1), 20)
+	}
+	start := time.Now()
+	m := &Map{Scene: scene, Params: p}
+	b := builder{
+		m:   m,
+		rt:  rt,
+		rng: rand.New(rand.NewSource(p.Seed)),
+		q:   scene.NewQuery(),
+	}
+	m.root = b.partition(scene.Bounds, 0)
+	m.Stats.LeafCount = len(m.Regions)
+	var depthSum int
+	for i := range m.Regions {
+		d := m.Regions[i].Depth
+		depthSum += d
+		if d > m.Stats.DepthMax {
+			m.Stats.DepthMax = d
+		}
+	}
+	if len(m.Regions) > 0 {
+		m.Stats.DepthAvg = float64(depthSum) / float64(len(m.Regions))
+	}
+	m.Stats.CutoffCalcs = b.calcs
+	m.Stats.ProcTime = time.Since(start)
+	return m, nil
+}
+
+type builder struct {
+	m     *Map
+	rt    RenderTimer
+	rng   *rand.Rand
+	q     *world.Query
+	calcs int
+}
+
+// partition implements the recursive procedure of §4.3: sample K random
+// locations, compute each one's maximal radius, stop if they agree, split
+// into four quadrants otherwise.
+func (b *builder) partition(region geom.Rect, depth int) node {
+	radii := make([]float64, b.m.Params.K)
+	var densitySum float64
+	minR, maxR := math.Inf(1), 0.0
+	for i := range radii {
+		loc := geom.V2(
+			region.MinX+b.rng.Float64()*region.Width(),
+			region.MinZ+b.rng.Float64()*region.Depth(),
+		)
+		r := b.maxRadius(loc)
+		radii[i] = r
+		if r < minR {
+			minR = r
+		}
+		if r > maxR {
+			maxR = r
+		}
+		const densityProbe = 6.0
+		tris := b.m.Scene.TrianglesWithin(b.q, loc, densityProbe)
+		densitySum += float64(tris) / (math.Pi * densityProbe * densityProbe)
+	}
+
+	p := b.m.Params
+	uniform := maxR-minR <= p.AbsTolerance || maxR <= minR*p.Tolerance
+	canSplit := depth < p.MaxDepth && region.Width()/2 >= p.MinRegion && region.Depth()/2 >= p.MinRegion
+	if uniform || !canSplit {
+		// Leaf: record the minimal radius so Constraint 1 holds for the
+		// whole region.
+		id := len(b.m.Regions)
+		b.m.Regions = append(b.m.Regions, Region{
+			ID:         id,
+			Bounds:     region,
+			Depth:      depth,
+			Radius:     minR,
+			TriDensity: densitySum / float64(p.K),
+		})
+		return node{bounds: region, leaf: int32(id)}
+	}
+	var children [4]node
+	for i, quad := range region.Quadrants() {
+		children[i] = b.partition(quad, depth+1)
+	}
+	return node{bounds: region, children: &children, leaf: -1}
+}
+
+// maxRadius binary-searches the largest cutoff radius at loc whose near-BE
+// render time stays within the budget. Triangle count is monotone in the
+// radius, so bisection applies.
+func (b *builder) maxRadius(loc geom.Vec2) float64 {
+	b.calcs++
+	p := b.m.Params
+	fits := func(r float64) bool {
+		return b.rt(b.m.Scene.TrianglesWithin(b.q, loc, r)) <= p.BudgetMs
+	}
+	if !fits(p.MinRadius) {
+		return p.MinRadius
+	}
+	if fits(p.MaxRadius) {
+		return p.MaxRadius
+	}
+	lo, hi := p.MinRadius, p.MaxRadius
+	for i := 0; i < 24 && hi-lo > 0.05; i++ {
+		mid := (lo + hi) / 2
+		if fits(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LeafAt returns the leaf region containing the ground position, or nil if
+// the position lies outside the world.
+func (m *Map) LeafAt(p geom.Vec2) *Region {
+	if !m.Scene.Bounds.ContainsClosed(p) {
+		return nil
+	}
+	// Clamp max-edge points into the half-open quadrant system.
+	p = geom.V2(
+		math.Min(p.X, m.Scene.Bounds.MaxX-1e-9),
+		math.Min(p.Z, m.Scene.Bounds.MaxZ-1e-9),
+	)
+	n := &m.root
+	for n.children != nil {
+		found := false
+		for i := range n.children {
+			if n.children[i].bounds.Contains(p) {
+				n = &n.children[i]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil // numerically on a seam; treat as outside
+		}
+	}
+	return &m.Regions[n.leaf]
+}
+
+// RadiusAt returns the cutoff radius for a ground position (0 outside the
+// world).
+func (m *Map) RadiusAt(p geom.Vec2) float64 {
+	if r := m.LeafAt(p); r != nil {
+		return r.Radius
+	}
+	return 0
+}
+
+// Validate checks the structural invariants of the partition: leaves tile
+// the world, radii are within bounds, and every leaf is reachable by
+// LeafAt from its own centre.
+func (m *Map) Validate() error {
+	var area float64
+	for i := range m.Regions {
+		r := &m.Regions[i]
+		area += r.Bounds.Area()
+		if r.Radius < m.Params.MinRadius-1e-9 || r.Radius > m.Params.MaxRadius+1e-9 {
+			return fmt.Errorf("cutoff: region %d radius %v out of bounds", r.ID, r.Radius)
+		}
+		if got := m.LeafAt(r.Bounds.Center()); got == nil || got.ID != r.ID {
+			return fmt.Errorf("cutoff: region %d not found at its own centre", r.ID)
+		}
+	}
+	if want := m.Scene.Bounds.Area(); math.Abs(area-want) > want*1e-9 {
+		return fmt.Errorf("cutoff: leaves cover %v of %v world area", area, want)
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+package cutoff
+
+import (
+	"testing"
+
+	"coterie/internal/games"
+	"coterie/internal/geom"
+)
+
+func BenchmarkComputeFPSWorld(b *testing.B) {
+	spec, err := games.ByName("fps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := games.Build(spec)
+	p := DefaultParams()
+	p.K = 10
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(g.Scene, rt(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeafAt(b *testing.B) {
+	m, err := Compute(twoZoneScene(), rt(), testParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	pts := make([]struct{ x, z float64 }, 64)
+	for i := range pts {
+		pts[i] = struct{ x, z float64 }{float64(i * 2 % 128), float64(i % 64)}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pts[i%len(pts)]
+		m.RadiusAt(geom.V2(p.x, p.z))
+	}
+}

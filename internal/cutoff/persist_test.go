@@ -1,0 +1,81 @@
+package cutoff
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"coterie/internal/geom"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	scene := twoZoneScene()
+	m, err := Compute(scene, rt(), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf, scene)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Regions) != len(m.Regions) {
+		t.Fatalf("regions %d != %d", len(loaded.Regions), len(m.Regions))
+	}
+	for i := range m.Regions {
+		a, b := m.Regions[i], loaded.Regions[i]
+		if a.Bounds != b.Bounds || a.Radius != b.Radius || a.DistThresh != b.DistThresh || a.Depth != b.Depth {
+			t.Fatalf("region %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+	// The reconstructed tree answers lookups identically.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		p := geom.V2(rng.Float64()*128, rng.Float64()*64)
+		la, lb := m.LeafAt(p), loaded.LeafAt(p)
+		if (la == nil) != (lb == nil) {
+			t.Fatalf("lookup presence differs at %v", p)
+		}
+		if la != nil && la.Bounds != lb.Bounds {
+			t.Fatalf("lookup differs at %v: %v vs %v", p, la.Bounds, lb.Bounds)
+		}
+	}
+	if loaded.Stats.LeafCount != m.Stats.LeafCount || loaded.Stats.DepthMax != m.Stats.DepthMax {
+		t.Fatalf("stats differ: %+v vs %+v", loaded.Stats, m.Stats)
+	}
+}
+
+func TestLoadRejectsWrongScene(t *testing.T) {
+	scene := twoZoneScene()
+	m, err := Compute(scene, rt(), testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := twoZoneScene()
+	other.Name = "different"
+	if _, err := Load(&buf, other); err == nil {
+		t.Fatal("map accepted for the wrong scene")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	scene := twoZoneScene()
+	if _, err := Load(strings.NewReader("not json"), scene); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader(`{"format":"something-else"}`), scene); err == nil {
+		t.Fatal("wrong format accepted")
+	}
+	// Valid format but missing regions: fails validation.
+	if _, err := Load(strings.NewReader(`{"format":"coterie-cutoff-map/1","scene":"twozone","params":{"K":5,"BudgetMs":12.7,"MinRadius":0.5,"MaxRadius":200},"regions":[]}`), scene); err == nil {
+		t.Fatal("empty region set accepted")
+	}
+}

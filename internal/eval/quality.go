@@ -1,0 +1,110 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+
+	"coterie/internal/codec"
+	"coterie/internal/core"
+	"coterie/internal/geom"
+	"coterie/internal/render"
+	"coterie/internal/ssim"
+	"coterie/internal/trace"
+)
+
+// visualQuality renders real frames through each system's pipeline and
+// scores them against a direct local render (the paper measures SSIM
+// against frames generated directly on the client, §7.1):
+//
+//   - Thin-client: the whole frame passes through the encoder/decoder.
+//   - Multi-Furion: the whole BE passes through the codec; only the small
+//     FI overlay is rendered locally, so its quality tracks Thin-client's.
+//   - Coterie: only the far BE passes through the codec, and the far frame
+//     may additionally be a *reused* similar frame rendered from a nearby
+//     viewpoint (sampled within the leaf's distance threshold); FI and
+//     near BE are locally rendered and lossless.
+//
+// Coterie scores highest because the codec (and reuse distortion) touches
+// the smallest part of the frame — the paper's explanation for Table 7.
+func visualQuality(env *core.Env, opts Options) (map[core.SystemKind]float64, error) {
+	r := render.New(env.Game.Scene, opts.renderConfig())
+	rng := rand.New(rand.NewSource(opts.Seed + 70))
+	samples := 8
+	if opts.Quick {
+		samples = 3
+	}
+	tr := trace.Generate(env.Game, 60, opts.Seed+71)
+
+	sums := map[core.SystemKind]float64{}
+	counts := 0
+	stride := tr.Len() / (samples + 1)
+	if stride < 1 {
+		stride = 1
+	}
+	for i := stride; i < tr.Len() && counts < samples; i += stride {
+		pos := tr.Pos[i]
+		leaf := env.Map.LeafAt(pos)
+		if leaf == nil {
+			continue
+		}
+		eye := env.Game.Scene.EyeAt(pos)
+		yaw := tr.YawAt(i)
+		truthPano := r.GroundTruth(eye, nil)
+		// The paper scores the display frames (the cropped field of view
+		// at the phone's resolution), not the panoramas.
+		truth, err := render.FoVCrop(truthPano, yaw, math.Pi/2, math.Pi/2)
+		if err != nil {
+			return nil, err
+		}
+
+		// Thin-client and Multi-Furion: the displayed content passes
+		// through the codec in full (Multi-Furion's locally rendered FI
+		// overlay is a negligible fraction of the frame).
+		decodedPano, err := codec.Decode(codec.Encode(truthPano, env.CRF))
+		if err != nil {
+			return nil, err
+		}
+		decoded, err := render.FoVCrop(decodedPano, yaw, math.Pi/2, math.Pi/2)
+		if err != nil {
+			return nil, err
+		}
+		sFull, err := ssim.Mean(truth, decoded)
+		if err != nil {
+			return nil, err
+		}
+
+		// Coterie: near BE + FI locally rendered and lossless; far BE
+		// decoded from a similar cached frame rendered dAway from here.
+		dAway := rng.Float64() * leaf.DistThresh
+		src := geom.V2(pos.X+dAway, pos.Z)
+		far := r.Panorama(env.Game.Scene.EyeAt(src), leaf.Radius, math.Inf(1), nil)
+		farDec, err := codec.Decode(codec.Encode(far, env.CRF))
+		if err != nil {
+			return nil, err
+		}
+		near := r.NearFrame(eye, leaf.Radius, nil)
+		mergedPano := render.Merge(near, farDec)
+		merged, err := render.FoVCrop(mergedPano, yaw, math.Pi/2, math.Pi/2)
+		if err != nil {
+			return nil, err
+		}
+		sCoterie, err := ssim.Mean(truth, merged)
+		if err != nil {
+			return nil, err
+		}
+
+		sums[core.ThinClient] += sFull
+		sums[core.MultiFurion] += sFull
+		sums[core.Coterie] += sCoterie
+		counts++
+	}
+	if counts == 0 {
+		return nil, errors.New("eval: no usable quality samples")
+	}
+	out := map[core.SystemKind]float64{}
+	for k, v := range sums {
+		out[k] = v / float64(counts)
+	}
+	return out, nil
+}

@@ -1,0 +1,360 @@
+package eval
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"coterie/internal/geom"
+	"coterie/internal/render"
+	"coterie/internal/ssim"
+	"coterie/internal/trace"
+)
+
+// Fig1Row is one game's intra-player frame similarity before and after the
+// near/far decoupling (Fig 1a/1b): the fraction of adjacent BE frame pairs
+// with SSIM > 0.9.
+type Fig1Row struct {
+	Game    string
+	Outdoor bool
+	Whole   cdfSummary // before decoupling (whole BE)
+	Far     cdfSummary // after decoupling (far BE)
+}
+
+// Fig1 measures the similarity of adjacent BE frames along a
+// single-player trajectory for all nine games, before (whole BE) and after
+// (far BE at the leaf cutoff radius) decoupling. Paper result: before,
+// 0-20% of pairs exceed SSIM 0.9; after, 85-100% (outdoor) and 65-90%
+// (indoor).
+func (l *Lab) Fig1() ([]Fig1Row, error) {
+	pairs := 30
+	if l.Opts.Quick {
+		pairs = 8
+	}
+	var rows []Fig1Row
+	for _, name := range allGameNames() {
+		env, err := l.Env(name)
+		if err != nil {
+			return nil, err
+		}
+		r := render.New(env.Game.Scene, l.Opts.renderConfig())
+		tr := trace.Generate(env.Game, 120, l.Opts.Seed+int64(len(rows)))
+
+		step := l.Opts.adjacentStep(env.Game.Scene.Grid.Step)
+		var whole, far []float64
+		stride := tr.Len() / (pairs + 1)
+		if stride < 2 {
+			stride = 2
+		}
+		for i := stride; i+1 < tr.Len() && len(whole) < pairs; i += stride {
+			p1 := tr.Pos[i]
+			p2 := adjacentAlongPath(tr, i, step)
+			if p1.Dist(p2) < step*0.5 {
+				continue // player stationary; skip (no new frame needed)
+			}
+			e1, e2 := env.Game.Scene.EyeAt(p1), env.Game.Scene.EyeAt(p2)
+
+			w1 := r.Panorama(e1, 0, math.Inf(1), nil)
+			w2 := r.Panorama(e2, 0, math.Inf(1), nil)
+			if s, err := ssim.Mean(w1, w2); err == nil {
+				whole = append(whole, s)
+			}
+			rad := env.Map.RadiusAt(p1)
+			f1 := r.Panorama(e1, rad, math.Inf(1), nil)
+			f2 := r.Panorama(e2, rad, math.Inf(1), nil)
+			if s, err := ssim.Mean(f1, f2); err == nil {
+				far = append(far, s)
+			}
+		}
+		rows = append(rows, Fig1Row{
+			Game:    name,
+			Outdoor: env.Game.Spec.Outdoor,
+			Whole:   summarize(whole, ssim.GoodThreshold),
+			Far:     summarize(far, ssim.GoodThreshold),
+		})
+	}
+	return rows, nil
+}
+
+// adjacentAlongPath returns the position one (resolution-equivalent) grid
+// step further along the trajectory ("each BE frame and its next adjacent
+// frame in the trajectory", §4.1).
+func adjacentAlongPath(tr *trace.Trace, i int, step float64) geom.Vec2 {
+	start := tr.Pos[i]
+	for j := i + 1; j < tr.Len() && j < i+trace.TickHz*20; j++ {
+		if tr.Pos[j].Dist(start) >= step {
+			return tr.Pos[j]
+		}
+	}
+	return tr.Pos[min(i+1, tr.Len()-1)]
+}
+
+// PrintFig1 renders the rows as text.
+func PrintFig1(w io.Writer, rows []Fig1Row) {
+	fprintf(w, "Figure 1: adjacent BE frame similarity (fraction of pairs with SSIM > 0.9)\n")
+	fprintf(w, "%-10s %-8s %-22s %-22s\n", "game", "type", "before (whole BE)", "after (far BE)")
+	for _, r := range rows {
+		kind := "indoor"
+		if r.Outdoor {
+			kind = "outdoor"
+		}
+		fprintf(w, "%-10s %-8s %6.1f%% (median %.3f)  %6.1f%% (median %.3f)\n",
+			r.Game, kind, r.Whole.FracAbove*100, r.Whole.P50, r.Far.FracAbove*100, r.Far.P50)
+	}
+	fprintf(w, "paper: before 0-20%% for all 9 games; after 85-100%% outdoor, 65-90%% indoor\n")
+}
+
+// Fig2Row is one game's best-case inter-player similarity (Fig 2a/2b).
+type Fig2Row struct {
+	Game    string
+	Outdoor bool
+	Whole   cdfSummary
+	Far     cdfSummary
+}
+
+// Fig2 measures best-case similarity between two players' BE frames: for
+// sampled frames of player 1, find player 2's most similar frame. The
+// paper searches all of player 2's frames; we search the best candidates
+// by viewpoint distance (the SSIM-optimal frame is the nearest viewpoint
+// up to rendering noise), which preserves the best-case semantics at
+// tractable cost. Paper result: before decoupling ~0% of frames exceed
+// SSIM 0.9; after, 55-100% for outdoor games, 2-33% indoor.
+func (l *Lab) Fig2() ([]Fig2Row, error) {
+	samples := 20
+	candidates := 3
+	if l.Opts.Quick {
+		samples = 6
+	}
+	var rows []Fig2Row
+	for _, name := range allGameNames() {
+		env, err := l.Env(name)
+		if err != nil {
+			return nil, err
+		}
+		r := render.New(env.Game.Scene, l.Opts.renderConfig())
+		party := trace.GenerateParty(env.Game, 2, 120, l.Opts.Seed+77)
+		t1, t2 := party[0], party[1]
+
+		var whole, far []float64
+		stride := t1.Len() / (samples + 1)
+		if stride < 1 {
+			stride = 1
+		}
+		for i := stride; i < t1.Len() && len(whole) < samples; i += stride {
+			p1 := t1.Pos[i]
+			// Closest viewpoints of player 2 (candidate best-case frames).
+			best := nearestK(t2, p1, candidates)
+			e1 := env.Game.Scene.EyeAt(p1)
+			w1 := r.Panorama(e1, 0, math.Inf(1), nil)
+			rad := env.Map.RadiusAt(p1)
+			f1 := r.Panorama(e1, rad, math.Inf(1), nil)
+
+			bw, bf := 0.0, 0.0
+			for _, p2 := range best {
+				e2 := env.Game.Scene.EyeAt(p2)
+				w2 := r.Panorama(e2, 0, math.Inf(1), nil)
+				if s, err := ssim.Mean(w1, w2); err == nil && s > bw {
+					bw = s
+				}
+				f2 := r.Panorama(e2, rad, math.Inf(1), nil)
+				if s, err := ssim.Mean(f1, f2); err == nil && s > bf {
+					bf = s
+				}
+			}
+			whole = append(whole, bw)
+			far = append(far, bf)
+		}
+		rows = append(rows, Fig2Row{
+			Game:    name,
+			Outdoor: env.Game.Spec.Outdoor,
+			Whole:   summarize(whole, ssim.GoodThreshold),
+			Far:     summarize(far, ssim.GoodThreshold),
+		})
+	}
+	return rows, nil
+}
+
+// nearestK finds the k positions in tr closest to p (coarsely strided for
+// speed, then refined).
+func nearestK(tr *trace.Trace, p geom.Vec2, k int) []geom.Vec2 {
+	type cand struct {
+		d   float64
+		pos geom.Vec2
+	}
+	best := make([]cand, 0, k+1)
+	for i := 0; i < tr.Len(); i += 5 {
+		d := tr.Pos[i].Dist(p)
+		if len(best) < k || d < best[len(best)-1].d {
+			best = append(best, cand{d, tr.Pos[i]})
+			for j := len(best) - 1; j > 0 && best[j].d < best[j-1].d; j-- {
+				best[j], best[j-1] = best[j-1], best[j]
+			}
+			if len(best) > k {
+				best = best[:k]
+			}
+		}
+	}
+	out := make([]geom.Vec2, len(best))
+	for i, c := range best {
+		out[i] = c.pos
+	}
+	return out
+}
+
+// PrintFig2 renders the rows as text.
+func PrintFig2(w io.Writer, rows []Fig2Row) {
+	fprintf(w, "Figure 2: best-case inter-player similarity (fraction with SSIM > 0.9)\n")
+	fprintf(w, "%-10s %-8s %-22s %-22s\n", "game", "type", "before (whole BE)", "after (far BE)")
+	for _, r := range rows {
+		kind := "indoor"
+		if r.Outdoor {
+			kind = "outdoor"
+		}
+		fprintf(w, "%-10s %-8s %6.1f%% (median %.3f)  %6.1f%% (median %.3f)\n",
+			r.Game, kind, r.Whole.FracAbove*100, r.Whole.P50, r.Far.FracAbove*100, r.Far.P50)
+	}
+	fprintf(w, "paper: before ~0%%; after 55-100%% outdoor, 2-33%% indoor\n")
+}
+
+// Fig3Result is the worked near-object example of Fig 3.
+type Fig3Result struct {
+	WholeSSIM float64 // low: near objects dominate the change
+	FarSSIM   float64 // high after removing near objects
+	Cutoff    float64
+	Dist      float64 // viewpoint displacement in metres
+}
+
+// Fig3 reproduces the paper's worked example (SSIM 0.67 -> 0.96 on a
+// Viking Village viewpoint pair): two nearby viewpoints whose whole-BE
+// frames differ strongly until the near objects are removed.
+func (l *Lab) Fig3() (*Fig3Result, error) {
+	env, err := l.Env("viking")
+	if err != nil {
+		return nil, err
+	}
+	r := render.New(env.Game.Scene, l.Opts.renderConfig())
+	rng := rand.New(rand.NewSource(l.Opts.Seed + 3))
+	q := env.Game.Scene.NewQuery()
+
+	trials := 40
+	if l.Opts.Quick {
+		trials = 12
+	}
+	var best *Fig3Result
+	bestGap := math.Inf(-1)
+	b := env.Game.Scene.Bounds
+	for trial := 0; trial < trials; trial++ {
+		p1 := geom.V2(b.MinX+rng.Float64()*b.Width(), b.MinZ+rng.Float64()*b.Depth())
+		// Require near objects for the effect.
+		if n := env.Game.Scene.ObjectsWithin(q, nil, p1, 5); len(n) == 0 {
+			continue
+		}
+		p2 := geom.V2(p1.X+l.Opts.adjacentStep(env.Game.Scene.Grid.Step), p1.Z)
+		e1, e2 := env.Game.Scene.EyeAt(p1), env.Game.Scene.EyeAt(p2)
+		w1 := r.Panorama(e1, 0, math.Inf(1), nil)
+		w2 := r.Panorama(e2, 0, math.Inf(1), nil)
+		sw, err := ssim.Mean(w1, w2)
+		if err != nil {
+			continue
+		}
+		cutoff := env.Map.RadiusAt(p1)
+		if cutoff <= 0 {
+			continue
+		}
+		f1 := r.Panorama(e1, cutoff, math.Inf(1), nil)
+		f2 := r.Panorama(e2, cutoff, math.Inf(1), nil)
+		sf, err := ssim.Mean(f1, f2)
+		if err != nil {
+			continue
+		}
+		// Pick the pair that best exhibits the effect: a large jump in
+		// similarity once near objects are removed.
+		if gap := sf - sw; gap > bestGap {
+			bestGap = gap
+			best = &Fig3Result{WholeSSIM: sw, FarSSIM: sf, Cutoff: cutoff, Dist: p1.Dist(p2)}
+		}
+		if best != nil && best.WholeSSIM < 0.8 && best.FarSSIM > ssim.GoodThreshold {
+			break
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("eval: no near-object example found")
+	}
+	return best, nil
+}
+
+// PrintFig3 renders the result.
+func PrintFig3(w io.Writer, r *Fig3Result) {
+	fprintf(w, "Figure 3: near-object effect on a Viking Village viewpoint pair (%.2f m apart)\n", r.Dist)
+	fprintf(w, "whole-BE SSIM %.3f -> far-BE SSIM %.3f (cutoff %.1f m)\n", r.WholeSSIM, r.FarSSIM, r.Cutoff)
+	fprintf(w, "paper: 0.67 -> 0.96 after removing objects near the viewpoints\n")
+}
+
+// Fig5Point is one (radius, SSIM) sample for one location.
+type Fig5Point struct {
+	Radius float64
+	SSIM   [4]float64 // one per sampled location
+}
+
+// Fig5 sweeps the cutoff radius at four random Viking Village locations
+// and reports adjacent far-BE SSIM. Paper: SSIM rises quickly and
+// monotonically from 0.63-0.83 at radius 0 to above 0.9 by ~4 m.
+func (l *Lab) Fig5() ([]Fig5Point, error) {
+	env, err := l.Env("viking")
+	if err != nil {
+		return nil, err
+	}
+	r := render.New(env.Game.Scene, l.Opts.renderConfig())
+	rng := rand.New(rand.NewSource(l.Opts.Seed + 5))
+	q := env.Game.Scene.NewQuery()
+
+	// Four random locations with nearby geometry.
+	b := env.Game.Scene.Bounds
+	var locs [4]geom.Vec2
+	for i := 0; i < 4; {
+		p := geom.V2(b.MinX+rng.Float64()*b.Width(), b.MinZ+rng.Float64()*b.Depth())
+		if n := env.Game.Scene.ObjectsWithin(q, nil, p, 5); len(n) > 0 {
+			locs[i] = p
+			i++
+		}
+	}
+	radii := []float64{0, 1, 2, 4, 8, 14, 22}
+	if l.Opts.Quick {
+		radii = []float64{0, 2, 8, 18}
+	}
+	var points []Fig5Point
+	step := l.Opts.adjacentStep(env.Game.Scene.Grid.Step)
+	for _, rad := range radii {
+		pt := Fig5Point{Radius: rad}
+		for i, p1 := range locs {
+			p2 := geom.V2(p1.X+step, p1.Z)
+			f1 := r.Panorama(env.Game.Scene.EyeAt(p1), rad, math.Inf(1), nil)
+			f2 := r.Panorama(env.Game.Scene.EyeAt(p2), rad, math.Inf(1), nil)
+			s, err := ssim.Mean(f1, f2)
+			if err != nil {
+				return nil, err
+			}
+			pt.SSIM[i] = s
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// PrintFig5 renders the sweep.
+func PrintFig5(w io.Writer, pts []Fig5Point) {
+	fprintf(w, "Figure 5: adjacent far-BE SSIM vs cutoff radius (4 Viking locations)\n")
+	fprintf(w, "%-8s %8s %8s %8s %8s\n", "radius", "loc1", "loc2", "loc3", "loc4")
+	for _, p := range pts {
+		fprintf(w, "%-8.1f %8.3f %8.3f %8.3f %8.3f\n", p.Radius, p.SSIM[0], p.SSIM[1], p.SSIM[2], p.SSIM[3])
+	}
+	fprintf(w, "paper: 0.63-0.83 at radius 0, above 0.9 by ~4 m, monotone\n")
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,124 @@
+package fisync
+
+import (
+	"testing"
+	"testing/quick"
+
+	"coterie/internal/geom"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(player, anim uint8, seq uint32, x, z, h float64) bool {
+		s := State{Player: player, Anim: anim, Seq: seq, Pos: geom.V2(x, z), Heading: h}
+		buf := s.Encode(nil)
+		if len(buf) != WireSize {
+			return false
+		}
+		got, rest, err := DecodeState(buf)
+		return err == nil && len(rest) == 0 && got == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeShort(t *testing.T) {
+	if _, _, err := DecodeState(make([]byte, WireSize-1)); err != ErrShort {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDecodeStream(t *testing.T) {
+	var buf []byte
+	for i := 0; i < 3; i++ {
+		buf = State{Player: uint8(i), Seq: uint32(i)}.Encode(buf)
+	}
+	for i := 0; i < 3; i++ {
+		var s State
+		var err error
+		s, buf, err = DecodeState(buf)
+		if err != nil || s.Player != uint8(i) {
+			t.Fatalf("stream decode %d: %v %v", i, s, err)
+		}
+	}
+	if len(buf) != 0 {
+		t.Fatal("leftover bytes")
+	}
+}
+
+func TestHubUpdateAndSnapshot(t *testing.T) {
+	h := NewHub()
+	h.Update(State{Player: 0, Seq: 1, Pos: geom.V2(1, 1)})
+	h.Update(State{Player: 1, Seq: 1, Pos: geom.V2(2, 2)})
+	h.Update(State{Player: 2, Seq: 1, Pos: geom.V2(3, 3)})
+	snap := h.Snapshot(1)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	for _, s := range snap {
+		if s.Player == 1 {
+			t.Fatal("snapshot contains the requester")
+		}
+	}
+	if snap[0].Player != 0 || snap[1].Player != 2 {
+		t.Fatalf("snapshot order: %v", snap)
+	}
+	if h.Players() != 3 {
+		t.Fatalf("players = %d", h.Players())
+	}
+}
+
+func TestHubDropsStaleSeq(t *testing.T) {
+	h := NewHub()
+	h.Update(State{Player: 0, Seq: 10, Anim: 1})
+	h.Update(State{Player: 0, Seq: 9, Anim: 2}) // late datagram
+	snap := h.Snapshot(9)
+	if snap[0].Anim != 1 {
+		t.Fatal("stale update overwrote newer state")
+	}
+	// Wraparound: 2 is newer than 0xFFFFFFFF.
+	h = NewHub()
+	h.Update(State{Player: 0, Seq: 0xFFFFFFFF, Anim: 3})
+	h.Update(State{Player: 0, Seq: 2, Anim: 4})
+	snap = h.Snapshot(9)
+	if snap[0].Anim != 4 {
+		t.Fatal("wraparound sequence rejected")
+	}
+}
+
+func TestTickBytesMatchesTable9Scaling(t *testing.T) {
+	// Table 9: FI bandwidth is ~1 Kbps at 1 player and 260-275 Kbps at 4.
+	// At 60 Hz the per-tick byte budget implies those rates.
+	kbps := func(n int) float64 { return float64(TickBytes(n)*60*8) / 1000 }
+	if k := kbps(1); k > 25 {
+		t.Fatalf("1P FI bandwidth %.1f Kbps, want tiny", k)
+	}
+	k4 := kbps(4)
+	if k4 < 150 || k4 > 450 {
+		t.Fatalf("4P FI bandwidth %.1f Kbps, want ~270", k4)
+	}
+	// Superlinear growth in n (each of n clients downloads n-1 states).
+	if !(kbps(2) < kbps(3) && kbps(3) < k4) {
+		t.Fatal("FI bandwidth should grow with players")
+	}
+	if TickBytes(0) != 0 {
+		t.Fatal("no players, no traffic")
+	}
+}
+
+func TestHubTrafficCounters(t *testing.T) {
+	h := NewHub()
+	h.Update(State{Player: 0, Seq: 1})
+	if h.UploadBytes != WireSize+headerSize {
+		t.Fatalf("upload bytes %d", h.UploadBytes)
+	}
+	h.Snapshot(0) // no other players: heartbeat
+	if h.DownloadBytes != 2 {
+		t.Fatalf("heartbeat bytes %d", h.DownloadBytes)
+	}
+	h.Update(State{Player: 1, Seq: 1})
+	h.Snapshot(0)
+	if h.DownloadBytes != 2+WireSize+headerSize {
+		t.Fatalf("download bytes %d", h.DownloadBytes)
+	}
+}

@@ -1,0 +1,315 @@
+package games
+
+import (
+	"math"
+
+	"coterie/internal/geom"
+	"coterie/internal/world"
+)
+
+// Density levels are chosen against the Pixel 2 near-BE budget of ~660k
+// triangles: cutoff radius r = sqrt(660_000 / (pi * density)). See the
+// package comment and DESIGN.md for the per-game targets.
+
+func buildViking(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(40, 65)
+	sc.clear(spawn, 3)
+
+	// Village core: ~96x64 m of house blocks whose density jumps block to
+	// block (8 m blocks). This is the high-variance layout that gives
+	// Viking its deep quadtree and 2-28 m cutoff spread (Table 3, Fig 8).
+	core := geom.Rect{MinX: 55, MinZ: 35, MaxX: 151, MaxZ: 99}
+	blocks := newNoise(spec.Seed+1, 8)
+	outsk := newNoise(spec.Seed+2, 9)
+	density := func(x, z float64) float64 {
+		if core.Contains(geom.V2(x, z)) {
+			b := blocks.Blocky(x, z)
+			return 400 + b*b*b*32_000
+		}
+		// Outskirts: sparse but still block-varying (150-600 tris/m^2).
+		return 150 + outsk.Blocky(x, z)*450
+	}
+	sc.fill(bounds, 4, density)
+	return finish(spec, sc, bounds, spawn, nil, 40)
+}
+
+func buildCTS(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(256, 256)
+	sc.clear(spawn, 3)
+
+	// Procedural terrain: vegetation density varies smoothly at ~128 m
+	// wavelength (uniform inside 32 m leaf regions, non-uniform above:
+	// Table 3's depth-4 quadtree with 235 leaves).
+	veg := newNoise(spec.Seed+1, 128)
+	density := func(x, z float64) float64 {
+		n := veg.At(x, z)
+		return 90 + n*n*820 // 90..910 tris/m^2
+	}
+	sc.fill(bounds, 12, density)
+	return finish(spec, sc, bounds, spawn, nil, 30)
+}
+
+func buildRacingMt(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+
+	// Closed mountain circuit: a noisy ring around the world centre.
+	track := ringTrack(spec.Seed, bounds, 0.38, 96)
+	sc.clearPolyline(track, 9)
+	spawn := track[0]
+
+	// Trackside forest: a few large smooth-edged patches near the track;
+	// sparse scrub elsewhere. Cutoffs spread 10-180 m (Fig 7's "evenly
+	// spread" tail for Racing Mountain). Patches vary smoothly at ~300 m
+	// wavelength — the paper observes density "changes gradually" (§4.3).
+	forest := newNoise(spec.Seed+1, 300)
+	fine := newNoise(spec.Seed+2, 90)
+	density := func(x, z float64) float64 {
+		p := geom.V2(x, z)
+		d := distToPolyline(p, track)
+		// Sparse mountainside: occasional rock clusters, otherwise bare
+		// terrain (very few assets away from the forest, like the Unity
+		// stage; keeps near-BE object sets stable in sparse regions).
+		base := 0.0
+		if fine.At(x, z) > 0.82 {
+			base = 45
+		}
+		if d > 12 && d < 90 {
+			if f := forest.At(x, z); f > 0.62 {
+				// Ramp in smoothly: up to ~1750 tris/m^2 -> r ~ 11 m.
+				edge := math.Min((f-0.62)/0.15, 1)
+				return base + edge*(350+(f-0.62)*3400)
+			}
+		}
+		return base
+	}
+	sc.fill(bounds, 18, density)
+	return finish(spec, sc, bounds, spawn, track, 10)
+}
+
+func buildDS(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+
+	// Point-to-point desert stage folded into an out-and-back loop.
+	track := stadiumTrack(bounds, 90)
+	sc.clearPolyline(track, 9)
+	spawn := track[0]
+
+	// Start/finish zones are packed with stadiums and crowds; the middle
+	// of the stage is nearly empty (Fig 7: half the radii 10-100 m). The
+	// zone density varies smoothly, fading out over ~60 m at the zone
+	// edge.
+	zone := newNoise(spec.Seed+1, 60)
+	density := func(x, z float64) float64 {
+		edgeDist := math.Min(x, spec.Width-x)
+		if edgeDist < 230 {
+			fade := 1.0
+			if edgeDist > 170 {
+				fade = (230 - edgeDist) / 60
+			}
+			return fade * (700 + zone.At(x, z)*1800) // up to 2500 -> r 9..17m
+		}
+		// Bare desert stage between the end zones: rare marker clusters.
+		if zone.At(x, z) > 0.85 {
+			return 40
+		}
+		return 0
+	}
+	sc.fill(bounds, 16, density)
+	return finish(spec, sc, bounds, spawn, track, 8)
+}
+
+func buildFPS(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(10, 10)
+	sc.clear(spawn, 2.5)
+
+	// Compact urban arena: dense cover everywhere, varying gradually at
+	// ~18 m wavelength (the paper observes density "changes gradually and
+	// tends to be uniform within a small region", §4.3).
+	blocks := newNoise(spec.Seed+1, 18)
+	density := func(x, z float64) float64 {
+		return 1800 + blocks.At(x, z)*3400 // r ~ 6.4-10.8 m
+	}
+	sc.fill(bounds, 4, density)
+	return finish(spec, sc, bounds, spawn, nil, 60)
+}
+
+func buildSoccer(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(52, 70)
+	sc.clear(spawn, 2.5)
+
+	// Empty pitch in the middle, stands and facilities around it.
+	pitch := geom.Rect{MinX: 22, MinZ: 25, MaxX: 82, MaxZ: 115}
+	sc.clearPolyline([]geom.Vec2{
+		{X: 30, Z: 40}, {X: 74, Z: 40}, {X: 74, Z: 100}, {X: 30, Z: 100},
+	}, 6)
+	stands := newNoise(spec.Seed+1, 25)
+	density := func(x, z float64) float64 {
+		p := geom.V2(x, z)
+		if pitch.Contains(p) {
+			// Gradual transition from open pitch to the stands (fences,
+			// benches, billboards).
+			d := math.Min(math.Min(p.X-pitch.MinX, pitch.MaxX-p.X),
+				math.Min(p.Z-pitch.MinZ, pitch.MaxZ-p.Z))
+			if d > 8 {
+				return 60
+			}
+			return 60 + (8-d)/8*2400
+		}
+		return 2500 + stands.At(x, z)*5500
+	}
+	sc.fill(bounds, 5, density)
+	return finish(spec, sc, bounds, spawn, nil, 80)
+}
+
+func buildPool(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	sc.smoothProps = true // indoor fittings are low-texture surfaces
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(2.2, 6.5)
+	sc.clear(spawn, 1.0)
+	indoorShell(sc, bounds, 3.2, 40_000)
+
+	// The pool table: the dominant dense asset in the middle of the room.
+	sc.box(geom.V3(5, 0.8, 6.5), geom.V3(1.4, 0.8, 2.6), 350_000, 0.35)
+	// Furniture along the walls.
+	furn := newNoise(spec.Seed+1, 2.2)
+	density := func(x, z float64) float64 {
+		d := geom.V2(x, z).Dist(geom.V2(5, 6.5))
+		if d < 3.2 {
+			return 0 // table zone handled explicitly
+		}
+		return 800 + furn.Blocky(x, z)*2600
+	}
+	sc.fill(bounds, 1.6, density)
+	return finish(spec, sc, bounds, spawn, nil, 200)
+}
+
+func buildBowling(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	sc.smoothProps = true // indoor fittings are low-texture surfaces
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(17, 8)
+	sc.clear(spawn, 1.5)
+	indoorShell(sc, bounds, 4.5, 60_000)
+
+	// Lanes fill one half of the hall, seating the other: two large
+	// uniform zones (the paper's depth-exactly-2 quadtree with 16 leaves).
+	lanes := newNoise(spec.Seed+1, 34)
+	density := func(x, z float64) float64 {
+		if z > 16 {
+			return 2600 + lanes.At(x, z)*700 // lane hall
+		}
+		return 1200 + lanes.At(x, z)*500 // seating
+	}
+	sc.fill(bounds, 4, density)
+	return finish(spec, sc, bounds, spawn, nil, 180)
+}
+
+func buildCorridor(spec Spec) *Game {
+	sc := newScatterer(spec.Seed)
+	sc.smoothProps = true // indoor fittings are low-texture surfaces
+	bounds := geom.NewRect(spec.Width, spec.Depth)
+	spawn := geom.V2(3, 15)
+	sc.clear(spawn, 1.5)
+	indoorShell(sc, bounds, 3.5, 50_000)
+
+	// A central corridor with clear floor and dense side rooms.
+	sc.clearPolyline([]geom.Vec2{{X: 3, Z: 15}, {X: 47, Z: 15}}, 2.2)
+	rooms := newNoise(spec.Seed+1, 6)
+	density := func(x, z float64) float64 {
+		if z > 12 && z < 18 {
+			return 900 // corridor props
+		}
+		return 1100 + rooms.Blocky(x, z)*3200
+	}
+	sc.fill(bounds, 3, density)
+	return finish(spec, sc, bounds, spawn, nil, 160)
+}
+
+// indoorShell adds four walls and a ceiling so that indoor worlds are
+// enclosed (no open sky to the sides). wallTris is the triangle count per
+// wall; the ceiling gets twice that.
+func indoorShell(sc *scatterer, b geom.Rect, height float64, wallTris int) {
+	t := 0.3 // wall thickness
+	w, d := b.Width(), b.Depth()
+	cx, cz := b.Center().X, b.Center().Z
+	sc.smoothBox(geom.V3(cx, height/2, b.MinZ-t/2), geom.V3(w/2+t, height/2, t/2), wallTris, 0.55)
+	sc.smoothBox(geom.V3(cx, height/2, b.MaxZ+t/2), geom.V3(w/2+t, height/2, t/2), wallTris, 0.55)
+	sc.smoothBox(geom.V3(b.MinX-t/2, height/2, cz), geom.V3(t/2, height/2, d/2+t), wallTris, 0.5)
+	sc.smoothBox(geom.V3(b.MaxX+t/2, height/2, cz), geom.V3(t/2, height/2, d/2+t), wallTris, 0.5)
+	sc.smoothBox(geom.V3(cx, height+t/2, cz), geom.V3(w/2+t, t/2, d/2+t), wallTris*2, 0.7)
+}
+
+// ringTrack builds a closed noisy loop centred in the world. radiusFrac is
+// the mean radius as a fraction of the smaller world dimension.
+func ringTrack(seed int64, b geom.Rect, radiusFrac float64, points int) []geom.Vec2 {
+	n := newNoise(seed+7, 1)
+	c := b.Center()
+	rBase := math.Min(b.Width(), b.Depth()) * radiusFrac
+	track := make([]geom.Vec2, points)
+	for i := 0; i < points; i++ {
+		a := 2 * math.Pi * float64(i) / float64(points)
+		// Radius wobble makes straights and hairpins.
+		wob := 0.75 + 0.25*math.Sin(3*a+n.At(float64(i), 0)*6)
+		r := rBase * wob
+		track[i] = geom.V2(c.X+r*math.Cos(a), c.Z+r*math.Sin(a)*0.9)
+	}
+	return track
+}
+
+// stadiumTrack builds an out-and-back loop along the long axis of an
+// elongated world (the DS stage).
+func stadiumTrack(b geom.Rect, points int) []geom.Vec2 {
+	track := make([]geom.Vec2, 0, points)
+	margin := 60.0
+	zUp := b.Center().Z + 25
+	zDown := b.Center().Z - 25
+	half := points / 2
+	for i := 0; i < half; i++ {
+		t := float64(i) / float64(half-1)
+		track = append(track, geom.V2(b.MinX+margin+t*(b.Width()-2*margin), zUp))
+	}
+	for i := 0; i < half; i++ {
+		t := float64(i) / float64(half-1)
+		track = append(track, geom.V2(b.MaxX-margin-t*(b.Width()-2*margin), zDown))
+	}
+	return track
+}
+
+func distToPolyline(p geom.Vec2, line []geom.Vec2) float64 {
+	best := math.Inf(1)
+	for i := range line {
+		a := line[i]
+		b := line[(i+1)%len(line)]
+		if d := distToSegment(p, a, b); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func distToSegment(p, a, b geom.Vec2) float64 {
+	ab := b.Sub(a)
+	l2 := ab.X*ab.X + ab.Z*ab.Z
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Z-a.Z)*ab.Z) / l2
+	t = geom.Clamp(t, 0, 1)
+	return p.Dist(geom.V2(a.X+ab.X*t, a.Z+ab.Z*t))
+}
+
+func finish(spec Spec, sc *scatterer, bounds geom.Rect, spawn geom.Vec2, track []geom.Vec2, groundTris float64) *Game {
+	scene := world.New(spec.FullName, bounds, spec.GridStep, sc.objs, groundTris)
+	return &Game{Spec: spec, Scene: scene, Track: track, Spawn: spawn}
+}

@@ -1,0 +1,143 @@
+package games
+
+import (
+	"math"
+	"testing"
+
+	"coterie/internal/geom"
+	"coterie/internal/world"
+)
+
+func TestNoiseDeterministicAndBounded(t *testing.T) {
+	n := newNoise(42, 10)
+	for x := -50.0; x < 50; x += 7.3 {
+		for z := -50.0; z < 50; z += 5.1 {
+			v := n.At(x, z)
+			if v < 0 || v > 1 {
+				t.Fatalf("At(%v,%v) = %v outside [0,1]", x, z, v)
+			}
+			if n.At(x, z) != v {
+				t.Fatal("noise not deterministic")
+			}
+			b := n.Blocky(x, z)
+			if b < 0 || b > 1 {
+				t.Fatalf("Blocky(%v,%v) = %v outside [0,1]", x, z, b)
+			}
+		}
+	}
+}
+
+func TestNoiseSmoothContinuity(t *testing.T) {
+	// Smooth noise must change slowly relative to its lattice scale.
+	n := newNoise(7, 20)
+	for x := 0.0; x < 100; x += 0.5 {
+		d := math.Abs(n.At(x+0.5, 10) - n.At(x, 10))
+		if d > 0.15 {
+			t.Fatalf("smooth noise jumped %v over 0.5 m at x=%v", d, x)
+		}
+	}
+}
+
+func TestBlockyConstantWithinCell(t *testing.T) {
+	n := newNoise(9, 8)
+	base := n.Blocky(1, 1)
+	for _, p := range [][2]float64{{0.1, 0.1}, {7.9, 7.9}, {3, 6}} {
+		if n.Blocky(p[0], p[1]) != base {
+			t.Fatalf("Blocky varies within one cell")
+		}
+	}
+	if n.Blocky(8.1, 1) == base && n.Blocky(1, 8.1) == base && n.Blocky(8.1, 8.1) == base {
+		t.Fatal("Blocky identical across all neighbouring cells (suspicious)")
+	}
+}
+
+func TestLODFactors(t *testing.T) {
+	for _, s := range Catalog() {
+		if s.LODFactor() < 1 {
+			t.Fatalf("%s: LOD factor %v < 1", s.Name, s.LODFactor())
+		}
+	}
+}
+
+func TestIndoorShellsAreSmooth(t *testing.T) {
+	for _, name := range []string{"pool", "bowling", "corridor"} {
+		g := Build(mustSpec(t, name))
+		smooth := 0
+		for _, o := range g.Scene.Objects {
+			if o.Smooth {
+				smooth++
+			}
+		}
+		if smooth < 5 {
+			t.Fatalf("%s: only %d smooth surfaces; walls and fittings should be plain", name, smooth)
+		}
+	}
+	// Outdoor props stay textured.
+	v := Build(mustSpec(t, "viking"))
+	for _, o := range v.Scene.Objects {
+		if o.Smooth {
+			t.Fatal("viking should have no smooth-flagged props")
+		}
+	}
+}
+
+func TestTracksAreClearOfObstacles(t *testing.T) {
+	for _, name := range []string{"racing", "ds"} {
+		g := Build(mustSpec(t, name))
+		q := g.Scene.NewQuery()
+		blockedPts := 0
+		for _, p := range g.Track {
+			ids := g.Scene.ObjectsWithin(q, nil, p, 1.0)
+			if len(ids) > 0 {
+				blockedPts++
+			}
+		}
+		if blockedPts > len(g.Track)/20 {
+			t.Fatalf("%s: %d/%d track points have objects on them", name, blockedPts, len(g.Track))
+		}
+	}
+}
+
+func TestRacingForestNearTrackOnly(t *testing.T) {
+	g := Build(mustSpec(t, "racing"))
+	q := g.Scene.NewQuery()
+	// Sample far from the track: density should be near zero.
+	far := geom.V2(g.Scene.Bounds.Center().X, g.Scene.Bounds.Center().Z)
+	if d := distToPolyline(far, g.Track); d > 150 {
+		tris := g.Scene.TrianglesWithin(q, far, 30)
+		terrain := int(math.Pi * 900 * g.Scene.GroundTris)
+		if tris > terrain*3 {
+			t.Fatalf("centre of the world too dense: %d tris (terrain %d)", tris, terrain)
+		}
+	}
+}
+
+func TestDistToSegment(t *testing.T) {
+	a, b := geom.V2(0, 0), geom.V2(10, 0)
+	if d := distToSegment(geom.V2(5, 3), a, b); math.Abs(d-3) > 1e-12 {
+		t.Fatalf("perpendicular distance = %v", d)
+	}
+	if d := distToSegment(geom.V2(-4, 3), a, b); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("endpoint distance = %v", d)
+	}
+	// Degenerate segment.
+	if d := distToSegment(geom.V2(3, 4), a, a); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("point-segment distance = %v", d)
+	}
+}
+
+func TestScattererKeepClear(t *testing.T) {
+	sc := newScatterer(1)
+	sc.clear(geom.V2(50, 50), 5)
+	sc.fill(geom.NewRect(100, 100), 4, func(x, z float64) float64 { return 5000 })
+	for _, o := range sc.objs {
+		p := geom.V2(o.Center.X, o.Center.Z)
+		r := o.Radius
+		if o.Kind == world.KindBox {
+			r = math.Max(o.Half.X, o.Half.Z)
+		}
+		if p.Dist(geom.V2(50, 50)) < 5-r {
+			t.Fatalf("object at %v violates the keep-clear zone", p)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package games
+
+import (
+	"math"
+)
+
+// valueNoise is deterministic lattice value noise used to modulate object
+// density across a game world. Viking Village's high-variance village
+// blocks, CTS's gently varying vegetation and Racing Mountain's sparse
+// hills all come from the same primitive at different scales and
+// amplitudes.
+type valueNoise struct {
+	seed  uint64
+	scale float64 // lattice spacing in metres
+}
+
+func newNoise(seed int64, scale float64) valueNoise {
+	return valueNoise{seed: uint64(seed) * 0x9E3779B97F4A7C15, scale: scale}
+}
+
+func (n valueNoise) lattice(i, j int64) float64 {
+	h := n.seed ^ uint64(i)*0xBF58476D1CE4E5B9 ^ uint64(j)*0x94D049BB133111EB
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 29
+	return float64(h%4096) / 4095 // [0,1]
+}
+
+// At returns smooth noise in [0,1] at the ground position (x, z).
+func (n valueNoise) At(x, z float64) float64 {
+	fx, fz := x/n.scale, z/n.scale
+	ix, iz := math.Floor(fx), math.Floor(fz)
+	tx, tz := fx-ix, fz-iz
+	// Smoothstep the interpolants.
+	tx = tx * tx * (3 - 2*tx)
+	tz = tz * tz * (3 - 2*tz)
+	i, j := int64(ix), int64(iz)
+	v00 := n.lattice(i, j)
+	v10 := n.lattice(i+1, j)
+	v01 := n.lattice(i, j+1)
+	v11 := n.lattice(i+1, j+1)
+	return (v00*(1-tx)+v10*tx)*(1-tz) + (v01*(1-tx)+v11*tx)*tz
+}
+
+// Blocky returns unsmoothed per-cell noise in [0,1]: constant within each
+// lattice cell with hard jumps between cells. Village-style worlds use it
+// so object density changes abruptly from block to block, which is what
+// drives the deep quadtrees of Table 3.
+func (n valueNoise) Blocky(x, z float64) float64 {
+	return n.lattice(int64(math.Floor(x/n.scale)), int64(math.Floor(z/n.scale)))
+}

@@ -1,0 +1,22 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"coterie/internal/geom"
+)
+
+// ExampleGrid discretises a virtual world the way the paper's Table 3
+// implies: Viking Village's 187x130 m world at 1/32 m spacing holds 24.9
+// million grid points.
+func ExampleGrid() {
+	grid := geom.NewGrid(geom.NewRect(187, 130), 1.0/32)
+	fmt.Printf("%.1fM grid points\n", float64(grid.Points())/1e6)
+
+	p := grid.Snap(geom.V2(40.01, 65.02))
+	fmt.Printf("player at %v, %d neighbours one hop away\n",
+		p, len(grid.Neighbors(nil, p, 1)))
+	// Output:
+	// 24.9M grid points
+	// player at (1280,2081), 8 neighbours one hop away
+}

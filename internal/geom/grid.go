@@ -1,0 +1,92 @@
+package geom
+
+import "fmt"
+
+// GridPoint identifies one of the finite grid points the virtual world is
+// discretised into (§2.2): the server pre-renders panoramic frames only for
+// grid points, and the frame cache is keyed by them.
+type GridPoint struct {
+	I, J int // column (X) and row (Z) index
+}
+
+// String implements fmt.Stringer.
+func (p GridPoint) String() string { return fmt.Sprintf("(%d,%d)", p.I, p.J) }
+
+// Grid converts between continuous ground-plane positions and grid points.
+// Step is the grid spacing in metres: the walking-scale games in the paper
+// use 1/32 m (Table 3 grid-point counts are exactly dimension/(1/32)^2) and
+// the driving games use ~0.4 m.
+type Grid struct {
+	Bounds Rect
+	Step   float64
+}
+
+// NewGrid creates a grid over bounds with the given spacing. Step must be
+// positive.
+func NewGrid(bounds Rect, step float64) Grid {
+	if step <= 0 {
+		panic("geom: grid step must be positive")
+	}
+	return Grid{Bounds: bounds, Step: step}
+}
+
+// Cols returns the number of grid columns.
+func (g Grid) Cols() int { return int(g.Bounds.Width()/g.Step) + 1 }
+
+// Rows returns the number of grid rows.
+func (g Grid) Rows() int { return int(g.Bounds.Depth()/g.Step) + 1 }
+
+// Points returns the total number of grid points in the world.
+func (g Grid) Points() int64 { return int64(g.Cols()) * int64(g.Rows()) }
+
+// Snap returns the grid point nearest to the ground-plane position p,
+// clamped into the world bounds.
+func (g Grid) Snap(p Vec2) GridPoint {
+	p = g.Bounds.ClampPoint(p)
+	i := int((p.X-g.Bounds.MinX)/g.Step + 0.5)
+	j := int((p.Z-g.Bounds.MinZ)/g.Step + 0.5)
+	if c := g.Cols() - 1; i > c {
+		i = c
+	}
+	if r := g.Rows() - 1; j > r {
+		j = r
+	}
+	return GridPoint{i, j}
+}
+
+// Pos returns the ground-plane position of grid point p.
+func (g Grid) Pos(p GridPoint) Vec2 {
+	return Vec2{
+		g.Bounds.MinX + float64(p.I)*g.Step,
+		g.Bounds.MinZ + float64(p.J)*g.Step,
+	}
+}
+
+// Dist returns the ground-plane distance between two grid points in metres.
+func (g Grid) Dist(a, b GridPoint) float64 {
+	return g.Pos(a).Dist(g.Pos(b))
+}
+
+// In reports whether the grid point indexes a valid location.
+func (g Grid) In(p GridPoint) bool {
+	return p.I >= 0 && p.J >= 0 && p.I < g.Cols() && p.J < g.Rows()
+}
+
+// Neighbors appends to dst the valid grid points within hop steps of p in
+// Chebyshev distance (the 8-connected neighbourhood for hop=1), excluding p
+// itself, and returns the extended slice. The prefetcher uses this to form
+// the neighbour set of the next grid point (§5.2).
+func (g Grid) Neighbors(dst []GridPoint, p GridPoint, hop int) []GridPoint {
+	for dj := -hop; dj <= hop; dj++ {
+		for di := -hop; di <= hop; di++ {
+			if di == 0 && dj == 0 {
+				continue
+			}
+			q := GridPoint{p.I + di, p.J + dj}
+			if g.In(q) {
+				dst = append(dst, q)
+			}
+		}
+	}
+	return dst
+}

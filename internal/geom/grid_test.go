@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridPaperPointCounts(t *testing.T) {
+	// Table 3 of the paper: grid point counts follow from the world
+	// dimension and a 1/32 m spacing for the walking-scale games.
+	cases := []struct {
+		name        string
+		w, d        float64
+		step        float64
+		wantM       float64 // millions, from Table 3
+		tolFraction float64
+	}{
+		{"VikingVillage", 187, 130, 1.0 / 32, 24.90, 0.01},
+		{"CTS", 512, 512, 1.0 / 32, 268.40, 0.01},
+		{"FPS", 71, 70, 1.0 / 32, 5.09, 0.03},
+		{"Soccer", 104, 140, 1.0 / 32, 14.90, 0.01},
+		{"Pool", 10, 13, 1.0 / 32, 0.13, 0.03},
+		{"Bowling", 34, 41, 1.0 / 32, 1.43, 0.03},
+		{"Corridor", 50, 30, 1.0 / 32, 1.54, 0.03},
+		{"RacingMt", 1090, 1096, 0.394, 7.70, 0.01},
+		{"DS", 1286, 361, 0.394, 3.00, 0.01},
+	}
+	for _, c := range cases {
+		g := NewGrid(NewRect(c.w, c.d), c.step)
+		gotM := float64(g.Points()) / 1e6
+		if math.Abs(gotM-c.wantM)/c.wantM > c.tolFraction {
+			t.Errorf("%s: %.2fM grid points, paper says %.2fM", c.name, gotM, c.wantM)
+		}
+	}
+}
+
+func TestGridSnapRoundTrip(t *testing.T) {
+	g := NewGrid(NewRect(100, 50), 0.25)
+	f := func(x, z float64) bool {
+		p := V2(mod(x, 100), mod(z, 50))
+		gp := g.Snap(p)
+		if !g.In(gp) {
+			return false
+		}
+		// Snapped position is within half a step of the input.
+		return g.Pos(gp).Dist(p) <= g.Step*math.Sqrt2/2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridSnapClampsOutside(t *testing.T) {
+	g := NewGrid(NewRect(10, 10), 1)
+	gp := g.Snap(V2(-100, 100))
+	if !g.In(gp) {
+		t.Fatalf("snap outside world returned invalid point %v", gp)
+	}
+	if gp != (GridPoint{0, 10}) {
+		t.Errorf("snap = %v, want (0,10)", gp)
+	}
+}
+
+func TestGridPosOfOrigin(t *testing.T) {
+	g := NewGrid(Rect{MinX: 5, MinZ: 7, MaxX: 15, MaxZ: 17}, 1)
+	if got := g.Pos(GridPoint{0, 0}); got != V2(5, 7) {
+		t.Errorf("Pos origin = %v", got)
+	}
+	if got := g.Pos(GridPoint{3, 2}); got != V2(8, 9) {
+		t.Errorf("Pos = %v", got)
+	}
+}
+
+func TestGridDist(t *testing.T) {
+	g := NewGrid(NewRect(10, 10), 0.5)
+	d := g.Dist(GridPoint{0, 0}, GridPoint{3, 4})
+	if !almostEq(d, 2.5) {
+		t.Errorf("Dist = %v, want 2.5", d)
+	}
+}
+
+func TestGridNeighbors(t *testing.T) {
+	g := NewGrid(NewRect(10, 10), 1)
+	n := g.Neighbors(nil, GridPoint{5, 5}, 1)
+	if len(n) != 8 {
+		t.Fatalf("interior neighbours = %d, want 8", len(n))
+	}
+	n = g.Neighbors(nil, GridPoint{0, 0}, 1)
+	if len(n) != 3 {
+		t.Fatalf("corner neighbours = %d, want 3", len(n))
+	}
+	for _, q := range n {
+		if !g.In(q) {
+			t.Errorf("invalid neighbour %v", q)
+		}
+		if q == (GridPoint{0, 0}) {
+			t.Error("neighbour set contains the point itself")
+		}
+	}
+	n = g.Neighbors(nil, GridPoint{5, 5}, 2)
+	if len(n) != 24 {
+		t.Fatalf("hop-2 neighbours = %d, want 24", len(n))
+	}
+}
+
+func TestNewGridPanicsOnBadStep(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive step")
+		}
+	}()
+	NewGrid(NewRect(1, 1), 0)
+}

@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVec3Basics(t *testing.T) {
+	a := V3(1, 2, 3)
+	b := V3(-4, 5, 0.5)
+	if got := a.Add(b); got != V3(-3, 7, 3.5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V3(5, -3, 2.5) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V3(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); !almostEq(got, -4+10+1.5) {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := V3(1, 0, 0).Cross(V3(0, 1, 0)); got != V3(0, 0, 1) {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V3(3, 4, 0).Len(); !almostEq(got, 5) {
+		t.Errorf("Len = %v", got)
+	}
+}
+
+func TestVec3NormUnitLength(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		v := V3(x, y, z)
+		if !isFinite(v) || v.Len() == 0 {
+			return true
+		}
+		n := v.Norm()
+		return math.Abs(n.Len()-1) < 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec3NormZero(t *testing.T) {
+	if got := (Vec3{}).Norm(); got != (Vec3{}) {
+		t.Errorf("Norm of zero = %v", got)
+	}
+}
+
+func TestDistXZIgnoresY(t *testing.T) {
+	a := V3(0, 100, 0)
+	b := V3(3, -7, 4)
+	if got := a.DistXZ(b); !almostEq(got, 5) {
+		t.Errorf("DistXZ = %v, want 5", got)
+	}
+}
+
+func TestLerpEndpoints(t *testing.T) {
+	a, b := V3(1, 2, 3), V3(-5, 0, 10)
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp 0 = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp 1 = %v", got)
+	}
+	mid := a.Lerp(b, 0.5)
+	if !almostEq(mid.X, -2) || !almostEq(mid.Y, 1) || !almostEq(mid.Z, 6.5) {
+		t.Errorf("Lerp 0.5 = %v", mid)
+	}
+}
+
+func TestDotCommutesAndCrossAnticommutes(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		if !isFinite(a) || !isFinite(b) {
+			return true
+		}
+		if a.Dot(b) != b.Dot(a) {
+			return false
+		}
+		c1, c2 := a.Cross(b), b.Cross(a).Scale(-1)
+		return c1 == c2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrossOrthogonal(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := V3(ax, ay, az), V3(bx, by, bz)
+		if !isFinite(a) || !isFinite(b) {
+			return true
+		}
+		c := a.Cross(b)
+		// Orthogonality within a tolerance that scales with magnitudes.
+		tol := 1e-9 * (1 + a.Len()*b.Len()*(a.Len()+b.Len()))
+		return math.Abs(c.Dot(a)) <= tol && math.Abs(c.Dot(b)) <= tol
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVec2(t *testing.T) {
+	a, b := V2(3, 4), V2(0, 0)
+	if !almostEq(a.Len(), 5) {
+		t.Errorf("Len = %v", a.Len())
+	}
+	if !almostEq(a.Dist(b), 5) {
+		t.Errorf("Dist = %v", a.Dist(b))
+	}
+	if got := a.Norm().Len(); !almostEq(got, 1) {
+		t.Errorf("Norm len = %v", got)
+	}
+	if got := b.Norm(); got != b {
+		t.Errorf("Norm zero = %v", got)
+	}
+	if got := a.XZ3(7); got != V3(3, 7, 4) {
+		t.Errorf("XZ3 = %v", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ x, lo, hi, want float64 }{
+		{-1, 0, 1, 0},
+		{2, 0, 1, 1},
+		{0.5, 0, 1, 0.5},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.x, c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func isFinite(v Vec3) bool {
+	ok := func(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 }
+	return ok(v.X) && ok(v.Y) && ok(v.Z)
+}

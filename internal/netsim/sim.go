@@ -1,0 +1,88 @@
+// Package netsim provides the discrete-event simulation kernel and the
+// shared-medium WiFi model standing in for the paper's 802.11ac testbed.
+//
+// The scaling experiments of §3 and §7.2 hinge on exactly one mechanism:
+// all players share one wireless medium, so N concurrent prefetch streams
+// each see roughly 1/N of the ~500 Mbps goodput, inflating per-frame
+// transfer latency linearly with N. The WiFi type models the medium as
+// processor sharing over the active transfers plus a fixed per-transfer
+// base latency — the same first-order behaviour as TCP flows through one
+// access point.
+package netsim
+
+import "container/heap"
+
+// Sim is a deterministic discrete-event scheduler. Time is in
+// milliseconds.
+type Sim struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+}
+
+// NewSim creates an empty simulation at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulation time in ms.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn to run at absolute time t (>= Now). Events at equal
+// times run in scheduling order.
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{t: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d ms from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Step runs the next event; it reports false when no events remain.
+func (s *Sim) Step() bool {
+	if s.events.Len() == 0 {
+		return false
+	}
+	e := heap.Pop(&s.events).(*event)
+	s.now = e.t
+	e.fn()
+	return true
+}
+
+// Run processes events until the queue empties or the next event is after
+// the until time (ms). The clock is left at min(until, last event time).
+func (s *Sim) Run(until float64) {
+	for s.events.Len() > 0 && s.events[0].t <= until {
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+type event struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,132 @@
+package prefetch
+
+import (
+	"testing"
+
+	"coterie/internal/geom"
+)
+
+func TestRequestCountsCacheStats(t *testing.T) {
+	p, src, c := newTestPrefetcher(3)
+	pt := geom.GridPoint{I: 100, J: 100}
+	p.Request(pt) // miss -> fetch
+	if c.Stats().Misses != 1 {
+		t.Fatalf("misses = %d", c.Stats().Misses)
+	}
+	src.completeAll()
+	p.Request(pt) // hit
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRequestTrackedReportsPrefetchTask(t *testing.T) {
+	p, src, _ := newTestPrefetcher(3)
+	pt := geom.GridPoint{I: 10, J: 10}
+	var notifiedAt float64 = -1
+	issued := p.RequestTracked(pt, func(_ int, at float64) { notifiedAt = at })
+	if !issued {
+		t.Fatal("cold request should report an in-flight prefetch task")
+	}
+	if notifiedAt >= 0 {
+		t.Fatal("notified before the transfer landed")
+	}
+	src.pending[0].done([]byte{1}, 500, 0, 7.5)
+	if notifiedAt != 7.5 {
+		t.Fatalf("notifiedAt = %v, want 7.5", notifiedAt)
+	}
+	// A second tracked request now hits the cache: no task this frame.
+	if p.RequestTracked(pt, func(int, float64) {}) {
+		t.Fatal("cached request should not report a prefetch task")
+	}
+}
+
+func TestRequestTrackedAttachesToInflight(t *testing.T) {
+	p, src, _ := newTestPrefetcher(3)
+	pt := geom.GridPoint{I: 10, J: 10}
+	p.Request(pt)
+	if len(src.pending) != 1 {
+		t.Fatalf("%d fetches", len(src.pending))
+	}
+	fired := 0
+	if !p.RequestTracked(pt, func(int, float64) { fired++ }) {
+		t.Fatal("in-flight request should report a task")
+	}
+	if len(src.pending) != 1 {
+		t.Fatal("duplicate fetch issued for the same point")
+	}
+	src.completeAll()
+	if fired != 1 {
+		t.Fatalf("waiter fired %d times", fired)
+	}
+}
+
+func TestEnsureHitNotifiesImmediately(t *testing.T) {
+	p, src, _ := newTestPrefetcher(3)
+	pt := geom.GridPoint{I: 5, J: 5}
+	p.Request(pt)
+	src.completeAll()
+	var at float64 = -1
+	p.Ensure(pt, 123, func(_ int, readyAt float64) { at = readyAt })
+	if at != 123 {
+		t.Fatalf("hit should notify with nowMs, got %v", at)
+	}
+	// Ensure must not have issued another fetch.
+	if len(src.pending) != 0 {
+		t.Fatal("ensure issued a fetch despite cache hit")
+	}
+}
+
+func TestEnsureMissIssuesEmergencyFetch(t *testing.T) {
+	p, src, c := newTestPrefetcher(3)
+	pt := geom.GridPoint{I: 50, J: 50}
+	var at float64 = -1
+	p.Ensure(pt, 0, func(_ int, readyAt float64) { at = readyAt })
+	if len(src.pending) != 1 {
+		t.Fatalf("%d fetches", len(src.pending))
+	}
+	src.pending[0].done(nil, 900, 0, 11)
+	src.pending = nil
+	if at != 11 {
+		t.Fatalf("waiter readyAt = %v", at)
+	}
+	// The emergency fetch does not touch the request-stream statistics.
+	if st := c.Stats(); st.Misses != 0 && st.Hits != 0 {
+		t.Fatalf("ensure polluted cache stats: %+v", st)
+	}
+}
+
+func TestEnsureAttachesToCoveringInflight(t *testing.T) {
+	p, src, _ := newTestPrefetcher(5)
+	p.Request(geom.GridPoint{I: 100, J: 100})
+	if len(src.pending) != 1 {
+		t.Fatalf("%d fetches", len(src.pending))
+	}
+	// A nearby point within the distance threshold waits on the same
+	// transfer rather than fetching again.
+	fired := false
+	p.Ensure(geom.GridPoint{I: 101, J: 100}, 0, func(int, float64) { fired = true })
+	if len(src.pending) != 1 {
+		t.Fatal("covering in-flight fetch not reused")
+	}
+	src.completeAll()
+	if !fired {
+		t.Fatal("waiter on covering fetch never fired")
+	}
+}
+
+func TestWaitersClearedAfterDelivery(t *testing.T) {
+	p, src, _ := newTestPrefetcher(3)
+	pt := geom.GridPoint{I: 7, J: 7}
+	count := 0
+	p.Ensure(pt, 0, func(int, float64) { count++ })
+	p.Ensure(pt, 0, func(int, float64) { count++ })
+	src.completeAll()
+	if count != 2 {
+		t.Fatalf("waiters fired %d times, want 2", count)
+	}
+	if len(p.waiters) != 0 {
+		t.Fatalf("%d waiter entries leaked", len(p.waiters))
+	}
+}

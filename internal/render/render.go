@@ -1,0 +1,353 @@
+// Package render is the software rendering engine substituting for Unity's
+// renderer. It ray-casts panoramic (equirectangular) frames of a
+// world.Scene using perspective projection — the projection that causes the
+// paper's "near-object" effect (§4.2): a small viewpoint displacement moves
+// near geometry across many pixels and far geometry across few.
+//
+// The near-BE / far-BE split (§4.3) is realised with a per-ray hit-distance
+// window: near BE accepts hits with t < cutoff, far BE accepts hits with
+// t >= cutoff. An object straddling the cutoff contributes pixels to both
+// halves, exactly as the paper permits.
+package render
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"coterie/internal/geom"
+	"coterie/internal/img"
+	"coterie/internal/world"
+)
+
+// Config controls panoramic frame generation.
+type Config struct {
+	// W, H are the panorama dimensions in pixels. Equirectangular: W
+	// covers 360 degrees of yaw, H covers 180 degrees of pitch. The paper
+	// prefetches 3840x2160 panoramas; experiments here default to 256x128,
+	// which preserves similarity structure at laptop-scale cost.
+	W, H int
+	// Parallel is the number of rendering goroutines; 0 means GOMAXPROCS.
+	Parallel int
+}
+
+// DefaultConfig is the resolution used by the experiment harness.
+func DefaultConfig() Config { return Config{W: 256, H: 128} }
+
+// Renderer renders frames of one scene. It is safe for concurrent use: all
+// per-call scratch state is allocated per worker.
+type Renderer struct {
+	Scene *world.Scene
+	Cfg   Config
+}
+
+// New creates a renderer for the scene.
+func New(s *world.Scene, cfg Config) *Renderer {
+	if cfg.W <= 0 || cfg.H <= 0 {
+		cfg = DefaultConfig()
+	}
+	return &Renderer{Scene: s, Cfg: cfg}
+}
+
+// Frame is a rendered panorama. Mask, when non-nil, flags the pixels that
+// received a hit inside the render's distance window; unmasked pixels are
+// transparent and get filled from the far-BE frame during merging.
+type Frame struct {
+	Gray *img.Gray
+	Mask []bool
+}
+
+// sunDir is the fixed directional light.
+var sunDir = geom.V3(0.4, 0.8, 0.45).Norm()
+
+// Panorama renders an opaque 360-degree frame with hits restricted to
+// [tMin, tMax); pixels without a hit in the window show the sky. dynamics
+// are foreground-interaction objects (avatars, cars) tested in addition to
+// the static scene; pass nil for pure BE frames.
+//
+// tMin=0, tMax=+Inf is a whole-BE frame (what Furion prefetches);
+// tMin=cutoff, tMax=+Inf is a far-BE frame (what Coterie prefetches).
+func (r *Renderer) Panorama(eye geom.Vec3, tMin, tMax float64, dynamics []world.Object) *img.Gray {
+	f := r.render(eye, tMin, tMax, dynamics, false)
+	return f.Gray
+}
+
+// NearFrame renders the near-BE frame: hits with t < cutoff, with a
+// transparency mask for merging. This is the part Coterie renders on the
+// mobile GPU together with FI.
+func (r *Renderer) NearFrame(eye geom.Vec3, cutoff float64, dynamics []world.Object) Frame {
+	return r.render(eye, 0, cutoff, dynamics, true)
+}
+
+// GroundTruth renders the reference frame used for visual-quality scoring:
+// the full scene plus dynamics, no clipping, no codec in the path.
+func (r *Renderer) GroundTruth(eye geom.Vec3, dynamics []world.Object) *img.Gray {
+	return r.Panorama(eye, 0, math.Inf(1), dynamics)
+}
+
+func (r *Renderer) render(eye geom.Vec3, tMin, tMax float64, dynamics []world.Object, masked bool) Frame {
+	w, h := r.Cfg.W, r.Cfg.H
+	out := img.NewGray(w, h)
+	var mask []bool
+	if masked {
+		mask = make([]bool, w*h)
+	}
+
+	workers := r.Cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > h {
+		workers = h
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// pixAngle is the angular width of one pixel; surface patterns are
+	// area-filtered against it (see shade).
+	pixAngle := 2 * math.Pi / float64(w)
+
+	var wg sync.WaitGroup
+	rowsPer := (h + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		y0 := wi * rowsPer
+		y1 := y0 + rowsPer
+		if y1 > h {
+			y1 = h
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			q := r.Scene.NewQuery()
+			for y := y0; y < y1; y++ {
+				pitch := math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(h)
+				cp, sp := math.Cos(pitch), math.Sin(pitch)
+				for x := 0; x < w; x++ {
+					yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+					dir := geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+					ray := geom.Ray{Origin: eye, Direction: dir}
+
+					hit, ok := r.Scene.Intersect(q, ray, tMin, tMax)
+					// Dynamics are few; test them brute force.
+					for di := range dynamics {
+						limit := tMax
+						if ok {
+							limit = hit.T
+						}
+						if t, dok := dynamics[di].IntersectFrom(ray, tMin); dok && t < limit {
+							hit = world.Hit{T: t, Object: &dynamics[di], Point: ray.At(t)}
+							ok = true
+						}
+					}
+
+					idx := y*w + x
+					if !ok {
+						out.Pix[idx] = skyShade(pitch)
+						continue
+					}
+					if mask != nil {
+						mask[idx] = true
+					}
+					out.Pix[idx] = shade(hit, dir, pixAngle)
+				}
+			}
+		}(y0, y1)
+	}
+	wg.Wait()
+	return Frame{Gray: out, Mask: mask}
+}
+
+// Merge composites a near-BE frame over a far-BE frame: masked (hit) pixels
+// come from near, the rest from far. This is the client-side frame merging
+// step (§5.1 task 5). The frames must be the same size.
+func Merge(near Frame, far *img.Gray) *img.Gray {
+	out := far.Clone()
+	if near.Gray == nil || near.Mask == nil {
+		return out
+	}
+	for i, m := range near.Mask {
+		if m {
+			out.Pix[i] = near.Gray.Pix[i]
+		}
+	}
+	return out
+}
+
+// skyShade is the skybox: a function of view direction only, so it is
+// identical from every viewpoint (infinitely far away).
+func skyShade(pitch float64) uint8 {
+	v := 168 + 50*math.Sin(math.Max(0, pitch))
+	return uint8(v)
+}
+
+// shade computes the luma of a surface hit: base albedo x procedural
+// pattern x Lambert lighting. Surface patterns are area-filtered by the
+// pixel footprint (a mip-map in closed form): a distant surface whose
+// texture period falls below the pixel size fades to its mean shade
+// instead of aliasing into per-pixel noise. This mirrors real renderers
+// and matters doubly here — far content must be smooth both for the codec
+// (far-BE frames compress to a fraction of whole-BE frames, §7) and for
+// SSIM (distant geometry looks nearly identical from nearby viewpoints).
+func shade(h world.Hit, viewDir geom.Vec3, pixAngle float64) uint8 {
+	if h.Object == nil {
+		// Ground plane: 2 m world-space checker, area-filtered.
+		const period = 2.0
+		cx := int(math.Floor(h.Point.X / period))
+		cz := int(math.Floor(h.Point.Z / period))
+		checker := 0.49
+		if (cx+cz)&1 == 0 {
+			checker = 0.58
+		}
+		// Projected pixel footprint on the ground stretches by the
+		// grazing angle.
+		grazing := math.Max(math.Abs(viewDir.Y), 0.05)
+		footprint := h.T * pixAngle / grazing
+		blend := filterBlend(period, footprint)
+		base := 0.53 + (checker-0.53)*blend
+		// Fine ground detail (grass/gravel): a 0.4 m pattern that only
+		// resolves near the viewer. This is what makes near BE content
+		// expensive to encode and far-BE frames much smaller (§4.3).
+		base += fineDetail(h.Point.X, h.Point.Z, 0.4, footprint)
+		return clampShade(base * 255)
+	}
+	o := h.Object
+	base := 0.30 + 0.55*o.Shade
+
+	// Procedural world-space surface pattern so that displacement of the
+	// viewpoint produces genuine pixel change on textured surfaces.
+	p := h.Point
+	freq := patternFreq(o)
+	s := math.Sin(p.X*freq+float64(o.Pattern)) * math.Sin(p.Y*freq*1.3+1.7) * math.Sin(p.Z*freq+0.9)
+	tex := 1.0
+	if s > 0 {
+		tex = 1.22
+	} else {
+		tex = 0.82
+	}
+	period := 2 * math.Pi / freq
+	blend := filterBlend(period, h.T*pixAngle)
+	if o.Smooth {
+		// Painted wall / ceiling: faint large-scale tone variation only.
+		tex = 1 + (tex-1)*blend*0.25
+	} else {
+		tex = 1 + (tex-1)*blend
+		// Fine surface detail (bark, brickwork) resolving only up close.
+		tex += fineDetail(p.X+p.Y, p.Z-p.Y, math.Max(period*0.12, 0.08), h.T*pixAngle) * 0.8
+	}
+
+	n := surfaceNormal(h)
+	lambert := 0.55 + 0.45*math.Max(0, n.Dot(sunDir))
+	return clampShade(base * tex * lambert * 255)
+}
+
+// fineDetail returns a +-0.09 noise texture with the given spatial period,
+// area-filtered by the pixel footprint so it vanishes at distance. The
+// noise is bilinearly interpolated between lattice values, like a
+// filtered texture sample: small viewpoint shifts change it smoothly,
+// which is what real game textures do.
+func fineDetail(u, v, period, footprint float64) float64 {
+	b := filterBlend(period, footprint)
+	if b <= 0 {
+		return 0
+	}
+	fu, fv := u/period, v/period
+	iu, iv := math.Floor(fu), math.Floor(fv)
+	tu, tv := fu-iu, fv-iv
+	i, j := int64(iu), int64(iv)
+	v00 := hashNoise(i, j)
+	v10 := hashNoise(i+1, j)
+	v01 := hashNoise(i, j+1)
+	v11 := hashNoise(i+1, j+1)
+	n := (v00*(1-tu)+v10*tu)*(1-tv) + (v01*(1-tu)+v11*tu)*tv
+	return (n - 0.5) * 0.18 * b
+}
+
+func hashNoise(i, j int64) float64 {
+	h := uint64(i)*0x9E3779B97F4A7C15 ^ uint64(j)*0xBF58476D1CE4E5B9
+	h ^= h >> 31
+	h *= 0xD6E8FEB86659FD93
+	h ^= h >> 29
+	return float64(h%1024) / 1023
+}
+
+// filterBlend returns the contrast retained by area-filtering a pattern of
+// the given spatial period with a pixel footprint: 1 when the pattern is
+// well resolved, falling to 0 as the footprint approaches the period
+// (Nyquist).
+func filterBlend(period, footprint float64) float64 {
+	if footprint <= 0 {
+		return 1
+	}
+	b := period / (3 * footprint)
+	return geom.Clamp(b, 0, 1)
+}
+
+// patternFreq scales the texture frequency to the object size so small
+// props and large buildings both show visible structure.
+func patternFreq(o *world.Object) float64 {
+	size := o.Radius
+	if o.Kind == world.KindBox {
+		size = (o.Half.X + o.Half.Y + o.Half.Z) / 3
+	}
+	if size < 0.2 {
+		size = 0.2
+	}
+	return 2 * math.Pi / (size * 0.8)
+}
+
+func surfaceNormal(h world.Hit) geom.Vec3 {
+	o := h.Object
+	switch o.Kind {
+	case world.KindSphere:
+		return h.Point.Sub(o.Center).Norm()
+	default:
+		// Box: pick the axis with the largest normalised offset.
+		d := h.Point.Sub(o.Center)
+		ax := math.Abs(d.X) / o.Half.X
+		ay := math.Abs(d.Y) / o.Half.Y
+		az := math.Abs(d.Z) / o.Half.Z
+		switch {
+		case ax >= ay && ax >= az:
+			return geom.V3(math.Copysign(1, d.X), 0, 0)
+		case ay >= az:
+			return geom.V3(0, math.Copysign(1, d.Y), 0)
+		default:
+			return geom.V3(0, 0, math.Copysign(1, d.Z))
+		}
+	}
+}
+
+func clampShade(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// FoVCrop crops a horizontal field-of-view window centred at the given yaw
+// (radians) out of an equirectangular panorama, the way the Coterie client
+// crops the display view from the prefetched panoramic frame at almost no
+// cost (§2.2). fovX and fovY are in radians.
+func FoVCrop(pano *img.Gray, yaw, fovX, fovY float64) (*img.Gray, error) {
+	w := int(float64(pano.W) * fovX / (2 * math.Pi))
+	h := int(float64(pano.H) * fovY / math.Pi)
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	if h > pano.H {
+		h = pano.H
+	}
+	cx := int((yaw + math.Pi) / (2 * math.Pi) * float64(pano.W))
+	y0 := (pano.H - h) / 2
+	return pano.CropWrapX(cx-w/2, y0, w, h)
+}

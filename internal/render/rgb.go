@@ -1,0 +1,150 @@
+package render
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"coterie/internal/geom"
+	"coterie/internal/img"
+	"coterie/internal/world"
+)
+
+// Colour rendering. The experiments run on luma frames (SSIM and the codec
+// operate on luminance); the RGB path exists for inspection — screenshots,
+// the examples' PPM output — and shares the luma path's geometry, shading
+// structure and distance-window semantics.
+
+// PanoramaRGB renders an opaque 360-degree colour frame with hits
+// restricted to [tMin, tMax); pixels without a hit show the sky.
+func (r *Renderer) PanoramaRGB(eye geom.Vec3, tMin, tMax float64, dynamics []world.Object) *img.RGB {
+	w, h := r.Cfg.W, r.Cfg.H
+	out := img.NewRGB(w, h)
+
+	workers := r.Cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > h {
+		workers = h
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pixAngle := 2 * math.Pi / float64(w)
+
+	var wg sync.WaitGroup
+	rowsPer := (h + workers - 1) / workers
+	for wi := 0; wi < workers; wi++ {
+		y0 := wi * rowsPer
+		y1 := y0 + rowsPer
+		if y1 > h {
+			y1 = h
+		}
+		if y0 >= y1 {
+			break
+		}
+		wg.Add(1)
+		go func(y0, y1 int) {
+			defer wg.Done()
+			q := r.Scene.NewQuery()
+			for y := y0; y < y1; y++ {
+				pitch := math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(h)
+				cp, sp := math.Cos(pitch), math.Sin(pitch)
+				for x := 0; x < w; x++ {
+					yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+					dir := geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+					ray := geom.Ray{Origin: eye, Direction: dir}
+
+					hit, ok := r.Scene.Intersect(q, ray, tMin, tMax)
+					for di := range dynamics {
+						limit := tMax
+						if ok {
+							limit = hit.T
+						}
+						if t, dok := dynamics[di].IntersectFrom(ray, tMin); dok && t < limit {
+							hit = world.Hit{T: t, Object: &dynamics[di], Point: ray.At(t)}
+							ok = true
+						}
+					}
+					if !ok {
+						sr, sg, sb := skyRGB(pitch)
+						out.Set(x, y, sr, sg, sb)
+						continue
+					}
+					cr, cg, cb := shadeRGB(hit, dir, pixAngle)
+					out.Set(x, y, cr, cg, cb)
+				}
+			}
+		}(y0, y1)
+	}
+	wg.Wait()
+	return out
+}
+
+// skyRGB is a blue-to-pale gradient with the same luminance as skyShade.
+func skyRGB(pitch float64) (uint8, uint8, uint8) {
+	t := math.Max(0, math.Sin(pitch)) // 0 at horizon, 1 at zenith
+	r := 200 - 90*t
+	g := 212 - 60*t
+	b := 235 - 10*t
+	return uint8(r), uint8(g), uint8(b)
+}
+
+// objectTint derives a stable base colour for an object from its identity.
+func objectTint(o *world.Object) (float64, float64, float64) {
+	if o.Smooth {
+		// Painted surfaces: neutral warm grey.
+		return 0.95, 0.93, 0.88
+	}
+	h := uint64(o.ID)*0x9E3779B97F4A7C15 + uint64(o.Pattern)
+	h ^= h >> 29
+	hue := float64(h%360) / 360
+	// Muted palette: mostly greens/browns for props, anything for builds.
+	r, g, b := hsvToRGB(hue, 0.35, 1.0)
+	return r, g, b
+}
+
+func hsvToRGB(h, s, v float64) (float64, float64, float64) {
+	i := math.Floor(h * 6)
+	f := h*6 - i
+	p := v * (1 - s)
+	q := v * (1 - f*s)
+	t := v * (1 - (1-f)*s)
+	switch int(i) % 6 {
+	case 0:
+		return v, t, p
+	case 1:
+		return q, v, p
+	case 2:
+		return p, v, t
+	case 3:
+		return p, q, v
+	case 4:
+		return t, p, v
+	default:
+		return v, p, q
+	}
+}
+
+// shadeRGB mirrors shade() with a colour tint: the luma structure (pattern,
+// fine detail, Lambert) modulates a per-object hue.
+func shadeRGB(h world.Hit, viewDir geom.Vec3, pixAngle float64) (uint8, uint8, uint8) {
+	luma := float64(shade(h, viewDir, pixAngle)) / 255
+	if h.Object == nil {
+		// Ground: green-brown grass.
+		return clamp8(luma * 0.72 * 255), clamp8(luma * 1.05 * 255), clamp8(luma * 0.55 * 255)
+	}
+	tr, tg, tb := objectTint(h.Object)
+	return clamp8(luma * tr * 255), clamp8(luma * tg * 255), clamp8(luma * tb * 255)
+}
+
+func clamp8(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}

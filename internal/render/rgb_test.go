@@ -1,0 +1,69 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"coterie/internal/geom"
+	"coterie/internal/world"
+)
+
+func TestPanoramaRGBDimensionsAndDeterminism(t *testing.T) {
+	s := denseScene(21, 120)
+	r := New(s, Config{W: 96, H: 48})
+	eye := s.EyeAt(s.Bounds.Center())
+	a := r.PanoramaRGB(eye, 0, math.Inf(1), nil)
+	if a.W != 96 || a.H != 48 {
+		t.Fatalf("dims %dx%d", a.W, a.H)
+	}
+	b := r.PanoramaRGB(eye, 0, math.Inf(1), nil)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("non-deterministic at byte %d", i)
+		}
+	}
+}
+
+func TestPanoramaRGBLumaMatchesGrayPath(t *testing.T) {
+	// The RGB render shares the luma structure: converting it to gray
+	// must strongly correlate with the direct gray render (not equal —
+	// tints shift channel weights).
+	s := denseScene(22, 150)
+	r := New(s, Config{W: 96, H: 48})
+	eye := s.EyeAt(s.Bounds.Center())
+	gray := r.Panorama(eye, 0, math.Inf(1), nil)
+	rgb := r.PanoramaRGB(eye, 0, math.Inf(1), nil).ToGray()
+	var sum, n float64
+	for i := range gray.Pix {
+		d := float64(gray.Pix[i]) - float64(rgb.Pix[i])
+		sum += d * d
+		n++
+	}
+	rmse := math.Sqrt(sum / n)
+	if rmse > 40 {
+		t.Fatalf("RGB luma diverges from gray path: RMSE %.1f", rmse)
+	}
+}
+
+func TestPanoramaRGBWindowAndSky(t *testing.T) {
+	s := world.New("empty", geom.NewRect(100, 100), 1, nil, 0)
+	r := New(s, Config{W: 64, H: 32})
+	eye := s.EyeAt(s.Bounds.Center())
+	m := r.PanoramaRGB(eye, 0, math.Inf(1), nil)
+	// Top row is sky: blue channel dominates.
+	cr, cg, cb := m.At(32, 0)
+	if !(cb > cr && cb >= cg) {
+		t.Fatalf("sky pixel not blue-ish: %d %d %d", cr, cg, cb)
+	}
+	// Bottom row is grass: green channel dominates.
+	cr, cg, cb = m.At(32, 31)
+	if !(cg > cr && cg > cb) {
+		t.Fatalf("ground pixel not green-ish: %d %d %d", cr, cg, cb)
+	}
+	// A far window over an empty world shows no ground near the feet.
+	far := r.PanoramaRGB(eye, 50, math.Inf(1), nil)
+	fr, fg, fb := far.At(32, 31)
+	if !(fb > fr && fb >= fg) {
+		t.Fatalf("far window below-feet pixel should be sky: %d %d %d", fr, fg, fb)
+	}
+}

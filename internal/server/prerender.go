@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"coterie/internal/geom"
+)
+
+// The paper's server pre-renders and pre-encodes panoramic far-BE frames
+// for all reachable grid points offline (§5.1). Rendering every point of a
+// 24M-point world is unnecessary here (frames are memoised on demand), but
+// warming a region ahead of a session removes first-request latency; this
+// file provides that warm-up with a bounded worker pool.
+
+// PrerenderStats summarises a warm-up pass.
+type PrerenderStats struct {
+	Points   int   // grid points covered
+	Rendered int   // newly rendered (others were already cached)
+	Bytes    int64 // total encoded size of newly rendered frames
+}
+
+// PrerenderRegion renders and encodes the far-BE frames for the grid
+// points inside the rectangle, sampling every strideSteps-th grid index in
+// each axis (stride 1 = every point). workers <= 0 selects GOMAXPROCS.
+func (s *Server) PrerenderRegion(region geom.Rect, strideSteps, workers int) (PrerenderStats, error) {
+	if strideSteps < 1 {
+		strideSteps = 1
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	grid := s.env.Game.Scene.Grid
+	lo := grid.Snap(geom.V2(region.MinX, region.MinZ))
+	hi := grid.Snap(geom.V2(region.MaxX, region.MaxZ))
+	if hi.I < lo.I || hi.J < lo.J {
+		return PrerenderStats{}, fmt.Errorf("server: empty prerender region %+v", region)
+	}
+
+	pts := make(chan geom.GridPoint, workers*2)
+	var rendered, points int64
+	var bytes int64
+	var firstErr error
+	var errOnce sync.Once
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for pt := range pts {
+				data, fresh, err := s.frameFor(pt)
+				if err != nil {
+					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				atomic.AddInt64(&points, 1)
+				if fresh {
+					atomic.AddInt64(&rendered, 1)
+					atomic.AddInt64(&bytes, int64(len(data)))
+				}
+			}
+		}()
+	}
+	for j := lo.J; j <= hi.J; j += strideSteps {
+		for i := lo.I; i <= hi.I; i += strideSteps {
+			pts <- geom.GridPoint{I: i, J: j}
+		}
+	}
+	close(pts)
+	wg.Wait()
+	return PrerenderStats{
+		Points:   int(points),
+		Rendered: int(rendered),
+		Bytes:    bytes,
+	}, firstErr
+}

@@ -1,0 +1,271 @@
+// Package server implements the Coterie frame server over real TCP: it
+// pre-renders and pre-encodes panoramic far-BE frames for grid points
+// (memoised on first request — the paper renders offline; lazy
+// memoisation computes the identical frames on demand) and synchronises
+// foreground interactions between connected clients (§5.1).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net"
+	"sync"
+
+	"coterie/internal/codec"
+	"coterie/internal/core"
+	"coterie/internal/fisync"
+	"coterie/internal/geom"
+	"coterie/internal/transport"
+)
+
+// Server serves far-BE frames and FI sync for one prepared game
+// environment. It is safe for concurrent connections.
+type Server struct {
+	env *core.Env
+
+	mu     sync.Mutex
+	frames map[geom.GridPoint][]byte
+	hub    *fisync.Hub
+
+	// Stats
+	served   int64
+	rendered int64
+}
+
+// New creates a server for the environment.
+func New(env *core.Env) *Server {
+	return &Server{
+		env:    env,
+		frames: make(map[geom.GridPoint][]byte),
+		hub:    fisync.NewHub(),
+	}
+}
+
+// FrameFor returns the encoded far-BE panorama for a grid point,
+// rendering and encoding it on first use.
+func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
+	data, _, err := s.frameFor(pt)
+	return data, err
+}
+
+// frameFor additionally reports whether this call rendered the frame.
+func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
+	if !s.env.Game.Scene.Grid.In(pt) {
+		return nil, false, fmt.Errorf("server: grid point %v outside world", pt)
+	}
+	s.mu.Lock()
+	if data, ok := s.frames[pt]; ok {
+		s.mu.Unlock()
+		return data, false, nil
+	}
+	s.mu.Unlock()
+
+	pos := s.env.Game.Scene.Grid.Pos(pt)
+	leaf := s.env.Map.LeafAt(pos)
+	if leaf == nil {
+		return nil, false, fmt.Errorf("server: no leaf region at %v", pos)
+	}
+	pano := s.env.Renderer.Panorama(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil)
+	data := codec.Encode(pano, s.env.CRF)
+
+	s.mu.Lock()
+	// A concurrent request may have rendered the same point; keep the
+	// first result so callers always share one buffer.
+	if prior, ok := s.frames[pt]; ok {
+		s.mu.Unlock()
+		return prior, false, nil
+	}
+	s.frames[pt] = data
+	s.rendered++
+	s.mu.Unlock()
+	return data, true, nil
+}
+
+// Stats returns (frames served, frames rendered).
+func (s *Server) Stats() (served, rendered int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.served, s.rendered
+}
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go func() {
+			if err := s.handle(conn); err != nil {
+				log.Printf("coterie-server: session ended: %v", err)
+			}
+		}()
+	}
+}
+
+// handle runs one client session.
+func (s *Server) handle(nc net.Conn) error {
+	defer nc.Close()
+	c := transport.NewConn(nc)
+
+	m, err := c.Recv()
+	if err != nil {
+		return err
+	}
+	if m.Type != transport.MsgHello {
+		return fmt.Errorf("server: expected hello, got %d", m.Type)
+	}
+	hello, err := transport.DecodeHello(m.Payload)
+	if err != nil {
+		return err
+	}
+	if hello.Game != s.env.Game.Spec.Name {
+		return c.Send(errMsg(fmt.Sprintf("server hosts %q, client wants %q", s.env.Game.Spec.Name, hello.Game)))
+	}
+	if err := c.Send(transport.Message{Type: transport.MsgHello, Payload: m.Payload}); err != nil {
+		return err
+	}
+
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return err
+		}
+		switch m.Type {
+		case transport.MsgFrameRequest:
+			req, err := transport.DecodeFrameRequest(m.Payload)
+			if err != nil {
+				return err
+			}
+			data, err := s.FrameFor(req.Point)
+			if err != nil {
+				if err := c.Send(errMsg(err.Error())); err != nil {
+					return err
+				}
+				continue
+			}
+			s.mu.Lock()
+			s.served++
+			s.mu.Unlock()
+			reply := transport.EncodeFrameReply(transport.FrameReply{Point: req.Point, Data: data})
+			if err := c.Send(transport.Message{Type: transport.MsgFrameReply, Payload: reply}); err != nil {
+				return err
+			}
+		case transport.MsgFISync:
+			st, _, err := fisync.DecodeState(m.Payload)
+			if err != nil {
+				return err
+			}
+			s.mu.Lock()
+			s.hub.Update(st)
+			others := s.hub.Snapshot(st.Player)
+			s.mu.Unlock()
+			var payload []byte
+			for _, o := range others {
+				payload = o.Encode(payload)
+			}
+			if err := c.Send(transport.Message{Type: transport.MsgFISync, Payload: payload}); err != nil {
+				return err
+			}
+		case transport.MsgBye:
+			return nil
+		default:
+			return fmt.Errorf("server: unexpected message %d", m.Type)
+		}
+	}
+}
+
+func errMsg(s string) transport.Message {
+	return transport.Message{Type: transport.MsgError, Payload: []byte(s)}
+}
+
+// Client is the synchronous client side of the protocol.
+type Client struct {
+	conn   *transport.Conn
+	closer func() error
+	Player uint8
+}
+
+// Dial connects and performs the hello exchange.
+func Dial(addr, game string, player uint8) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := transport.NewConn(nc)
+	hello := transport.EncodeHello(transport.Hello{Player: player, Game: game})
+	if err := c.Send(transport.Message{Type: transport.MsgHello, Payload: hello}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	m, err := c.Recv()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if m.Type == transport.MsgError {
+		nc.Close()
+		return nil, fmt.Errorf("server rejected session: %s", m.Payload)
+	}
+	if m.Type != transport.MsgHello {
+		nc.Close()
+		return nil, fmt.Errorf("unexpected hello reply %d", m.Type)
+	}
+	return &Client{conn: c, closer: nc.Close, Player: player}, nil
+}
+
+// Fetch requests one far-BE frame.
+func (c *Client) Fetch(pt geom.GridPoint) ([]byte, error) {
+	req := transport.EncodeFrameRequest(transport.FrameRequest{Player: c.Player, Point: pt})
+	if err := c.conn.Send(transport.Message{Type: transport.MsgFrameRequest, Payload: req}); err != nil {
+		return nil, err
+	}
+	m, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Type == transport.MsgError {
+		return nil, fmt.Errorf("server error: %s", m.Payload)
+	}
+	reply, err := transport.DecodeFrameReply(m.Payload)
+	if err != nil {
+		return nil, err
+	}
+	return reply.Data, nil
+}
+
+// SyncFI uploads this player's FI state and returns the other players'.
+func (c *Client) SyncFI(st fisync.State) ([]fisync.State, error) {
+	if err := c.conn.Send(transport.Message{Type: transport.MsgFISync, Payload: st.Encode(nil)}); err != nil {
+		return nil, err
+	}
+	m, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if m.Type != transport.MsgFISync {
+		return nil, fmt.Errorf("unexpected FI reply %d", m.Type)
+	}
+	var out []fisync.State
+	buf := m.Payload
+	for len(buf) > 0 {
+		var s fisync.State
+		s, buf, err = fisync.DecodeState(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	_ = c.conn.Send(transport.Message{Type: transport.MsgBye})
+	return c.closer()
+}

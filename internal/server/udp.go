@@ -1,0 +1,94 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"coterie/internal/fisync"
+)
+
+// The paper synchronises FI over UDP (PUN, §5.1 task 4) while frames go
+// over TCP. This file is the UDP datagram path: a client sends its State
+// each frame and the server answers with the other players' latest states
+// in a single datagram. Loss is tolerable — the next frame resends, and
+// the hub's sequence numbers drop reordered updates.
+
+// ServeFIUDP answers FI sync datagrams on the connection until it closes.
+func (s *Server) ServeFIUDP(pc net.PacketConn) error {
+	buf := make([]byte, 64*1024)
+	var out []byte
+	for {
+		n, addr, err := pc.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		st, _, err := fisync.DecodeState(buf[:n])
+		if err != nil {
+			continue // malformed datagram: drop, like any UDP service
+		}
+		s.mu.Lock()
+		s.hub.Update(st)
+		others := s.hub.Snapshot(st.Player)
+		s.mu.Unlock()
+		out = out[:0]
+		for _, o := range others {
+			out = o.Encode(out)
+		}
+		if _, err := pc.WriteTo(out, addr); err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// FIClient is the client side of the UDP FI sync.
+type FIClient struct {
+	conn net.Conn
+	buf  []byte
+}
+
+// DialFI connects the UDP FI sync endpoint.
+func DialFI(addr string) (*FIClient, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &FIClient{conn: conn, buf: make([]byte, 64*1024)}, nil
+}
+
+// Sync uploads the player's state and returns the other players' states.
+// A lost or late reply returns an error after the timeout; callers simply
+// sync again next frame.
+func (c *FIClient) Sync(st fisync.State, timeout time.Duration) ([]fisync.State, error) {
+	if _, err := c.conn.Write(st.Encode(nil)); err != nil {
+		return nil, err
+	}
+	if err := c.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	n, err := c.conn.Read(c.buf)
+	if err != nil {
+		return nil, fmt.Errorf("fisync over UDP: %w", err)
+	}
+	var out []fisync.State
+	rest := c.buf[:n]
+	for len(rest) > 0 {
+		var s fisync.State
+		s, rest, err = fisync.DecodeState(rest)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Close releases the socket.
+func (c *FIClient) Close() error { return c.conn.Close() }

@@ -1,0 +1,94 @@
+package server
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"coterie/internal/fisync"
+	"coterie/internal/geom"
+)
+
+func startFIUDP(t *testing.T) string {
+	t.Helper()
+	srv := New(poolEnv(t))
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pc.Close() })
+	go srv.ServeFIUDP(pc)
+	return pc.LocalAddr().String()
+}
+
+func TestFIUDPRoundTrip(t *testing.T) {
+	addr := startFIUDP(t)
+	c1, err := DialFI(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := DialFI(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	// First player alone: empty snapshot.
+	states, err := c1.Sync(fisync.State{Player: 1, Seq: 1, Pos: geom.V2(1, 2)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 0 {
+		t.Fatalf("solo snapshot = %v", states)
+	}
+	// Second player sees the first.
+	states, err = c2.Sync(fisync.State{Player: 2, Seq: 1, Pos: geom.V2(3, 4)}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 1 || states[0].Player != 1 || states[0].Pos != geom.V2(1, 2) {
+		t.Fatalf("snapshot = %+v", states)
+	}
+}
+
+func TestFIUDPPerFrameRate(t *testing.T) {
+	// The sync must comfortably run at frame rate: 60 round trips well
+	// under a second on loopback.
+	addr := startFIUDP(t)
+	c, err := DialFI(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	for i := 1; i <= 60; i++ {
+		if _, err := c.Sync(fisync.State{Player: 1, Seq: uint32(i)}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("60 syncs took %v", d)
+	}
+}
+
+func TestFIUDPIgnoresGarbage(t *testing.T) {
+	addr := startFIUDP(t)
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must survive and keep answering valid requests.
+	c, err := DialFI(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Sync(fisync.State{Player: 7, Seq: 1}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package ssim implements the Structural Similarity index of Wang, Bovik,
+// Sheikh and Simoncelli (IEEE TIP 2004), the de-facto metric previous VR
+// systems (Kahawai, Furion) and the Coterie paper use to quantify frame
+// similarity. An SSIM above 0.90 indicates the distorted frame well
+// approximates the original and provides "good" visual quality (§4.1).
+//
+// The reference implementation uses an 11x11 Gaussian window with sigma 1.5
+// on 8-bit luminance; Mean computes the mean SSIM over all full window
+// positions. The Gaussian filtering is separable, so the cost is
+// O(pixels * window) rather than O(pixels * window^2).
+package ssim
+
+import (
+	"errors"
+	"math"
+
+	"coterie/internal/img"
+)
+
+const (
+	// GoodThreshold is the SSIM value above which the paper's cited human
+	// subject study (Kahawai) rates a frame pair as providing good visual
+	// quality. Coterie reuses a cached far-BE frame only when the reuse
+	// keeps similarity above this threshold.
+	GoodThreshold = 0.90
+
+	windowSize = 11
+	sigma      = 1.5
+	dynRange   = 255.0
+	k1         = 0.01
+	k2         = 0.03
+)
+
+var (
+	c1 = (k1 * dynRange) * (k1 * dynRange)
+	c2 = (k2 * dynRange) * (k2 * dynRange)
+
+	kernel = gaussianKernel(windowSize, sigma)
+)
+
+func gaussianKernel(size int, sigma float64) []float64 {
+	k := make([]float64, size)
+	sum := 0.0
+	mid := float64(size-1) / 2
+	for i := range k {
+		d := float64(i) - mid
+		k[i] = math.Exp(-d * d / (2 * sigma * sigma))
+		sum += k[i]
+	}
+	for i := range k {
+		k[i] /= sum
+	}
+	return k
+}
+
+// filter applies the separable Gaussian to src (valid-mode: output size
+// (w-window+1) x (h-window+1)).
+func filter(src []float64, w, h int) ([]float64, int, int) {
+	ow := w - windowSize + 1
+	oh := h - windowSize + 1
+	// Horizontal pass.
+	tmp := make([]float64, ow*h)
+	for y := 0; y < h; y++ {
+		row := src[y*w : (y+1)*w]
+		for x := 0; x < ow; x++ {
+			var s float64
+			for i, kv := range kernel {
+				s += kv * row[x+i]
+			}
+			tmp[y*ow+x] = s
+		}
+	}
+	// Vertical pass.
+	out := make([]float64, ow*oh)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			var s float64
+			for i, kv := range kernel {
+				s += kv * tmp[(y+i)*ow+x]
+			}
+			out[y*ow+x] = s
+		}
+	}
+	return out, ow, oh
+}
+
+// Mean returns the mean SSIM index between two same-sized luma images.
+// Both dimensions must be at least the window size (11).
+func Mean(a, b *img.Gray) (float64, error) {
+	if !a.SameSize(b) {
+		return 0, errors.New("ssim: image size mismatch")
+	}
+	if a.W < windowSize || a.H < windowSize {
+		return 0, errors.New("ssim: image smaller than 11x11 window")
+	}
+	n := a.W * a.H
+	fa := make([]float64, n)
+	fb := make([]float64, n)
+	faa := make([]float64, n)
+	fbb := make([]float64, n)
+	fab := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(a.Pix[i])
+		y := float64(b.Pix[i])
+		fa[i] = x
+		fb[i] = y
+		faa[i] = x * x
+		fbb[i] = y * y
+		fab[i] = x * y
+	}
+	muA, ow, oh := filter(fa, a.W, a.H)
+	muB, _, _ := filter(fb, a.W, a.H)
+	sAA, _, _ := filter(faa, a.W, a.H)
+	sBB, _, _ := filter(fbb, a.W, a.H)
+	sAB, _, _ := filter(fab, a.W, a.H)
+
+	var sum float64
+	for i := 0; i < ow*oh; i++ {
+		ma, mb := muA[i], muB[i]
+		varA := sAA[i] - ma*ma
+		varB := sBB[i] - mb*mb
+		cov := sAB[i] - ma*mb
+		// Guard tiny negative variances from floating-point error.
+		if varA < 0 {
+			varA = 0
+		}
+		if varB < 0 {
+			varB = 0
+		}
+		num := (2*ma*mb + c1) * (2*cov + c2)
+		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+		sum += num / den
+	}
+	return sum / float64(ow*oh), nil
+}
+
+// Good reports whether the two frames are similar enough to reuse one for
+// the other under the paper's quality bar (mean SSIM > 0.90).
+func Good(a, b *img.Gray) (bool, error) {
+	s, err := Mean(a, b)
+	if err != nil {
+		return false, err
+	}
+	return s > GoodThreshold, nil
+}

@@ -1,0 +1,32 @@
+package ssim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMean256x128(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := smoothRandom(rng, 256, 128, 4)
+	c := smoothRandom(rng, 256, 128, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mean(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMean64x64(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	a := smoothRandom(rng, 64, 64, 4)
+	c := smoothRandom(rng, 64, 64, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mean(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+package ssim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coterie/internal/img"
+)
+
+func randomGray(rng *rand.Rand, w, h int) *img.Gray {
+	g := img.NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = uint8(rng.Intn(256))
+	}
+	return g
+}
+
+// smoothRandom produces a band-limited random image (nearest-neighbour
+// upsampled noise) so that local variance is non-trivial but structured.
+func smoothRandom(rng *rand.Rand, w, h, cell int) *img.Gray {
+	g := img.NewGray(w, h)
+	cw, ch := w/cell+1, h/cell+1
+	base := make([]uint8, cw*ch)
+	for i := range base {
+		base[i] = uint8(rng.Intn(256))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, base[(y/cell)*cw+x/cell])
+		}
+	}
+	return g
+}
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGray(rng, 64, 48)
+	s, err := Mean(g, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("SSIM(a,a) = %v, want 1", s)
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := smoothRandom(rng, 64, 48, 4)
+	b := smoothRandom(rng, 64, 48, 4)
+	sab, err := Mean(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sba, err := Mean(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sab-sba) > 1e-9 {
+		t.Fatalf("SSIM not symmetric: %v vs %v", sab, sba)
+	}
+}
+
+func TestBoundedByOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 20; i++ {
+		a := smoothRandom(rng, 40, 40, 3)
+		b := smoothRandom(rng, 40, 40, 3)
+		s, err := Mean(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > 1+1e-9 {
+			t.Fatalf("SSIM = %v > 1", s)
+		}
+	}
+}
+
+func TestIndependentNoiseScoresLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomGray(rng, 64, 64)
+	b := randomGray(rng, 64, 64)
+	s, err := Mean(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 0.2 {
+		t.Fatalf("independent noise SSIM = %v, expected near 0", s)
+	}
+}
+
+func TestMonotoneDegradationWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := smoothRandom(rng, 96, 64, 6)
+	prev := 1.0
+	for _, amp := range []int{2, 8, 24, 64} {
+		b := a.Clone()
+		for i := range b.Pix {
+			d := rng.Intn(2*amp+1) - amp
+			v := int(b.Pix[i]) + d
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			b.Pix[i] = uint8(v)
+		}
+		s, err := Mean(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= prev {
+			t.Fatalf("SSIM did not decrease with noise amplitude %d: %v >= %v", amp, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestMeanShiftPenalisedLessThanStructureChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := smoothRandom(rng, 64, 64, 4)
+	// Small uniform brightness shift: structure preserved.
+	shifted := a.Clone()
+	for i := range shifted.Pix {
+		v := int(shifted.Pix[i]) + 10
+		if v > 255 {
+			v = 255
+		}
+		shifted.Pix[i] = uint8(v)
+	}
+	// Structure change: roll the image vertically by half a cell so edges
+	// move but the global histogram is identical.
+	scrambled := img.NewGray(a.W, a.H)
+	for y := 0; y < a.H; y++ {
+		sy := (y + 2) % a.H
+		copy(scrambled.Pix[y*a.W:(y+1)*a.W], a.Pix[sy*a.W:(sy+1)*a.W])
+	}
+	sShift, _ := Mean(a, shifted)
+	sScram, _ := Mean(a, scrambled)
+	if sShift <= sScram {
+		t.Fatalf("luminance shift (%v) should score higher than structural scramble (%v)", sShift, sScram)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	a := img.NewGray(32, 32)
+	b := img.NewGray(16, 32)
+	if _, err := Mean(a, b); err == nil {
+		t.Fatal("expected size mismatch error")
+	}
+	small := img.NewGray(8, 8)
+	if _, err := Mean(small, small); err == nil {
+		t.Fatal("expected too-small error")
+	}
+}
+
+func TestGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := smoothRandom(rng, 48, 48, 4)
+	ok, err := Good(a, a)
+	if err != nil || !ok {
+		t.Fatalf("identical frames should be Good: %v %v", ok, err)
+	}
+	b := randomGray(rng, 48, 48)
+	ok, err = Good(a, b)
+	if err != nil || ok {
+		t.Fatalf("noise should not be Good: %v %v", ok, err)
+	}
+}
+
+func TestGaussianKernelProperties(t *testing.T) {
+	if len(kernel) != windowSize {
+		t.Fatalf("kernel size %d", len(kernel))
+	}
+	var sum float64
+	for i, k := range kernel {
+		if k <= 0 {
+			t.Fatalf("kernel[%d] = %v", i, k)
+		}
+		if kernel[len(kernel)-1-i] != k {
+			t.Fatal("kernel not symmetric")
+		}
+		sum += k
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("kernel sums to %v", sum)
+	}
+	// Peak at the centre.
+	mid := len(kernel) / 2
+	for i, k := range kernel {
+		if i != mid && k >= kernel[mid] {
+			t.Fatalf("kernel peak not central: k[%d]=%v >= k[mid]=%v", i, k, kernel[mid])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTraceSaveLoadRoundTrip(t *testing.T) {
+	g := build(t, "viking")
+	tr := Generate(g, 5, 42)
+	tr.PlayerID = 3
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PlayerID != 3 || got.Game != "viking" || got.Len() != tr.Len() {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range tr.Pos {
+		// float32 storage: positions within 1e-4 m (far below grid step).
+		if math.Abs(got.Pos[i].X-tr.Pos[i].X) > 1e-4 || math.Abs(got.Pos[i].Z-tr.Pos[i].Z) > 1e-4 {
+			t.Fatalf("tick %d: %v vs %v", i, got.Pos[i], tr.Pos[i])
+		}
+	}
+}
+
+func TestTraceReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Read(strings.NewReader("XXXXxxxxxxxx")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated body.
+	g := build(t, "pool")
+	tr := Generate(g, 2, 1)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := Read(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}

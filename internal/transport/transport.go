@@ -1,0 +1,204 @@
+// Package transport is the deployable network layer of Coterie: a
+// length-prefixed binary protocol over TCP for far-BE frame prefetching
+// (the paper serves frames over TCP, §5.1) plus the message types for FI
+// synchronisation. The simulated testbed (internal/netsim) models the
+// medium for deterministic experiments; this package runs the same request
+// flow over real sockets for cmd/coterie-server and cmd/coterie-client.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"coterie/internal/geom"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+const (
+	// MsgHello opens a session: client id and game name.
+	MsgHello MsgType = iota + 1
+	// MsgFrameRequest asks for the far-BE frame of a grid point.
+	MsgFrameRequest
+	// MsgFrameReply carries an encoded far-BE frame.
+	MsgFrameReply
+	// MsgFISync carries a foreground-interaction state update and returns
+	// the other players' states.
+	MsgFISync
+	// MsgError carries a server-side error string.
+	MsgError
+	// MsgBye closes the session.
+	MsgBye
+)
+
+// MaxPayload bounds message payloads (a 4K panoramic frame fits well
+// within this).
+const MaxPayload = 64 << 20
+
+// Message is one framed protocol message.
+type Message struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteMessage frames and writes a message: 1-byte type, 4-byte big-endian
+// length, payload.
+func WriteMessage(w io.Writer, m Message) error {
+	if len(m.Payload) > MaxPayload {
+		return fmt.Errorf("transport: payload %d exceeds limit", len(m.Payload))
+	}
+	var hdr [5]byte
+	hdr[0] = byte(m.Type)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(m.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (Message, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return Message{}, fmt.Errorf("transport: payload %d exceeds limit", n)
+	}
+	m := Message{Type: MsgType(hdr[0])}
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return Message{}, err
+		}
+	}
+	return m, nil
+}
+
+// Hello is the session-opening payload.
+type Hello struct {
+	Player uint8
+	Game   string
+}
+
+// EncodeHello serialises a Hello.
+func EncodeHello(h Hello) []byte {
+	b := []byte{h.Player, byte(len(h.Game))}
+	return append(b, h.Game...)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(b []byte) (Hello, error) {
+	if len(b) < 2 {
+		return Hello{}, errors.New("transport: short hello")
+	}
+	n := int(b[1])
+	if len(b) < 2+n {
+		return Hello{}, errors.New("transport: truncated hello")
+	}
+	return Hello{Player: b[0], Game: string(b[2 : 2+n])}, nil
+}
+
+// FrameRequest asks for the encoded far-BE panorama of a grid point.
+type FrameRequest struct {
+	Player uint8
+	Point  geom.GridPoint
+}
+
+// EncodeFrameRequest serialises a FrameRequest.
+func EncodeFrameRequest(r FrameRequest) []byte {
+	b := make([]byte, 9)
+	b[0] = r.Player
+	binary.BigEndian.PutUint32(b[1:5], uint32(int32(r.Point.I)))
+	binary.BigEndian.PutUint32(b[5:9], uint32(int32(r.Point.J)))
+	return b
+}
+
+// DecodeFrameRequest parses a FrameRequest payload.
+func DecodeFrameRequest(b []byte) (FrameRequest, error) {
+	if len(b) != 9 {
+		return FrameRequest{}, fmt.Errorf("transport: frame request length %d", len(b))
+	}
+	return FrameRequest{
+		Player: b[0],
+		Point: geom.GridPoint{
+			I: int(int32(binary.BigEndian.Uint32(b[1:5]))),
+			J: int(int32(binary.BigEndian.Uint32(b[5:9]))),
+		},
+	}, nil
+}
+
+// FrameReply carries the frame for a grid point.
+type FrameReply struct {
+	Point geom.GridPoint
+	Data  []byte
+}
+
+// EncodeFrameReply serialises a FrameReply.
+func EncodeFrameReply(r FrameReply) []byte {
+	b := make([]byte, 8, 8+len(r.Data))
+	binary.BigEndian.PutUint32(b[0:4], uint32(int32(r.Point.I)))
+	binary.BigEndian.PutUint32(b[4:8], uint32(int32(r.Point.J)))
+	return append(b, r.Data...)
+}
+
+// DecodeFrameReply parses a FrameReply payload. The Data slice aliases b.
+func DecodeFrameReply(b []byte) (FrameReply, error) {
+	if len(b) < 8 {
+		return FrameReply{}, errors.New("transport: short frame reply")
+	}
+	return FrameReply{
+		Point: geom.GridPoint{
+			I: int(int32(binary.BigEndian.Uint32(b[0:4]))),
+			J: int(int32(binary.BigEndian.Uint32(b[4:8]))),
+		},
+		Data: b[8:],
+	}, nil
+}
+
+// Conn wraps a stream with buffered message IO.
+type Conn struct {
+	rw  io.ReadWriter
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	err error
+}
+
+// NewConn wraps a stream (typically a net.Conn).
+func NewConn(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReaderSize(rw, 1<<16), bw: bufio.NewWriterSize(rw, 1<<16)}
+}
+
+// Send writes and flushes one message.
+func (c *Conn) Send(m Message) error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := WriteMessage(c.bw, m); err != nil {
+		c.err = err
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.err = err
+		return err
+	}
+	return nil
+}
+
+// Recv reads one message.
+func (c *Conn) Recv() (Message, error) {
+	if c.err != nil {
+		return Message{}, c.err
+	}
+	m, err := ReadMessage(c.br)
+	if err != nil {
+		c.err = err
+	}
+	return m, err
+}

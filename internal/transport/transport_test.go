@@ -1,0 +1,167 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"testing/quick"
+
+	"coterie/internal/geom"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		{Type: MsgHello, Payload: []byte("hi")},
+		{Type: MsgFrameRequest, Payload: make([]byte, 9)},
+		{Type: MsgBye},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != want.Type || !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("got %+v want %+v", got, want)
+		}
+	}
+}
+
+func TestMessageRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: MsgFrameReply, Payload: make([]byte, MaxPayload+1)}); err == nil {
+		t.Fatal("oversized write accepted")
+	}
+	// Forged oversized header.
+	hdr := []byte{byte(MsgFrameReply), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
+		t.Fatal("oversized read accepted")
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, Message{Type: MsgHello, Payload: []byte("hello")}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadMessage(bytes.NewReader(data[:len(data)-2])); err == nil {
+		t.Fatal("truncated read accepted")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Player: 3, Game: "viking"}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil || got != h {
+		t.Fatalf("got %+v err %v", got, err)
+	}
+	if _, err := DecodeHello([]byte{1}); err == nil {
+		t.Fatal("short hello accepted")
+	}
+	if _, err := DecodeHello([]byte{1, 10, 'a'}); err == nil {
+		t.Fatal("truncated hello accepted")
+	}
+}
+
+func TestFrameRequestRoundTrip(t *testing.T) {
+	f := func(player uint8, i, j int32) bool {
+		r := FrameRequest{Player: player, Point: geom.GridPoint{I: int(i), J: int(j)}}
+		got, err := DecodeFrameRequest(EncodeFrameRequest(r))
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := DecodeFrameRequest([]byte{1, 2}); err == nil {
+		t.Fatal("short request accepted")
+	}
+}
+
+func TestFrameReplyRoundTrip(t *testing.T) {
+	r := FrameReply{Point: geom.GridPoint{I: -5, J: 1 << 20}, Data: []byte{9, 8, 7}}
+	got, err := DecodeFrameReply(EncodeFrameReply(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Point != r.Point || !bytes.Equal(got.Data, r.Data) {
+		t.Fatalf("got %+v", got)
+	}
+	if _, err := DecodeFrameReply([]byte{1}); err == nil {
+		t.Fatal("short reply accepted")
+	}
+}
+
+func TestConnOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		c := NewConn(conn)
+		m, err := c.Recv()
+		if err != nil {
+			done <- err
+			return
+		}
+		req, err := DecodeFrameRequest(m.Payload)
+		if err != nil {
+			done <- err
+			return
+		}
+		done <- c.Send(Message{
+			Type:    MsgFrameReply,
+			Payload: EncodeFrameReply(FrameReply{Point: req.Point, Data: []byte("frame")}),
+		})
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c := NewConn(conn)
+	pt := geom.GridPoint{I: 10, J: 20}
+	if err := c.Send(Message{Type: MsgFrameRequest, Payload: EncodeFrameRequest(FrameRequest{Player: 1, Point: pt})}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := DecodeFrameReply(m.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Point != pt || string(reply.Data) != "frame" {
+		t.Fatalf("reply %+v", reply)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConnStickyError(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewConn(&buf)
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("empty stream should error")
+	}
+	if err := c.Send(Message{Type: MsgBye}); err == nil {
+		t.Fatal("error should be sticky")
+	}
+}

@@ -1,0 +1,229 @@
+package world
+
+import (
+	"math"
+
+	"coterie/internal/geom"
+)
+
+// index is a uniform 2-D grid over the XZ plane used to accelerate both ray
+// casting and radius queries. Cells store the objects whose footprint
+// overlaps them; a ray walks cells with a 2-D DDA and tests only the
+// objects in the cells it crosses, finishing as soon as a confirmed hit is
+// nearer than the entry distance of the next cell.
+//
+// The index itself is immutable after construction and safe for concurrent
+// readers; the per-query deduplication state lives in Query values, one per
+// goroutine.
+type index struct {
+	bounds     geom.Rect
+	cellSize   float64
+	cols, rows int
+	cells      [][]int32 // object indices per cell
+	scene      *Scene
+}
+
+// Query carries the scratch state for spatial queries against one Scene.
+// A Query is cheap (one uint32 per object) but not safe for concurrent use;
+// create one per goroutine with Scene.NewQuery.
+type Query struct {
+	visit []uint32
+	stamp uint32
+}
+
+// NewQuery returns scratch state for queries against this scene.
+func (s *Scene) NewQuery() *Query {
+	return &Query{visit: make([]uint32, len(s.Objects))}
+}
+
+// nextStamp advances the visitation epoch, resetting lazily on wraparound.
+func (q *Query) nextStamp() uint32 {
+	q.stamp++
+	if q.stamp == 0 {
+		for i := range q.visit {
+			q.visit[i] = 0
+		}
+		q.stamp = 1
+	}
+	return q.stamp
+}
+
+// targetCells is the approximate number of index cells along the longer
+// world axis. Chosen so typical scenes put a handful of objects per cell.
+const targetCells = 96
+
+func buildIndex(s *Scene) *index {
+	longer := math.Max(s.Bounds.Width(), s.Bounds.Depth())
+	cell := longer / targetCells
+	if cell <= 0 {
+		cell = 1
+	}
+	ix := &index{
+		bounds:   s.Bounds,
+		cellSize: cell,
+		cols:     int(s.Bounds.Width()/cell) + 1,
+		rows:     int(s.Bounds.Depth()/cell) + 1,
+		scene:    s,
+	}
+	ix.cells = make([][]int32, ix.cols*ix.rows)
+	for i := range s.Objects {
+		b := s.Objects[i].Bounds()
+		c0, r0 := ix.cellOf(b.Min.X, b.Min.Z)
+		c1, r1 := ix.cellOf(b.Max.X, b.Max.Z)
+		for r := r0; r <= r1; r++ {
+			for c := c0; c <= c1; c++ {
+				k := r*ix.cols + c
+				ix.cells[k] = append(ix.cells[k], int32(i))
+			}
+		}
+	}
+	return ix
+}
+
+// cellOf maps a world XZ coordinate to clamped cell coordinates.
+func (ix *index) cellOf(x, z float64) (int, int) {
+	c := int((x - ix.bounds.MinX) / ix.cellSize)
+	r := int((z - ix.bounds.MinZ) / ix.cellSize)
+	if c < 0 {
+		c = 0
+	}
+	if r < 0 {
+		r = 0
+	}
+	if c >= ix.cols {
+		c = ix.cols - 1
+	}
+	if r >= ix.rows {
+		r = ix.rows - 1
+	}
+	return c, r
+}
+
+// intersect finds the nearest object hit with t in [tMin, tMax). It walks
+// the 2-D DDA from the ray origin; rays are assumed to start inside or near
+// the world (true for all viewpoints).
+func (ix *index) intersect(q *Query, r geom.Ray, tMin, tMax float64) (*Object, float64, bool) {
+	if len(ix.scene.Objects) == 0 {
+		return nil, 0, false
+	}
+	stamp := q.nextStamp()
+
+	var best *Object
+	bestT := tMax
+	found := false
+
+	// Test all objects in one cell, updating best.
+	testCell := func(c, rr int) {
+		for _, oi := range ix.cells[rr*ix.cols+c] {
+			if q.visit[oi] == stamp {
+				continue
+			}
+			q.visit[oi] = stamp
+			o := &ix.scene.Objects[oi]
+			if t, ok := o.IntersectFrom(r, tMin); ok && t < bestT {
+				best, bestT, found = o, t, true
+			}
+		}
+	}
+
+	// DDA setup over the XZ projection of the ray.
+	ox := r.Origin.X - ix.bounds.MinX
+	oz := r.Origin.Z - ix.bounds.MinZ
+	dx, dz := r.Direction.X, r.Direction.Z
+
+	c, rr := ix.cellOf(r.Origin.X, r.Origin.Z)
+
+	// A (near-)vertical ray stays in one cell column.
+	horiz := math.Hypot(dx, dz)
+	if horiz < 1e-12 {
+		testCell(c, rr)
+		return best, bestT, found
+	}
+
+	stepC, stepR := 1, 1
+	var tMaxX, tMaxZ, tDeltaX, tDeltaZ float64
+	if dx > 0 {
+		tMaxX = ((float64(c)+1)*ix.cellSize - ox) / dx
+		tDeltaX = ix.cellSize / dx
+	} else if dx < 0 {
+		stepC = -1
+		tMaxX = (float64(c)*ix.cellSize - ox) / dx
+		tDeltaX = -ix.cellSize / dx
+	} else {
+		tMaxX = math.Inf(1)
+		tDeltaX = math.Inf(1)
+	}
+	if dz > 0 {
+		tMaxZ = ((float64(rr)+1)*ix.cellSize - oz) / dz
+		tDeltaZ = ix.cellSize / dz
+	} else if dz < 0 {
+		stepR = -1
+		tMaxZ = (float64(rr)*ix.cellSize - oz) / dz
+		tDeltaZ = -ix.cellSize / dz
+	} else {
+		tMaxZ = math.Inf(1)
+		tDeltaZ = math.Inf(1)
+	}
+
+	for {
+		testCell(c, rr)
+		// Entry distance of the next cell; if we already have a nearer
+		// confirmed hit, no later cell can beat it.
+		next := math.Min(tMaxX, tMaxZ)
+		if found && bestT <= next {
+			return best, bestT, true
+		}
+		if next >= tMax {
+			return best, bestT, found
+		}
+		if tMaxX < tMaxZ {
+			tMaxX += tDeltaX
+			c += stepC
+			if c < 0 || c >= ix.cols {
+				return best, bestT, found
+			}
+		} else {
+			tMaxZ += tDeltaZ
+			rr += stepR
+			if rr < 0 || rr >= ix.rows {
+				return best, bestT, found
+			}
+		}
+	}
+}
+
+// forEachInDisc calls fn once per object whose XZ footprint intersects the
+// disc (p, radius).
+func (ix *index) forEachInDisc(q *Query, p geom.Vec2, radius float64, fn func(oi int32, o *Object)) {
+	stamp := q.nextStamp()
+	c0, r0 := ix.cellOf(p.X-radius, p.Z-radius)
+	c1, r1 := ix.cellOf(p.X+radius, p.Z+radius)
+	for r := r0; r <= r1; r++ {
+		for c := c0; c <= c1; c++ {
+			for _, oi := range ix.cells[r*ix.cols+c] {
+				if q.visit[oi] == stamp {
+					continue
+				}
+				q.visit[oi] = stamp
+				o := &ix.scene.Objects[oi]
+				if footprintIntersectsDisc(o, p, radius) {
+					fn(oi, o)
+				}
+			}
+		}
+	}
+}
+
+// footprintIntersectsDisc tests the object's XZ footprint against a disc.
+func footprintIntersectsDisc(o *Object, p geom.Vec2, radius float64) bool {
+	switch o.Kind {
+	case KindSphere:
+		d := math.Hypot(o.Center.X-p.X, o.Center.Z-p.Z)
+		return d <= radius+o.Radius
+	default:
+		// Distance from disc centre to the box footprint rectangle.
+		dx := math.Max(0, math.Max(o.Center.X-o.Half.X-p.X, p.X-(o.Center.X+o.Half.X)))
+		dz := math.Max(0, math.Max(o.Center.Z-o.Half.Z-p.Z, p.Z-(o.Center.Z+o.Half.Z)))
+		return dx*dx+dz*dz <= radius*radius
+	}
+}
