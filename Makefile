@@ -1,0 +1,26 @@
+# Developer entry points. `make check` is the pre-commit gate: vet, build,
+# and the race-detector suite over the packages that fan work across
+# goroutines (eval experiment generators, the pooled SSIM comparer, the
+# parallel cutoff preprocessing).
+
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/eval/... ./internal/ssim/... ./internal/cutoff/...
+
+# Hot-path micro-benchmarks (ssim comparer, render LUT, codec, parallel helper).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./internal/ssim/... ./internal/render/... ./internal/codec/...

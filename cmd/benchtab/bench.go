@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"coterie/internal/codec"
+	"coterie/internal/games"
+	"coterie/internal/img"
+	"coterie/internal/render"
+	"coterie/internal/ssim"
+)
+
+// benchReport is the -bench-json payload: wall-clock per experiment plus the
+// hot-path micro-benchmarks, so a run leaves a machine-readable performance
+// record alongside the printed tables.
+type benchReport struct {
+	Generated   string       `json:"generated"`
+	GoMaxProcs  int          `json:"gomaxprocs"`
+	Parallel    int          `json:"parallel"`
+	Quick       bool         `json:"quick"`
+	Experiments []expTiming  `json:"experiments"`
+	Micro       []microBench `json:"micro"`
+}
+
+type expTiming struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+type microBench struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// smoothGray builds a blocky random grayscale frame — flat cells with sharp
+// edges, the same shape the ssim package's own benchmarks use, so the JSON
+// numbers are comparable to `go test -bench` output.
+func smoothGray(rng *rand.Rand, w, h, cell int) *img.Gray {
+	g := img.NewGray(w, h)
+	cw := w/cell + 1
+	base := make([]uint8, cw*(h/cell+1))
+	for i := range base {
+		base[i] = uint8(rng.Intn(256))
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			g.Set(x, y, base[(y/cell)*cw+x/cell])
+		}
+	}
+	return g
+}
+
+func measure(name string, fn func(b *testing.B)) microBench {
+	r := testing.Benchmark(fn)
+	return microBench{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// runMicroBenches exercises the allocation-free hot paths: the pooled SSIM
+// comparer, the renderer's ray-direction LUT (against the inline-trig
+// fallback), and the codec round trip.
+func runMicroBenches() ([]microBench, error) {
+	rng := rand.New(rand.NewSource(1))
+	a := smoothGray(rng, 256, 128, 4)
+	b := smoothGray(rng, 256, 128, 4)
+
+	spec, err := games.ByName("pool")
+	if err != nil {
+		return nil, err
+	}
+	g := games.Build(spec)
+	cfg := render.Config{W: 256, H: 128, Parallel: 1}
+	lut := render.New(g.Scene, cfg)
+	noLUT := &render.Renderer{Scene: g.Scene, Cfg: cfg}
+	eye := g.Scene.EyeAt(g.Scene.Bounds.Center())
+	pano := lut.Panorama(eye, 0, math.Inf(1), nil)
+	stream := codec.Encode(pano, codec.DefaultCRF)
+
+	return []microBench{
+		measure("ssim.Mean/256x128", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := ssim.Mean(a, b); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		}),
+		measure("render.Panorama/lut", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				lut.Panorama(eye, 0, math.Inf(1), nil)
+			}
+		}),
+		measure("render.Panorama/no-lut", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				noLUT.Panorama(eye, 0, math.Inf(1), nil)
+			}
+		}),
+		measure("codec.Encode/256x128", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				codec.Encode(pano, codec.DefaultCRF)
+			}
+		}),
+		measure("codec.Decode/256x128", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := codec.Decode(stream); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		}),
+	}, nil
+}
+
+// writeBenchJSON assembles and writes the -bench-json report.
+func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) error {
+	micro, err := runMicroBenches()
+	if err != nil {
+		return err
+	}
+	rep := benchReport{
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallel:    parallel,
+		Quick:       quick,
+		Experiments: timings,
+		Micro:       micro,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -28,6 +28,16 @@ func (w *bitWriter) writeBits(v uint64, n uint) {
 	}
 }
 
+// reset clears the writer for reuse, keeping the buffer's capacity if it is
+// already at least sizeHint bytes.
+func (w *bitWriter) reset(sizeHint int) {
+	if cap(w.buf) < sizeHint {
+		w.buf = make([]byte, 0, sizeHint)
+	}
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+}
+
 // bytes flushes any partial byte (padding with zeros) and returns the
 // buffer.
 func (w *bitWriter) bytes() []byte {

@@ -15,6 +15,7 @@ package codec
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"coterie/internal/img"
 )
@@ -27,11 +28,17 @@ const (
 	version = 1
 )
 
+// writerPool recycles bitWriters (and, more importantly, their grown byte
+// buffers) across Encode calls: the server pre-encodes every far-BE frame it
+// renders, so this is a per-frame allocation on the pipeline's hot path.
+var writerPool = sync.Pool{New: func() any { return &bitWriter{} }}
+
 // Encode compresses the luma frame at the given CRF (0 near-lossless .. 51
 // worst). The output is self-describing and decoded by Decode.
 func Encode(g *img.Gray, crf int) []byte {
 	q := quantTable(crf)
-	bw := &bitWriter{buf: make([]byte, 0, g.W*g.H/8)}
+	bw := writerPool.Get().(*bitWriter)
+	bw.reset(g.W * g.H / 8)
 	bw.writeBits(magic, 16)
 	bw.writeBits(version, 8)
 	bw.writeBits(uint64(uint8(clampCRF(crf))), 8)
@@ -64,7 +71,13 @@ func Encode(g *img.Gray, crf int) []byte {
 			encodeAC(bw, zz[1:])
 		}
 	}
-	return bw.bytes()
+	// Copy out: the writer's buffer goes back to the pool, so the returned
+	// stream must not alias it.
+	stream := bw.bytes()
+	out := make([]byte, len(stream))
+	copy(out, stream)
+	writerPool.Put(bw)
+	return out
 }
 
 // encodeAC writes the 63 AC coefficients as (run, level) pairs terminated

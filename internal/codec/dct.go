@@ -3,25 +3,28 @@ package codec
 import "math"
 
 // 8x8 type-II DCT and its inverse, applied separably, as used by the
-// intra-frame transform stage. Coefficients are precomputed.
+// intra-frame transform stage. Coefficients are precomputed with the
+// orthonormal scale factor alpha(u) folded into the table, so the transform
+// loops are pure multiply-accumulate with no per-element scaling.
 
 const blockSize = 8
 
-var dctCos [blockSize][blockSize]float64 // dctCos[u][x] = cos((2x+1)u pi/16)
+// dctCosA[u][x] = alpha(u) * cos((2x+1)u pi/16), where alpha(0) = sqrt(1/8)
+// and alpha(u>0) = sqrt(2/8). Both the forward and inverse transforms consume
+// this table: the forward pass scales each output coefficient u by alpha(u),
+// the inverse pass scales each input coefficient by the same factor.
+var dctCosA [blockSize][blockSize]float64
 
 func init() {
 	for u := 0; u < blockSize; u++ {
+		a := math.Sqrt(2.0 / blockSize)
+		if u == 0 {
+			a = math.Sqrt(1.0 / blockSize)
+		}
 		for x := 0; x < blockSize; x++ {
-			dctCos[u][x] = math.Cos(float64(2*x+1) * float64(u) * math.Pi / (2 * blockSize))
+			dctCosA[u][x] = a * math.Cos(float64(2*x+1)*float64(u)*math.Pi/(2*blockSize))
 		}
 	}
-}
-
-func alpha(u int) float64 {
-	if u == 0 {
-		return math.Sqrt(1.0 / blockSize)
-	}
-	return math.Sqrt(2.0 / blockSize)
 }
 
 // fdct8x8 computes the forward 8x8 DCT of src into dst (row-major, both 64
@@ -33,9 +36,9 @@ func fdct8x8(src, dst *[64]float64) {
 		for u := 0; u < blockSize; u++ {
 			var s float64
 			for x := 0; x < blockSize; x++ {
-				s += src[y*blockSize+x] * dctCos[u][x]
+				s += src[y*blockSize+x] * dctCosA[u][x]
 			}
-			tmp[y*blockSize+u] = s * alpha(u)
+			tmp[y*blockSize+u] = s
 		}
 	}
 	// Columns.
@@ -43,9 +46,9 @@ func fdct8x8(src, dst *[64]float64) {
 		for v := 0; v < blockSize; v++ {
 			var s float64
 			for y := 0; y < blockSize; y++ {
-				s += tmp[y*blockSize+u] * dctCos[v][y]
+				s += tmp[y*blockSize+u] * dctCosA[v][y]
 			}
-			dst[v*blockSize+u] = s * alpha(v)
+			dst[v*blockSize+u] = s
 		}
 	}
 }
@@ -58,7 +61,7 @@ func idct8x8(src, dst *[64]float64) {
 		for y := 0; y < blockSize; y++ {
 			var s float64
 			for v := 0; v < blockSize; v++ {
-				s += alpha(v) * src[v*blockSize+u] * dctCos[v][y]
+				s += src[v*blockSize+u] * dctCosA[v][y]
 			}
 			tmp[y*blockSize+u] = s
 		}
@@ -68,7 +71,7 @@ func idct8x8(src, dst *[64]float64) {
 		for x := 0; x < blockSize; x++ {
 			var s float64
 			for u := 0; u < blockSize; u++ {
-				s += alpha(u) * tmp[y*blockSize+u] * dctCos[u][x]
+				s += tmp[y*blockSize+u] * dctCosA[u][x]
 			}
 			dst[y*blockSize+x] = s
 		}
@@ -100,33 +103,35 @@ var baseQuant = [64]float64{
 	72, 92, 95, 98, 112, 100, 103, 99,
 }
 
-// quantTable returns the quantisation matrix for a CRF in [0, 51]. CRF 0 is
-// near-lossless; the paper's server encodes with CRF 25 (§5.1), which this
-// mapping places at moderate quantisation (quality ~55).
-func quantTable(crf int) [64]float64 {
-	if crf < 0 {
-		crf = 0
-	}
-	if crf > 51 {
-		crf = 51
-	}
-	// Map CRF 0..51 to JPEG-style quality 100..10. CRF 25 lands at
-	// quality ~56, which keeps structured frames above SSIM 0.9 like the
-	// paper's x264 CRF 25 setting does (Table 7).
-	quality := 100 - float64(crf)*90.0/51.0
-	var scale float64
-	if quality < 50 {
-		scale = 5000 / quality
-	} else {
-		scale = 200 - 2*quality
-	}
-	var q [64]float64
-	for i := range q {
-		v := math.Floor((baseQuant[i]*scale + 50) / 100)
-		if v < 1 {
-			v = 1
+// quantTables holds the quantisation matrix for every CRF in [0, 51],
+// precomputed once so Encode/Decode never rebuild the 64-entry table per
+// frame.
+var quantTables [52][64]float64
+
+func init() {
+	for crf := range quantTables {
+		// Map CRF 0..51 to JPEG-style quality 100..10. CRF 25 lands at
+		// quality ~56, which keeps structured frames above SSIM 0.9 like
+		// the paper's x264 CRF 25 setting does (Table 7).
+		quality := 100 - float64(crf)*90.0/51.0
+		var scale float64
+		if quality < 50 {
+			scale = 5000 / quality
+		} else {
+			scale = 200 - 2*quality
 		}
-		q[i] = v
+		for i := range quantTables[crf] {
+			v := math.Floor((baseQuant[i]*scale + 50) / 100)
+			if v < 1 {
+				v = 1
+			}
+			quantTables[crf][i] = v
+		}
 	}
-	return q
+}
+
+// quantTable returns the quantisation matrix for a CRF in [0, 51]. CRF 0 is
+// near-lossless; the paper's server encodes with CRF 25 (§5.1).
+func quantTable(crf int) *[64]float64 {
+	return &quantTables[clampCRF(crf)]
 }

@@ -107,6 +107,10 @@ type EnvOptions struct {
 	SizeSamples int
 	// CRF is the encoder quality; 0 means codec.DefaultCRF.
 	CRF int
+	// Parallel is the worker count for the parallelizable preprocessing
+	// stages (cutoff partitioning, threshold calibration); 0 means
+	// GOMAXPROCS. Results are identical for any value.
+	Parallel int
 }
 
 // Env is a prepared game environment shared by sessions: the built game,
@@ -131,6 +135,9 @@ func PrepareEnv(spec games.Spec, opts EnvOptions) (*Env, error) {
 	if opts.CutoffParams.K == 0 {
 		opts.CutoffParams = cutoff.DefaultParams()
 	}
+	if opts.CutoffParams.Parallel == 0 {
+		opts.CutoffParams.Parallel = opts.Parallel
+	}
 	if opts.ThresholdLeaves == 0 {
 		opts.ThresholdLeaves = 3
 	}
@@ -147,6 +154,7 @@ func PrepareEnv(spec games.Spec, opts EnvOptions) (*Env, error) {
 	}
 	r := render.New(g.Scene, opts.RenderCfg)
 	tc := cutoff.DefaultThresholdConfig()
+	tc.Parallel = opts.Parallel
 	if err := cutoff.CalibrateThresholds(m, r, opts.ThresholdLeaves, tc); err != nil {
 		return nil, fmt.Errorf("core: threshold calibration failed: %w", err)
 	}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"coterie/internal/geom"
+	"coterie/internal/par"
 	"coterie/internal/world"
 )
 
@@ -57,6 +58,11 @@ type Params struct {
 	MaxDepth int
 	// Seed makes sampling deterministic.
 	Seed int64
+	// Parallel is the number of workers used for the per-region radius and
+	// density sampling; 0 means GOMAXPROCS. Output is identical for any
+	// worker count: sample locations are drawn sequentially before the
+	// fan-out and results land in index-addressed slices.
+	Parallel int
 }
 
 // DefaultParams returns the paper's configuration.
@@ -130,11 +136,19 @@ func Compute(scene *world.Scene, rt RenderTimer, p Params) (*Map, error) {
 	}
 	start := time.Now()
 	m := &Map{Scene: scene, Params: p}
+	workers := par.Workers(p.Parallel)
+	if workers > p.K {
+		workers = p.K
+	}
 	b := builder{
-		m:   m,
-		rt:  rt,
-		rng: rand.New(rand.NewSource(p.Seed)),
-		q:   scene.NewQuery(),
+		m:       m,
+		rt:      rt,
+		rng:     rand.New(rand.NewSource(p.Seed)),
+		workers: workers,
+		queries: make([]*world.Query, workers),
+	}
+	for i := range b.queries {
+		b.queries[i] = scene.NewQuery()
 	}
 	m.root = b.partition(scene.Bounds, 0)
 	m.Stats.LeafCount = len(m.Regions)
@@ -155,36 +169,54 @@ func Compute(scene *world.Scene, rt RenderTimer, p Params) (*Map, error) {
 }
 
 type builder struct {
-	m     *Map
-	rt    RenderTimer
-	rng   *rand.Rand
-	q     *world.Query
-	calcs int
+	m       *Map
+	rt      RenderTimer
+	rng     *rand.Rand
+	workers int
+	queries []*world.Query // one per worker
+	calcs   int
 }
 
 // partition implements the recursive procedure of §4.3: sample K random
 // locations, compute each one's maximal radius, stop if they agree, split
 // into four quadrants otherwise.
+//
+// The K samples are independent, so their radius searches and density
+// probes fan out across workers. Determinism: all rng draws happen in the
+// sequential prepass below (the compute stage draws nothing), results land
+// in index-addressed slices, and the reductions below run in index order —
+// so the output is byte-identical for any worker count, including the
+// sequential seed implementation's.
 func (b *builder) partition(region geom.Rect, depth int) node {
-	radii := make([]float64, b.m.Params.K)
-	var densitySum float64
-	minR, maxR := math.Inf(1), 0.0
-	for i := range radii {
-		loc := geom.V2(
+	k := b.m.Params.K
+	locs := make([]geom.Vec2, k)
+	for i := range locs {
+		locs[i] = geom.V2(
 			region.MinX+b.rng.Float64()*region.Width(),
 			region.MinZ+b.rng.Float64()*region.Depth(),
 		)
-		r := b.maxRadius(loc)
-		radii[i] = r
+	}
+	radii := make([]float64, k)
+	densities := make([]float64, k)
+	par.ForWorker(b.workers, k, func(worker, i int) {
+		q := b.queries[worker]
+		radii[i] = b.maxRadius(q, locs[i])
+		const densityProbe = 6.0
+		tris := b.m.Scene.TrianglesWithin(q, locs[i], densityProbe)
+		densities[i] = float64(tris) / (math.Pi * densityProbe * densityProbe)
+	})
+	b.calcs += k
+	var densitySum float64
+	minR, maxR := math.Inf(1), 0.0
+	for i := range radii {
+		r := radii[i]
 		if r < minR {
 			minR = r
 		}
 		if r > maxR {
 			maxR = r
 		}
-		const densityProbe = 6.0
-		tris := b.m.Scene.TrianglesWithin(b.q, loc, densityProbe)
-		densitySum += float64(tris) / (math.Pi * densityProbe * densityProbe)
+		densitySum += densities[i]
 	}
 
 	p := b.m.Params
@@ -212,12 +244,11 @@ func (b *builder) partition(region geom.Rect, depth int) node {
 
 // maxRadius binary-searches the largest cutoff radius at loc whose near-BE
 // render time stays within the budget. Triangle count is monotone in the
-// radius, so bisection applies.
-func (b *builder) maxRadius(loc geom.Vec2) float64 {
-	b.calcs++
+// radius, so bisection applies. q is the calling worker's query scratch.
+func (b *builder) maxRadius(q *world.Query, loc geom.Vec2) float64 {
 	p := b.m.Params
 	fits := func(r float64) bool {
-		return b.rt(b.m.Scene.TrianglesWithin(b.q, loc, r)) <= p.BudgetMs
+		return b.rt(b.m.Scene.TrianglesWithin(q, loc, r)) <= p.BudgetMs
 	}
 	if !fits(p.MinRadius) {
 		return p.MinRadius

@@ -250,6 +250,66 @@ func TestComputeDeterministic(t *testing.T) {
 	}
 }
 
+func TestComputeParallelMatchesSequential(t *testing.T) {
+	// The partition must be byte-identical at any worker count: the rng
+	// prepass and index-addressed sample results make worker scheduling
+	// invisible.
+	run := func(workers int) *Map {
+		p := testParams()
+		p.Parallel = workers
+		m, err := Compute(twoZoneScene(), rt(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		m := run(w)
+		if len(m.Regions) != len(base.Regions) {
+			t.Fatalf("Parallel=%d: %d regions, want %d", w, len(m.Regions), len(base.Regions))
+		}
+		for i := range m.Regions {
+			a, b := base.Regions[i], m.Regions[i]
+			if a.Radius != b.Radius || a.TriDensity != b.TriDensity || a.Bounds != b.Bounds || a.Depth != b.Depth {
+				t.Fatalf("Parallel=%d: region %d differs: %+v vs %+v", w, i, a, b)
+			}
+		}
+		if m.Stats.CutoffCalcs != base.Stats.CutoffCalcs {
+			t.Fatalf("Parallel=%d: calcs %d vs %d", w, m.Stats.CutoffCalcs, base.Stats.CutoffCalcs)
+		}
+	}
+}
+
+func TestDeriveThresholdsParallelMatchesSequential(t *testing.T) {
+	g := games.Build(mustSpec(t, "pool"))
+	p := DefaultParams()
+	p.K = 4
+	p.MinRegion = 2.5
+	run := func(workers int) *Map {
+		m, err := Compute(g.Scene, rt(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := render.New(g.Scene, render.Config{W: 64, H: 32, Parallel: 1})
+		cfg := DefaultThresholdConfig()
+		cfg.Samples = 1
+		cfg.Parallel = workers
+		if err := DeriveThresholds(m, r, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	base := run(1)
+	m8 := run(8)
+	for i := range base.Regions {
+		if base.Regions[i].DistThresh != m8.Regions[i].DistThresh {
+			t.Fatalf("region %d: DistThresh %v (Parallel=1) vs %v (Parallel=8)",
+				i, base.Regions[i].DistThresh, m8.Regions[i].DistThresh)
+		}
+	}
+}
+
 func TestDeriveThresholds(t *testing.T) {
 	g := games.Build(mustSpec(t, "pool"))
 	p := DefaultParams()

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"coterie/internal/geom"
+	"coterie/internal/par"
 	"coterie/internal/render"
 	"coterie/internal/ssim"
 )
@@ -28,6 +29,10 @@ type ThresholdConfig struct {
 	SSIMTarget float64
 	// Seed makes sampling deterministic.
 	Seed int64
+	// Parallel is the number of workers deriving leaf thresholds; 0 means
+	// GOMAXPROCS. Each leaf gets its own rng derived from Seed and the leaf
+	// index, so the result is identical for any worker count.
+	Parallel int
 }
 
 // DefaultThresholdConfig mirrors the paper's settings with K samples.
@@ -103,6 +108,11 @@ func allLeaves(m *Map) []int {
 	return idx
 }
 
+// deriveSome derives DistThresh for the given leaf indices. Leaves are
+// independent of one another, so they fan out across workers; each leaf owns
+// an rng derived from cfg.Seed and its region index (the binary search draws
+// a data-dependent number of values, so a shared stream would make results
+// depend on worker scheduling).
 func deriveSome(m *Map, r *render.Renderer, cfg ThresholdConfig, leaves []int) error {
 	if cfg.Samples < 1 {
 		return fmt.Errorf("cutoff: Samples must be >= 1")
@@ -110,9 +120,10 @@ func deriveSome(m *Map, r *render.Renderer, cfg ThresholdConfig, leaves []int) e
 	if cfg.MaxThresh <= cfg.MinThresh {
 		return fmt.Errorf("cutoff: bad threshold bounds [%v, %v]", cfg.MinThresh, cfg.MaxThresh)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	for _, li := range leaves {
+	par.For(cfg.Parallel, len(leaves), func(i int) {
+		li := leaves[i]
 		reg := &m.Regions[li]
+		rng := rand.New(rand.NewSource(leafSeed(cfg.Seed, li)))
 		best := math.Inf(1)
 		for s := 0; s < cfg.Samples; s++ {
 			p := geom.V2(
@@ -125,8 +136,20 @@ func deriveSome(m *Map, r *render.Renderer, cfg ThresholdConfig, leaves []int) e
 			}
 		}
 		reg.DistThresh = best
-	}
+	})
 	return nil
+}
+
+// leafSeed mixes the config seed with a leaf index into an independent
+// stream seed (splitmix64-style finalizer).
+func leafSeed(seed int64, leaf int) int64 {
+	h := uint64(seed) + uint64(leaf)*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int64(h)
 }
 
 // thresholdAt binary-searches the largest displacement at p that keeps

@@ -7,6 +7,7 @@ import (
 	"coterie/internal/cache"
 	"coterie/internal/core"
 	"coterie/internal/geom"
+	"coterie/internal/par"
 	"coterie/internal/prefetch"
 	"coterie/internal/trace"
 )
@@ -29,29 +30,28 @@ func (l *Lab) ReplacementAblation(game string, cacheMB int64) (*AblationReplacem
 	if err != nil {
 		return nil, err
 	}
-	run := func(p cache.Policy) (float64, error) {
+	// The two policy runs are independent sessions; run them concurrently.
+	policies := []cache.Policy{cache.LRU, cache.FLF}
+	hits := make([]float64, len(policies))
+	err = par.ForErr(l.Opts.workers(), len(policies), func(i int) error {
 		res, err := core.RunSession(env, core.SessionConfig{
 			System:      core.Coterie,
 			Players:     2,
 			Seconds:     l.Opts.sessionSeconds(),
 			Seed:        l.Opts.Seed,
-			CachePolicy: p,
+			CachePolicy: policies[i],
 			CacheBytes:  cacheMB << 20,
 		})
 		if err != nil {
-			return 0, err
+			return err
 		}
-		return res.Mean.CacheHitRatio, nil
-	}
-	lru, err := run(cache.LRU)
+		hits[i] = res.Mean.CacheHitRatio
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	flf, err := run(cache.FLF)
-	if err != nil {
-		return nil, err
-	}
-	return &AblationReplacement{Game: game, CacheMB: cacheMB, LRUHit: lru, FLFHit: flf}, nil
+	return &AblationReplacement{Game: game, CacheMB: cacheMB, LRUHit: hits[0], FLFHit: hits[1]}, nil
 }
 
 // PrintReplacementAblation renders the comparison.
@@ -263,23 +263,26 @@ func (l *Lab) OverhearAblation(game string) (*AblationOverhear, error) {
 	if err != nil {
 		return nil, err
 	}
-	run := func(overhear bool) (*core.Result, error) {
-		return core.RunSession(env, core.SessionConfig{
+	// Base and overhearing sessions are independent; run them concurrently.
+	results := make([]*core.Result, 2)
+	err = par.ForErr(l.Opts.workers(), 2, func(i int) error {
+		res, err := core.RunSession(env, core.SessionConfig{
 			System:   core.Coterie,
 			Players:  4,
 			Seconds:  l.Opts.sessionSeconds(),
 			Seed:     l.Opts.Seed,
-			Overhear: overhear,
+			Overhear: i == 1,
 		})
-	}
-	base, err := run(false)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	over, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	base, over := results[0], results[1]
 	return &AblationOverhear{
 		Game:          game,
 		Players:       4,
@@ -314,10 +317,11 @@ func (l *Lab) PrefetchAblation(game string) (*AblationPrefetch, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &AblationPrefetch{Game: game}
-	for _, look := range []float64{0.05, 0.2, 0.4, 0.8} {
+	lookaheads := []float64{0.05, 0.2, 0.4, 0.8}
+	fps := make([]float64, len(lookaheads))
+	err = par.ForErr(l.Opts.workers(), len(lookaheads), func(i int) error {
 		cfg := prefetch.DefaultConfig()
-		cfg.LookaheadSec = look
+		cfg.LookaheadSec = lookaheads[i]
 		r, err := core.RunSession(env, core.SessionConfig{
 			System:   core.Coterie,
 			Players:  4,
@@ -326,12 +330,15 @@ func (l *Lab) PrefetchAblation(game string) (*AblationPrefetch, error) {
 			Prefetch: cfg,
 		})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res.Lookahead = append(res.Lookahead, look)
-		res.StallFree = append(res.StallFree, r.Mean.FPS)
+		fps[i] = r.Mean.FPS
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &AblationPrefetch{Game: game, Lookahead: lookaheads, StallFree: fps}, nil
 }
 
 // PrintPrefetchAblation renders the sweep.

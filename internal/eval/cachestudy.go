@@ -6,6 +6,7 @@ import (
 	"coterie/internal/cache"
 	"coterie/internal/core"
 	"coterie/internal/geom"
+	"coterie/internal/par"
 	"coterie/internal/trace"
 )
 
@@ -41,65 +42,79 @@ func (l *Lab) Table5(game string) ([]Table5Row, error) {
 	if l.Opts.Quick {
 		seconds = 20
 	}
-	meta := env.MetaFor()
 	grid := env.Game.Scene.Grid
 
-	var rows []Table5Row
+	cfgs := make([]cache.Config, 5)
 	for v := 1; v <= 5; v++ {
 		cfg, err := cache.Version(v)
 		if err != nil {
 			return nil, err
 		}
-		row := Table5Row{Version: paperTable5[v-1].Version}
-		for players := 1; players <= 4; players++ {
-			party := trace.GenerateParty(env.Game, players, seconds, l.Opts.Seed+11)
-			caches := make([]*cache.Cache, players)
-			for i := range caches {
-				caches[i] = cache.New(cfg) // infinite capacity
-			}
-			// Lock-step replay: each tick, every player requests the far
-			// BE frame for its current grid point; on a miss the reply is
-			// overheard and inserted into every player's cache.
-			var lastPt = make([]geom.GridPoint, players)
-			for i := range lastPt {
-				lastPt[i] = geom.GridPoint{I: -1, J: -1}
-			}
-			for tick := 0; tick < party[0].Len(); tick++ {
-				for p := 0; p < players; p++ {
-					pt := grid.Snap(party[p].Pos[tick])
-					if pt == lastPt[p] {
-						continue // no new frame needed while stationary
-					}
-					lastPt[p] = pt
-					leaf, sig, thresh := meta(pt)
-					req := cache.Request{
-						Point: pt, Pos: grid.Pos(pt),
-						LeafID: leaf, NearSig: sig,
-						DistThresh: thresh, Player: p,
-					}
-					if _, ok := caches[p].Lookup(req); ok {
-						continue
-					}
-					// Miss: prefetch from the server; all players cache
-					// the overheard reply.
-					e := cache.Entry{
-						Point: pt, Pos: req.Pos,
-						LeafID: leaf, NearSig: sig,
-						Size: 1, Owner: p,
-					}
-					for _, c := range caches {
-						c.Insert(e)
-					}
+		cfgs[v-1] = cfg
+	}
+	rows := make([]Table5Row, 5)
+	for i := range rows {
+		rows[i].Version = paperTable5[i].Version
+	}
+
+	// Each (version, players) replay is self-contained: it generates its own
+	// party trace from a fixed seed and mutates only its own caches, so the
+	// 20-cell grid fans out across workers. MetaFor closures memoize through
+	// a shared map, so each worker gets its own.
+	workers := l.Opts.workers()
+	metas := make([]func(geom.GridPoint) (int, uint64, float64), workers)
+	for i := range metas {
+		metas[i] = env.MetaFor()
+	}
+	par.ForWorker(workers, 5*4, func(worker, idx int) {
+		vi, players := idx/4, idx%4+1
+		meta := metas[worker]
+		party := trace.GenerateParty(env.Game, players, seconds, l.Opts.Seed+11)
+		caches := make([]*cache.Cache, players)
+		for i := range caches {
+			caches[i] = cache.New(cfgs[vi]) // infinite capacity
+		}
+		// Lock-step replay: each tick, every player requests the far
+		// BE frame for its current grid point; on a miss the reply is
+		// overheard and inserted into every player's cache.
+		var lastPt = make([]geom.GridPoint, players)
+		for i := range lastPt {
+			lastPt[i] = geom.GridPoint{I: -1, J: -1}
+		}
+		for tick := 0; tick < party[0].Len(); tick++ {
+			for p := 0; p < players; p++ {
+				pt := grid.Snap(party[p].Pos[tick])
+				if pt == lastPt[p] {
+					continue // no new frame needed while stationary
+				}
+				lastPt[p] = pt
+				leaf, sig, thresh := meta(pt)
+				req := cache.Request{
+					Point: pt, Pos: grid.Pos(pt),
+					LeafID: leaf, NearSig: sig,
+					DistThresh: thresh, Player: p,
+				}
+				if _, ok := caches[p].Lookup(req); ok {
+					continue
+				}
+				// Miss: prefetch from the server; all players cache
+				// the overheard reply.
+				e := cache.Entry{
+					Point: pt, Pos: req.Pos,
+					LeafID: leaf, NearSig: sig,
+					Size: 1, Owner: p,
+				}
+				for _, c := range caches {
+					c.Insert(e)
 				}
 			}
-			var hit float64
-			for _, c := range caches {
-				hit += c.Stats().HitRatio()
-			}
-			row.Hit[players-1] = hit / float64(players)
 		}
-		rows = append(rows, row)
-	}
+		var hit float64
+		for _, c := range caches {
+			hit += c.Stats().HitRatio()
+		}
+		rows[vi].Hit[players-1] = hit / float64(players)
+	})
 	return rows, nil
 }
 
@@ -133,22 +148,25 @@ var paperTable6 = map[string]float64{"viking": 0.808, "racing": 0.823, "cts": 0.
 // Coterie sessions for the three headline games. Paper: 80.8%, 82.3% and
 // 88.4%, i.e. 5.2x-8.6x fewer prefetches.
 func (l *Lab) Table6() ([]Table6Row, error) {
-	var rows []Table6Row
-	for _, name := range headlineNames {
-		env, err := l.Env(name)
-		if err != nil {
-			return nil, err
-		}
-		res, err := coreRun(env, coreConfig{system: core.Coterie, players: 4, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-		if err != nil {
-			return nil, err
-		}
-		h := res.Mean.CacheHitRatio
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	jobs := make([]sessionJob, len(headlineNames))
+	for i, name := range headlineNames {
+		jobs[i] = sessionJob{game: name, cfg: coreConfig{system: core.Coterie, players: 4, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table6Row, len(headlineNames))
+	for i, name := range headlineNames {
+		h := results[i].Mean.CacheHitRatio
 		red := 0.0
 		if h < 1 {
 			red = 1 / (1 - h)
 		}
-		rows = append(rows, Table6Row{Game: name, HitRatio: h, PrefetchReduction: red, Paper: paperTable6[name]})
+		rows[i] = Table6Row{Game: name, HitRatio: h, PrefetchReduction: red, Paper: paperTable6[name]}
 	}
 	return rows, nil
 }

@@ -9,6 +9,7 @@ import (
 	"coterie/internal/cutoff"
 	"coterie/internal/device"
 	"coterie/internal/games"
+	"coterie/internal/par"
 	"coterie/internal/trace"
 )
 
@@ -30,6 +31,11 @@ type Table3Row struct {
 // numbers. The headline claim: CTS's 268M grid points reduce to a few
 // hundred leaf regions.
 func (l *Lab) Table3() ([]Table3Row, error) {
+	// The work is the per-game environment builds; fan those out and then
+	// assemble rows from the cached stats.
+	if err := l.PrepareEnvs(allGameNames()); err != nil {
+		return nil, err
+	}
 	var rows []Table3Row
 	for _, name := range allGameNames() {
 		env, err := l.Env(name)
@@ -88,41 +94,62 @@ func (l *Lab) Fig6() ([]Fig6Row, error) {
 	prof := device.Pixel2()
 	typicalFI := prof.RenderMs(2 * 25_000)
 
-	var rows []Fig6Row
-	for _, name := range headlineNames {
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	// Each (game, K) cell recomputes the cutoff partition from its own seed
+	// and replays the game's trace against it — fully independent, so the
+	// grid fans out. Traces are generated in a sequential prepass; each cell
+	// allocates its own scene query (the scratch is not shared across
+	// goroutines).
+	traces := make([]*trace.Trace, len(headlineNames))
+	for gi, name := range headlineNames {
 		env, err := l.Env(name)
 		if err != nil {
 			return nil, err
 		}
+		traces[gi] = trace.Generate(env.Game, 60, l.Opts.Seed+6)
+	}
+	rows := make([]Fig6Row, len(headlineNames)*len(ks))
+	err := par.ForErr(l.Opts.workers(), len(rows), func(idx int) error {
+		gi, ki := idx/len(ks), idx%len(ks)
+		name, k := headlineNames[gi], ks[ki]
+		env, err := l.Env(name)
+		if err != nil {
+			return err
+		}
 		scene := env.Game.Scene
 		q := scene.NewQuery()
-		tr := trace.Generate(env.Game, 60, l.Opts.Seed+6)
+		tr := traces[gi]
 		stride := tr.Len() / locs
 		if stride < 1 {
 			stride = 1
 		}
-		for _, k := range ks {
-			p := cutoff.DefaultParams()
-			p.K = k
-			p.Seed = l.Opts.Seed + int64(k)
-			m, err := cutoff.Compute(scene, prof.NearBERenderMs, p)
-			if err != nil {
-				return nil, err
-			}
-			viol, total := 0, 0
-			for i := 0; i < tr.Len(); i += stride {
-				pos := tr.Pos[i]
-				r := m.RadiusAt(pos)
-				// The paper measures the on-device rendering time, i.e.
-				// the frustum-culled per-frame cost.
-				rt := prof.NearBEFrameMs(scene.TrianglesWithin(q, pos, r))
-				if rt+typicalFI > prof.VsyncMs {
-					viol++
-				}
-				total++
-			}
-			rows = append(rows, Fig6Row{Game: name, K: k, Violation: float64(viol) / float64(total)})
+		p := cutoff.DefaultParams()
+		p.K = k
+		p.Seed = l.Opts.Seed + int64(k)
+		p.Parallel = 1 // the grid cells are already running in parallel
+		m, err := cutoff.Compute(scene, prof.NearBERenderMs, p)
+		if err != nil {
+			return err
 		}
+		viol, total := 0, 0
+		for i := 0; i < tr.Len(); i += stride {
+			pos := tr.Pos[i]
+			r := m.RadiusAt(pos)
+			// The paper measures the on-device rendering time, i.e.
+			// the frustum-culled per-frame cost.
+			rt := prof.NearBEFrameMs(scene.TrianglesWithin(q, pos, r))
+			if rt+typicalFI > prof.VsyncMs {
+				viol++
+			}
+			total++
+		}
+		rows[idx] = Fig6Row{Game: name, K: k, Violation: float64(viol) / float64(total)}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -147,6 +174,9 @@ type Fig7Row struct {
 // Paper: radii stay in a small range for all except DS (half spread
 // 10-100 m) and Racing Mountain (evenly spread 10-180 m).
 func (l *Lab) Fig7() ([]Fig7Row, error) {
+	if err := l.PrepareEnvs(allGameNames()); err != nil {
+		return nil, err
+	}
 	var rows []Fig7Row
 	for _, name := range allGameNames() {
 		env, err := l.Env(name)

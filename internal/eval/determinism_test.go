@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// generateAll runs every parallelized experiment generator on a fresh lab
+// with the given worker count and prints the rows into one buffer. The
+// render resolution is tiny: the point is the control flow (prepass order,
+// index-addressed writes, reductions), not the figures' fidelity.
+func generateAll(t *testing.T, parallel int) []byte {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Quick = true
+	opts.RenderW, opts.RenderH = 64, 32
+	opts.Parallel = parallel
+	l := NewLab(opts)
+
+	var buf bytes.Buffer
+	step := func(name string, fn func() error) {
+		t.Helper()
+		fmt.Fprintf(&buf, "== %s ==\n", name)
+		if err := fn(); err != nil {
+			t.Fatalf("%s (parallel=%d): %v", name, parallel, err)
+		}
+	}
+
+	step("fig1", func() error {
+		rows, err := l.Fig1()
+		if err == nil {
+			PrintFig1(&buf, rows)
+		}
+		return err
+	})
+	step("fig2", func() error {
+		rows, err := l.Fig2()
+		if err == nil {
+			PrintFig2(&buf, rows)
+		}
+		return err
+	})
+	step("fig3", func() error {
+		r, err := l.Fig3()
+		if err == nil {
+			PrintFig3(&buf, r)
+		}
+		return err
+	})
+	step("fig5", func() error {
+		pts, err := l.Fig5()
+		if err == nil {
+			PrintFig5(&buf, pts)
+		}
+		return err
+	})
+	step("table3", func() error {
+		rows, err := l.Table3()
+		if err == nil {
+			for i := range rows {
+				rows[i].ProcTime = time.Duration(0) // wall-clock, not comparable
+			}
+			PrintTable3(&buf, rows)
+		}
+		return err
+	})
+	step("fig6", func() error {
+		rows, err := l.Fig6()
+		if err == nil {
+			PrintFig6(&buf, rows)
+		}
+		return err
+	})
+	step("fig7", func() error {
+		rows, err := l.Fig7()
+		if err == nil {
+			PrintFig7(&buf, rows)
+		}
+		return err
+	})
+	step("table5", func() error {
+		rows, err := l.Table5("viking")
+		if err == nil {
+			PrintTable5(&buf, rows)
+		}
+		return err
+	})
+	step("table6", func() error {
+		rows, err := l.Table6()
+		if err == nil {
+			PrintTable6(&buf, rows)
+		}
+		return err
+	})
+	step("table1", func() error {
+		rows, err := l.Table1()
+		if err == nil {
+			PrintTable1(&buf, rows)
+		}
+		return err
+	})
+	step("table7", func() error {
+		rows, err := l.Table7()
+		if err == nil {
+			PrintTable7(&buf, rows)
+		}
+		return err
+	})
+	step("fig11", func() error {
+		rows, err := l.Fig11()
+		if err == nil {
+			PrintFig11(&buf, rows)
+		}
+		return err
+	})
+	step("table8", func() error {
+		rows, err := l.Table8()
+		if err == nil {
+			PrintTable8(&buf, rows)
+		}
+		return err
+	})
+	step("table9", func() error {
+		rows, err := l.Table9()
+		if err == nil {
+			PrintTable9(&buf, rows)
+		}
+		return err
+	})
+	step("fig12", func() error {
+		rows, err := l.Fig12()
+		if err == nil {
+			PrintFig12(&buf, rows)
+		}
+		return err
+	})
+	step("ablation-replacement", func() error {
+		r, err := l.ReplacementAblation("viking", 64)
+		if err == nil {
+			fmt.Fprintf(&buf, "%+v\n", r)
+		}
+		return err
+	})
+	step("ablation-overhear", func() error {
+		r, err := l.OverhearAblation("viking")
+		if err == nil {
+			fmt.Fprintf(&buf, "%+v\n", r)
+		}
+		return err
+	})
+	step("ablation-prefetch", func() error {
+		r, err := l.PrefetchAblation("viking")
+		if err == nil {
+			fmt.Fprintf(&buf, "%+v\n", r)
+		}
+		return err
+	})
+	return buf.Bytes()
+}
+
+// TestGeneratorsDeterministicAcrossParallel checks the tentpole invariant:
+// every parallelized experiment generator prints byte-identical output
+// whether it runs on one worker or eight. Work units are enumerated (and
+// all randomness drawn) in a sequential prepass and results land in
+// index-addressed slices, so worker count must never leak into the rows.
+func TestGeneratorsDeterministicAcrossParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every generator twice")
+	}
+	seq := generateAll(t, 1)
+	par := generateAll(t, 8)
+	if bytes.Equal(seq, par) {
+		return
+	}
+	// Locate the first differing line for a useful failure message.
+	sl := bytes.Split(seq, []byte("\n"))
+	pl := bytes.Split(par, []byte("\n"))
+	for i := 0; i < len(sl) && i < len(pl); i++ {
+		if !bytes.Equal(sl[i], pl[i]) {
+			t.Fatalf("output diverges at line %d:\n  parallel=1: %s\n  parallel=8: %s", i+1, sl[i], pl[i])
+		}
+	}
+	t.Fatalf("output lengths differ: %d vs %d bytes", len(seq), len(par))
+}

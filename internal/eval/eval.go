@@ -13,6 +13,7 @@ import (
 	"coterie/internal/core"
 	"coterie/internal/cutoff"
 	"coterie/internal/games"
+	"coterie/internal/par"
 	"coterie/internal/render"
 )
 
@@ -26,7 +27,16 @@ type Options struct {
 	RenderW, RenderH int
 	// Seed fixes all sampled randomness.
 	Seed int64
+	// Parallel is the number of workers each experiment generator fans its
+	// independent units (trace positions, sessions, leaf regions) across;
+	// 0 means GOMAXPROCS. Results are deterministic for any value: units
+	// are enumerated sequentially up front and write into index-addressed
+	// slices.
+	Parallel int
 }
+
+// workers resolves the experiment fan-out width.
+func (o Options) workers() int { return par.Workers(o.Parallel) }
 
 // DefaultOptions returns the paper-grade configuration.
 func DefaultOptions() Options { return Options{Seed: 1} }
@@ -43,6 +53,16 @@ func (o Options) renderConfig() render.Config {
 	return render.Config{W: w, H: h}
 }
 
+// itemRenderConfig is renderConfig with one rendering goroutine per frame,
+// for renderers driven from item-parallel loops: when the experiment fans
+// frames out across workers, coarse-grained parallelism beats splitting each
+// small panorama's rows. Frame pixels are identical either way.
+func (o Options) itemRenderConfig() render.Config {
+	cfg := o.renderConfig()
+	cfg.Parallel = 1
+	return cfg
+}
+
 // sessionSeconds returns the session length for testbed experiments. The
 // paper runs 10 minutes; the simulated testbed converges much faster.
 func (o Options) sessionSeconds() float64 {
@@ -53,32 +73,49 @@ func (o Options) sessionSeconds() float64 {
 }
 
 // Lab caches prepared environments per game so a benchtab run prepares
-// each world once.
+// each world once. Env is safe for concurrent use: each game's environment
+// is built exactly once even when several experiment workers ask for it at
+// the same time, and distinct games build concurrently.
 type Lab struct {
 	Opts Options
 
 	mu   sync.Mutex
-	envs map[string]*core.Env
+	envs map[string]*envSlot
+}
+
+// envSlot decouples the cache map's lock from the (expensive) environment
+// build, so preparing one game never blocks another.
+type envSlot struct {
+	once sync.Once
+	env  *core.Env
+	err  error
 }
 
 // NewLab creates an experiment lab.
 func NewLab(opts Options) *Lab {
-	return &Lab{Opts: opts, envs: make(map[string]*core.Env)}
+	return &Lab{Opts: opts, envs: make(map[string]*envSlot)}
 }
 
 // Env returns the prepared environment for a game, building it on first
 // use.
 func (l *Lab) Env(name string) (*core.Env, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if e, ok := l.envs[name]; ok {
-		return e, nil
+	s, ok := l.envs[name]
+	if !ok {
+		s = &envSlot{}
+		l.envs[name] = s
 	}
+	l.mu.Unlock()
+	s.once.Do(func() { s.env, s.err = l.buildEnv(name) })
+	return s.env, s.err
+}
+
+func (l *Lab) buildEnv(name string) (*core.Env, error) {
 	spec, err := games.ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	opts := core.EnvOptions{RenderCfg: l.Opts.renderConfig()}
+	opts := core.EnvOptions{RenderCfg: l.Opts.renderConfig(), Parallel: l.Opts.Parallel}
 	if l.Opts.Quick {
 		p := cutoff.DefaultParams()
 		p.K = 5
@@ -89,8 +126,17 @@ func (l *Lab) Env(name string) (*core.Env, error) {
 	if err != nil {
 		return nil, fmt.Errorf("eval: preparing %s: %w", name, err)
 	}
-	l.envs[name] = env
 	return env, nil
+}
+
+// PrepareEnvs builds the environments for the named games across the lab's
+// workers. Generators call it before fanning out so the parallel units find
+// every environment already cached.
+func (l *Lab) PrepareEnvs(names []string) error {
+	return par.ForErr(l.Opts.workers(), len(names), func(i int) error {
+		_, err := l.Env(names[i])
+		return err
+	})
 }
 
 // Game builds (and caches via Env) the game for similarity experiments

@@ -7,9 +7,11 @@ import (
 	"math/rand"
 
 	"coterie/internal/geom"
+	"coterie/internal/par"
 	"coterie/internal/render"
 	"coterie/internal/ssim"
 	"coterie/internal/trace"
+	"coterie/internal/world"
 )
 
 // Fig1Row is one game's intra-player frame similarity before and after the
@@ -32,47 +34,61 @@ func (l *Lab) Fig1() ([]Fig1Row, error) {
 	if l.Opts.Quick {
 		pairs = 8
 	}
-	var rows []Fig1Row
-	for _, name := range allGameNames() {
+	names := allGameNames()
+	if err := l.PrepareEnvs(names); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig1Row, len(names))
+	for gi, name := range names {
 		env, err := l.Env(name)
 		if err != nil {
 			return nil, err
 		}
-		r := render.New(env.Game.Scene, l.Opts.renderConfig())
-		tr := trace.Generate(env.Game, 120, l.Opts.Seed+int64(len(rows)))
+		r := render.New(env.Game.Scene, l.Opts.itemRenderConfig())
+		tr := trace.Generate(env.Game, 120, l.Opts.Seed+int64(gi))
 
 		step := l.Opts.adjacentStep(env.Game.Scene.Grid.Step)
-		var whole, far []float64
+		// Enumerate the viewpoint pairs sequentially (the stationary-player
+		// skip below depends only on the trace), then fan the render+SSIM
+		// work out across workers.
+		type pair struct{ p1, p2 geom.Vec2 }
+		var items []pair
 		stride := tr.Len() / (pairs + 1)
 		if stride < 2 {
 			stride = 2
 		}
-		for i := stride; i+1 < tr.Len() && len(whole) < pairs; i += stride {
+		for i := stride; i+1 < tr.Len() && len(items) < pairs; i += stride {
 			p1 := tr.Pos[i]
 			p2 := adjacentAlongPath(tr, i, step)
 			if p1.Dist(p2) < step*0.5 {
 				continue // player stationary; skip (no new frame needed)
 			}
+			items = append(items, pair{p1, p2})
+		}
+		whole := make([]float64, len(items))
+		far := make([]float64, len(items))
+		par.For(l.Opts.workers(), len(items), func(i int) {
+			p1, p2 := items[i].p1, items[i].p2
 			e1, e2 := env.Game.Scene.EyeAt(p1), env.Game.Scene.EyeAt(p2)
 
 			w1 := r.Panorama(e1, 0, math.Inf(1), nil)
 			w2 := r.Panorama(e2, 0, math.Inf(1), nil)
 			if s, err := ssim.Mean(w1, w2); err == nil {
-				whole = append(whole, s)
+				whole[i] = s
 			}
 			rad := env.Map.RadiusAt(p1)
 			f1 := r.Panorama(e1, rad, math.Inf(1), nil)
 			f2 := r.Panorama(e2, rad, math.Inf(1), nil)
 			if s, err := ssim.Mean(f1, f2); err == nil {
-				far = append(far, s)
+				far[i] = s
 			}
-		}
-		rows = append(rows, Fig1Row{
+		})
+		rows[gi] = Fig1Row{
 			Game:    name,
 			Outdoor: env.Game.Spec.Outdoor,
 			Whole:   summarize(whole, ssim.GoodThreshold),
 			Far:     summarize(far, ssim.GoodThreshold),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -126,23 +142,34 @@ func (l *Lab) Fig2() ([]Fig2Row, error) {
 	if l.Opts.Quick {
 		samples = 6
 	}
-	var rows []Fig2Row
-	for _, name := range allGameNames() {
+	names := allGameNames()
+	if err := l.PrepareEnvs(names); err != nil {
+		return nil, err
+	}
+	rows := make([]Fig2Row, len(names))
+	for gi, name := range names {
 		env, err := l.Env(name)
 		if err != nil {
 			return nil, err
 		}
-		r := render.New(env.Game.Scene, l.Opts.renderConfig())
+		r := render.New(env.Game.Scene, l.Opts.itemRenderConfig())
 		party := trace.GenerateParty(env.Game, 2, 120, l.Opts.Seed+77)
 		t1, t2 := party[0], party[1]
 
-		var whole, far []float64
+		// Sampled player-1 positions; every sample is kept, so the work
+		// list is a plain stride walk and the samples fan out directly.
+		var items []geom.Vec2
 		stride := t1.Len() / (samples + 1)
 		if stride < 1 {
 			stride = 1
 		}
-		for i := stride; i < t1.Len() && len(whole) < samples; i += stride {
-			p1 := t1.Pos[i]
+		for i := stride; i < t1.Len() && len(items) < samples; i += stride {
+			items = append(items, t1.Pos[i])
+		}
+		whole := make([]float64, len(items))
+		far := make([]float64, len(items))
+		par.For(l.Opts.workers(), len(items), func(i int) {
+			p1 := items[i]
 			// Closest viewpoints of player 2 (candidate best-case frames).
 			best := nearestK(t2, p1, candidates)
 			e1 := env.Game.Scene.EyeAt(p1)
@@ -162,15 +189,15 @@ func (l *Lab) Fig2() ([]Fig2Row, error) {
 					bf = s
 				}
 			}
-			whole = append(whole, bw)
-			far = append(far, bf)
-		}
-		rows = append(rows, Fig2Row{
+			whole[i] = bw
+			far[i] = bf
+		})
+		rows[gi] = Fig2Row{
 			Game:    name,
 			Outdoor: env.Game.Spec.Outdoor,
 			Whole:   summarize(whole, ssim.GoodThreshold),
 			Far:     summarize(far, ssim.GoodThreshold),
-		})
+		}
 	}
 	return rows, nil
 }
@@ -233,48 +260,94 @@ func (l *Lab) Fig3() (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := render.New(env.Game.Scene, l.Opts.renderConfig())
+	r := render.New(env.Game.Scene, l.Opts.itemRenderConfig())
 	rng := rand.New(rand.NewSource(l.Opts.Seed + 3))
-	q := env.Game.Scene.NewQuery()
 
 	trials := 40
 	if l.Opts.Quick {
 		trials = 12
 	}
-	var best *Fig3Result
-	bestGap := math.Inf(-1)
+	// All trial locations come from the sequential rng stream up front, so
+	// the sampled points match the original implementation exactly.
+	locs := make([]geom.Vec2, trials)
 	b := env.Game.Scene.Bounds
-	for trial := 0; trial < trials; trial++ {
-		p1 := geom.V2(b.MinX+rng.Float64()*b.Width(), b.MinZ+rng.Float64()*b.Depth())
+	for i := range locs {
+		locs[i] = geom.V2(b.MinX+rng.Float64()*b.Width(), b.MinZ+rng.Float64()*b.Depth())
+	}
+	step := l.Opts.adjacentStep(env.Game.Scene.Grid.Step)
+
+	type trialResult struct {
+		ok     bool
+		sw, sf float64
+		cutoff float64
+		p1     geom.Vec2
+	}
+	eval := func(q *world.Query, p1 geom.Vec2) trialResult {
 		// Require near objects for the effect.
 		if n := env.Game.Scene.ObjectsWithin(q, nil, p1, 5); len(n) == 0 {
-			continue
+			return trialResult{}
 		}
-		p2 := geom.V2(p1.X+l.Opts.adjacentStep(env.Game.Scene.Grid.Step), p1.Z)
+		p2 := geom.V2(p1.X+step, p1.Z)
 		e1, e2 := env.Game.Scene.EyeAt(p1), env.Game.Scene.EyeAt(p2)
 		w1 := r.Panorama(e1, 0, math.Inf(1), nil)
 		w2 := r.Panorama(e2, 0, math.Inf(1), nil)
 		sw, err := ssim.Mean(w1, w2)
 		if err != nil {
-			continue
+			return trialResult{}
 		}
 		cutoff := env.Map.RadiusAt(p1)
 		if cutoff <= 0 {
-			continue
+			return trialResult{}
 		}
 		f1 := r.Panorama(e1, cutoff, math.Inf(1), nil)
 		f2 := r.Panorama(e2, cutoff, math.Inf(1), nil)
 		sf, err := ssim.Mean(f1, f2)
 		if err != nil {
-			continue
+			return trialResult{}
 		}
-		// Pick the pair that best exhibits the effect: a large jump in
-		// similarity once near objects are removed.
-		if gap := sf - sw; gap > bestGap {
-			bestGap = gap
-			best = &Fig3Result{WholeSSIM: sw, FarSSIM: sf, Cutoff: cutoff, Dist: p1.Dist(p2)}
+		return trialResult{ok: true, sw: sw, sf: sf, cutoff: cutoff, p1: p1}
+	}
+
+	// The search stops early once a convincing example appears, so trials
+	// run in chunks of one per worker: the chunk computes in parallel, the
+	// reduction below scans it in trial order and honours the original
+	// early exit. A chunk may compute a few trials past the stopping point;
+	// their results are discarded, so output is order-exact.
+	workers := l.Opts.workers()
+	queries := make([]*world.Query, par.Workers(workers))
+	for i := range queries {
+		queries[i] = env.Game.Scene.NewQuery()
+	}
+	var best *Fig3Result
+	bestGap := math.Inf(-1)
+	results := make([]trialResult, trials)
+	for chunk := 0; chunk < trials; chunk += workers {
+		end := chunk + workers
+		if end > trials {
+			end = trials
 		}
-		if best != nil && best.WholeSSIM < 0.8 && best.FarSSIM > ssim.GoodThreshold {
+		par.ForWorker(workers, end-chunk, func(worker, i int) {
+			results[chunk+i] = eval(queries[worker], locs[chunk+i])
+		})
+		stop := false
+		for t := chunk; t < end; t++ {
+			res := results[t]
+			if !res.ok {
+				continue
+			}
+			// Pick the pair that best exhibits the effect: a large jump in
+			// similarity once near objects are removed.
+			if gap := res.sf - res.sw; gap > bestGap {
+				bestGap = gap
+				p2 := geom.V2(res.p1.X+step, res.p1.Z)
+				best = &Fig3Result{WholeSSIM: res.sw, FarSSIM: res.sf, Cutoff: res.cutoff, Dist: res.p1.Dist(p2)}
+			}
+			if best != nil && best.WholeSSIM < 0.8 && best.FarSSIM > ssim.GoodThreshold {
+				stop = true
+				break
+			}
+		}
+		if stop {
 			break
 		}
 	}
@@ -305,11 +378,12 @@ func (l *Lab) Fig5() ([]Fig5Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := render.New(env.Game.Scene, l.Opts.renderConfig())
+	r := render.New(env.Game.Scene, l.Opts.itemRenderConfig())
 	rng := rand.New(rand.NewSource(l.Opts.Seed + 5))
 	q := env.Game.Scene.NewQuery()
 
-	// Four random locations with nearby geometry.
+	// Four random locations with nearby geometry (sequential: each accepted
+	// location consumes a data-dependent number of rng draws).
 	b := env.Game.Scene.Bounds
 	var locs [4]geom.Vec2
 	for i := 0; i < 4; {
@@ -323,21 +397,28 @@ func (l *Lab) Fig5() ([]Fig5Point, error) {
 	if l.Opts.Quick {
 		radii = []float64{0, 2, 8, 18}
 	}
-	var points []Fig5Point
+	// The sweep grid (radius x location) is embarrassingly parallel.
+	points := make([]Fig5Point, len(radii))
+	for ri, rad := range radii {
+		points[ri].Radius = rad
+	}
 	step := l.Opts.adjacentStep(env.Game.Scene.Grid.Step)
-	for _, rad := range radii {
-		pt := Fig5Point{Radius: rad}
-		for i, p1 := range locs {
-			p2 := geom.V2(p1.X+step, p1.Z)
-			f1 := r.Panorama(env.Game.Scene.EyeAt(p1), rad, math.Inf(1), nil)
-			f2 := r.Panorama(env.Game.Scene.EyeAt(p2), rad, math.Inf(1), nil)
-			s, err := ssim.Mean(f1, f2)
-			if err != nil {
-				return nil, err
-			}
-			pt.SSIM[i] = s
+	err = par.ForErr(l.Opts.workers(), len(radii)*len(locs), func(idx int) error {
+		ri, li := idx/len(locs), idx%len(locs)
+		rad := radii[ri]
+		p1 := locs[li]
+		p2 := geom.V2(p1.X+step, p1.Z)
+		f1 := r.Panorama(env.Game.Scene.EyeAt(p1), rad, math.Inf(1), nil)
+		f2 := r.Panorama(env.Game.Scene.EyeAt(p2), rad, math.Inf(1), nil)
+		s, err := ssim.Mean(f1, f2)
+		if err != nil {
+			return err
 		}
-		points = append(points, pt)
+		points[ri].SSIM[li] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }

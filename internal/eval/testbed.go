@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"coterie/internal/core"
+	"coterie/internal/par"
 )
 
 // coreConfig is the shared session shape used by testbed experiments.
@@ -23,6 +24,37 @@ func coreRun(env *core.Env, c coreConfig) (*core.Result, error) {
 	})
 }
 
+// sessionJob is one independent testbed session in a generator's work list.
+// Sessions are self-contained (each builds its own simulator, Wi-Fi model
+// and traces over the read-only Env), so a generator enumerates its
+// (game, system, players) grid into jobs and fans them out.
+type sessionJob struct {
+	game string
+	cfg  coreConfig
+}
+
+// runSessions executes the jobs across the lab's workers and returns the
+// results in job order. Environments must already be prepared (PrepareEnvs).
+func (l *Lab) runSessions(jobs []sessionJob) ([]*core.Result, error) {
+	results := make([]*core.Result, len(jobs))
+	err := par.ForErr(l.Opts.workers(), len(jobs), func(i int) error {
+		env, err := l.Env(jobs[i].game)
+		if err != nil {
+			return err
+		}
+		res, err := coreRun(env, jobs[i].cfg)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
 // Table1Row is one (game, system, players) row of the §3 scaling study.
 type Table1Row struct {
 	Game    string
@@ -37,21 +69,25 @@ type Table1Row struct {
 // Thin-client's network latency roughly doubles with the second player;
 // Multi-Furion reaches 60 FPS for one player and loses it at two.
 func (l *Lab) Table1() ([]Table1Row, error) {
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	var jobs []sessionJob
 	var rows []Table1Row
 	for _, sys := range []core.SystemKind{core.Mobile, core.ThinClient, core.MultiFurion} {
 		for _, name := range headlineNames {
 			for _, players := range []int{1, 2} {
-				env, err := l.Env(name)
-				if err != nil {
-					return nil, err
-				}
-				res, err := coreRun(env, coreConfig{system: sys, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, Table1Row{Game: name, System: sys, Players: players, M: res.Mean})
+				jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: sys, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}})
+				rows = append(rows, Table1Row{Game: name, System: sys, Players: players})
 			}
 		}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].M = res.Mean
 	}
 	return rows, nil
 }
@@ -82,25 +118,41 @@ type Table7Row struct {
 // (better than the others, because FI and near BE skip the codec), 60 FPS
 // and responsiveness under 16 ms.
 func (l *Lab) Table7() ([]Table7Row, error) {
-	var rows []Table7Row
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	systems := []core.SystemKind{core.ThinClient, core.MultiFurion, core.Coterie}
+	var jobs []sessionJob
 	for _, name := range headlineNames {
+		for _, sys := range systems {
+			jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: sys, players: 2, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}})
+		}
+	}
+	// The quality runs fan their own samples out internally, so the games
+	// loop stays sequential here while runSessions handles the session grid.
+	qualities := make([]map[core.SystemKind]float64, len(headlineNames))
+	for gi, name := range headlineNames {
 		env, err := l.Env(name)
 		if err != nil {
 			return nil, err
 		}
-		quality, err := visualQuality(env, l.Opts)
+		qualities[gi], err = visualQuality(env, l.Opts)
 		if err != nil {
 			return nil, err
 		}
-		for _, sys := range []core.SystemKind{core.ThinClient, core.MultiFurion, core.Coterie} {
-			res, err := coreRun(env, coreConfig{system: sys, players: 2, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-			if err != nil {
-				return nil, err
-			}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table7Row
+	for gi, name := range headlineNames {
+		for si, sys := range systems {
+			res := results[gi*len(systems)+si]
 			rows = append(rows, Table7Row{
 				Game:             name,
 				System:           sys,
-				SSIM:             quality[sys],
+				SSIM:             qualities[gi][sys],
 				FPS:              res.Mean.FPS,
 				ResponsivenessMs: res.Mean.ResponsivenessMs,
 			})
@@ -132,23 +184,25 @@ type Fig11Row struct {
 // full Coterie holds 60 FPS.
 func (l *Lab) Fig11() ([]Fig11Row, error) {
 	systems := []core.SystemKind{core.MultiFurion, core.MultiFurionCache, core.CoterieNoCache, core.Coterie}
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	var jobs []sessionJob
 	var rows []Fig11Row
 	for _, name := range headlineNames {
-		env, err := l.Env(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, sys := range systems {
-			row := Fig11Row{Game: name, System: sys}
+			rows = append(rows, Fig11Row{Game: name, System: sys})
 			for players := 1; players <= 4; players++ {
-				res, err := coreRun(env, coreConfig{system: sys, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-				if err != nil {
-					return nil, err
-				}
-				row.FPS[players-1] = res.Mean.FPS
+				jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: sys, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}})
 			}
-			rows = append(rows, row)
 		}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i/4].FPS[i%4] = res.Mean.FPS
 	}
 	return rows, nil
 }
@@ -175,19 +229,23 @@ type Table8Row struct {
 // ~16 ms inter-frame, 27-32% CPU, 39-57% GPU, 150-280 KB frames, <9 ms
 // transfer delay.
 func (l *Lab) Table8() ([]Table8Row, error) {
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	var jobs []sessionJob
 	var rows []Table8Row
 	for _, name := range headlineNames {
-		env, err := l.Env(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, players := range []int{1, 2} {
-			res, err := coreRun(env, coreConfig{system: core.Coterie, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Table8Row{Game: name, Players: players, M: res.Mean})
+			jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: core.Coterie, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}})
+			rows = append(rows, Table8Row{Game: name, Players: players})
 		}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, res := range results {
+		rows[i].M = res.Mean
 	}
 	return rows, nil
 }
@@ -222,22 +280,28 @@ type Table9Row struct {
 // by an order of magnitude versus Multi-Furion, while FI traffic stays 2-4
 // orders of magnitude below BE traffic. Paper: 10.6x-25.7x reduction.
 func (l *Lab) Table9() ([]Table9Row, error) {
-	var rows []Table9Row
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	// Per game: one Multi-Furion session followed by Coterie at 1-4 players.
+	const perGame = 5
+	var jobs []sessionJob
 	for _, name := range headlineNames {
-		env, err := l.Env(name)
-		if err != nil {
-			return nil, err
-		}
-		furion, err := coreRun(env, coreConfig{system: core.MultiFurion, players: 1, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-		if err != nil {
-			return nil, err
-		}
-		row := Table9Row{Game: name, FurionBEMbps: furion.Mean.BEMbps}
+		jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: core.MultiFurion, players: 1, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}})
 		for players := 1; players <= 4; players++ {
-			res, err := coreRun(env, coreConfig{system: core.Coterie, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed})
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: core.Coterie, players: players, seconds: l.Opts.sessionSeconds(), seed: l.Opts.Seed}})
+		}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table9Row
+	for gi, name := range headlineNames {
+		base := gi * perGame
+		row := Table9Row{Game: name, FurionBEMbps: results[base].Mean.BEMbps}
+		for players := 1; players <= 4; players++ {
+			res := results[base+players]
 			row.CoterieBEMbps[players-1] = res.Mean.BEMbps
 			row.CoterieFIKbps[players-1] = res.FIKbps
 		}
@@ -290,37 +354,45 @@ func (l *Lab) Fig12() ([]Fig12Row, error) {
 	if l.Opts.Quick {
 		seconds = 60
 	}
-	var rows []Fig12Row
+	if err := l.PrepareEnvs(headlineNames); err != nil {
+		return nil, err
+	}
+	var jobs []sessionJob
 	for _, name := range headlineNames {
-		env, err := l.Env(name)
+		for _, players := range []int{1, 4} {
+			jobs = append(jobs, sessionJob{game: name, cfg: coreConfig{system: core.Coterie, players: players, seconds: seconds, seed: l.Opts.Seed}})
+		}
+	}
+	results, err := l.runSessions(jobs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Fig12Row
+	for i, job := range jobs {
+		env, err := l.Env(job.game)
 		if err != nil {
 			return nil, err
 		}
-		for _, players := range []int{1, 4} {
-			res, err := coreRun(env, coreConfig{system: core.Coterie, players: players, seconds: seconds, seed: l.Opts.Seed})
-			if err != nil {
-				return nil, err
-			}
-			row := Fig12Row{
-				Game: name, Players: players,
-				AvgCPUPct: res.Mean.CPUPct,
-				AvgGPUPct: res.Mean.GPUPct,
-				AvgPowerW: res.Mean.PowerW,
-				EndTempC:  res.Mean.TempC,
-				FlatCPU:   true,
-				Series:    res.Series,
-			}
-			for _, s := range res.Series {
-				if s.TempC > row.MaxTempC {
-					row.MaxTempC = s.TempC
-				}
-				if s.CPUPct > res.Mean.CPUPct+15 || s.CPUPct < res.Mean.CPUPct-15 {
-					row.FlatCPU = false
-				}
-			}
-			row.BatteryHours = env.Device.BatteryHours(row.AvgPowerW)
-			rows = append(rows, row)
+		res := results[i]
+		row := Fig12Row{
+			Game: job.game, Players: job.cfg.players,
+			AvgCPUPct: res.Mean.CPUPct,
+			AvgGPUPct: res.Mean.GPUPct,
+			AvgPowerW: res.Mean.PowerW,
+			EndTempC:  res.Mean.TempC,
+			FlatCPU:   true,
+			Series:    res.Series,
 		}
+		for _, s := range res.Series {
+			if s.TempC > row.MaxTempC {
+				row.MaxTempC = s.TempC
+			}
+			if s.CPUPct > res.Mean.CPUPct+15 || s.CPUPct < res.Mean.CPUPct-15 {
+				row.FlatCPU = false
+			}
+		}
+		row.BatteryHours = env.Device.BatteryHours(row.AvgPowerW)
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

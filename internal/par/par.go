@@ -1,0 +1,92 @@
+// Package par provides the small worker-pool fan-out primitive used by the
+// experiment pipeline (internal/eval, internal/cutoff) and the offline
+// preprocessing stages to parallelize independent units of work — trace
+// positions, leaf regions, testbed sessions — while keeping output
+// deterministic.
+//
+// The determinism contract: callers pass a closure that writes its result
+// into index i of a preallocated slice (never append-from-goroutine), so the
+// collected output is identical for any worker count. Work is handed out by
+// an atomic counter, which balances uneven item costs (a quadtree leaf whose
+// binary search converges late, a session with more players) better than
+// static striping.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a parallelism setting: n > 0 means n workers, anything
+// else means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) across the given number of workers
+// (resolved via Workers) and returns when all calls have finished. With one
+// worker the calls run inline on the caller's goroutine in index order —
+// the zero-overhead path sequential callers and the Parallel=1 determinism
+// tests rely on.
+func For(workers, n int, fn func(i int)) {
+	ForWorker(workers, n, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the worker's index passed alongside the item index,
+// so callers can hand each worker its own scratch state (a world.Query, a
+// reusable ssim.Comparer) allocated once per worker rather than once per
+// item. Worker indices are in [0, Workers(workers)).
+func ForWorker(workers, n int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for wi := 0; wi < w; wi++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(wi)
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) and returns the error of the
+// lowest index that failed (deterministic regardless of worker count), or
+// nil if every call succeeded. All items run even when one fails; the
+// per-item work in this codebase is side-effect-free on error, so draining
+// is simpler and keeps the error choice deterministic.
+func ForErr(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	For(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Fatal("explicit count not respected")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Fatal("auto worker count must be at least 1")
+	}
+}
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 57
+		seen := make([]atomic.Int32, n)
+		For(workers, n, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForDeterministicOutput(t *testing.T) {
+	// The contract: indexed writes produce identical slices at any width.
+	run := func(workers int) []int {
+		out := make([]int, 200)
+		For(workers, len(out), func(i int) { out[i] = i * i })
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(4, 0, func(int) { called = true })
+	For(4, -1, func(int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForWorkerIndexInRange(t *testing.T) {
+	const workers, n = 3, 40
+	For := ForWorker
+	bad := atomic.Int32{}
+	For(workers, n, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of range")
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := ForErr(workers, 100, func(i int) error {
+			if i == 13 || i == 77 {
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 13" {
+			t.Fatalf("workers=%d: err = %v, want item 13", workers, err)
+		}
+	}
+	if err := ForErr(8, 50, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+	if err := ForErr(8, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatalf("empty range returned %v", err)
+	}
+}

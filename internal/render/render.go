@@ -35,18 +35,73 @@ type Config struct {
 func DefaultConfig() Config { return Config{W: 256, H: 128} }
 
 // Renderer renders frames of one scene. It is safe for concurrent use: all
-// per-call scratch state is allocated per worker.
+// per-call scratch state is allocated per worker, and the direction LUT is
+// read-only after New.
 type Renderer struct {
 	Scene *world.Scene
 	Cfg   Config
+
+	// dirs and pitches are the per-pixel ray directions and per-row pitch
+	// angles of the equirectangular projection, precomputed once per
+	// renderer: W and H are fixed, so the yaw/pitch trig is identical for
+	// every frame. dirs is nil when the resolution exceeds maxLUTPixels (or
+	// when the Renderer was built as a bare literal); render falls back to
+	// computing the same values inline.
+	dirs    []geom.Vec3
+	pitches []float64
 }
+
+// maxLUTPixels caps the direction table's memory (24 B/pixel); beyond ~2M
+// pixels the table stops fitting in cache and per-frame trig is cheaper than
+// the standing allocation.
+const maxLUTPixels = 1 << 21
 
 // New creates a renderer for the scene.
 func New(s *world.Scene, cfg Config) *Renderer {
 	if cfg.W <= 0 || cfg.H <= 0 {
 		cfg = DefaultConfig()
 	}
-	return &Renderer{Scene: s, Cfg: cfg}
+	r := &Renderer{Scene: s, Cfg: cfg}
+	r.buildLUT()
+	return r
+}
+
+// buildLUT precomputes the projection tables. The arithmetic matches the
+// inline fallback exactly, so frames are bit-identical with or without it.
+func (r *Renderer) buildLUT() {
+	w, h := r.Cfg.W, r.Cfg.H
+	if w*h > maxLUTPixels {
+		return
+	}
+	r.pitches = make([]float64, h)
+	r.dirs = make([]geom.Vec3, w*h)
+	for y := 0; y < h; y++ {
+		pitch := math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(h)
+		r.pitches[y] = pitch
+		cp, sp := math.Cos(pitch), math.Sin(pitch)
+		for x := 0; x < w; x++ {
+			yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+			r.dirs[y*w+x] = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+		}
+	}
+}
+
+// pitchAt returns the pitch angle of row y.
+func (r *Renderer) pitchAt(y int) float64 {
+	if r.pitches != nil {
+		return r.pitches[y]
+	}
+	return math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(r.Cfg.H)
+}
+
+// rowDirs returns the precomputed ray directions of row y, or nil when the
+// renderer has no LUT.
+func (r *Renderer) rowDirs(y int) []geom.Vec3 {
+	if r.dirs == nil {
+		return nil
+	}
+	w := r.Cfg.W
+	return r.dirs[y*w : (y+1)*w]
 }
 
 // Frame is a rendered panorama. Mask, when non-nil, flags the pixels that
@@ -124,11 +179,20 @@ func (r *Renderer) render(eye geom.Vec3, tMin, tMax float64, dynamics []world.Ob
 			defer wg.Done()
 			q := r.Scene.NewQuery()
 			for y := y0; y < y1; y++ {
-				pitch := math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(h)
-				cp, sp := math.Cos(pitch), math.Sin(pitch)
+				pitch := r.pitchAt(y)
+				rowDirs := r.rowDirs(y)
+				var cp, sp float64
+				if rowDirs == nil {
+					cp, sp = math.Cos(pitch), math.Sin(pitch)
+				}
 				for x := 0; x < w; x++ {
-					yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
-					dir := geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+					var dir geom.Vec3
+					if rowDirs != nil {
+						dir = rowDirs[x]
+					} else {
+						yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+						dir = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+					}
 					ray := geom.Ray{Origin: eye, Direction: dir}
 
 					hit, ok := r.Scene.Intersect(q, ray, tMin, tMax)

@@ -52,6 +52,41 @@ func TestPanoramaDimensions(t *testing.T) {
 	}
 }
 
+func TestLUTMatchesInlineTrig(t *testing.T) {
+	// The direction LUT must not change a single pixel: a renderer built as
+	// a bare literal (no LUT) and one built by New (LUT) render identical
+	// frames, masks included.
+	s := denseScene(31, 120)
+	cfg := Config{W: 96, H: 48}
+	withLUT := New(s, cfg)
+	if withLUT.dirs == nil {
+		t.Fatal("expected LUT at experiment resolution")
+	}
+	noLUT := &Renderer{Scene: s, Cfg: cfg}
+	eye := s.EyeAt(geom.V2(55, 62))
+	a := withLUT.Panorama(eye, 0, math.Inf(1), nil)
+	b := noLUT.Panorama(eye, 0, math.Inf(1), nil)
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatalf("pixel %d differs with LUT: %d vs %d", i, a.Pix[i], b.Pix[i])
+		}
+	}
+	fa := withLUT.NearFrame(eye, 8, nil)
+	fb := noLUT.NearFrame(eye, 8, nil)
+	for i := range fa.Mask {
+		if fa.Mask[i] != fb.Mask[i] || fa.Gray.Pix[i] != fb.Gray.Pix[i] {
+			t.Fatalf("near frame differs with LUT at %d", i)
+		}
+	}
+	ra := withLUT.PanoramaRGB(eye, 0, math.Inf(1), nil)
+	rb := noLUT.PanoramaRGB(eye, 0, math.Inf(1), nil)
+	for i := range ra.Pix {
+		if ra.Pix[i] != rb.Pix[i] {
+			t.Fatalf("RGB differs with LUT at %d", i)
+		}
+	}
+}
+
 func TestPanoramaDeterministic(t *testing.T) {
 	s := denseScene(2, 80)
 	r := New(s, Config{W: 96, H: 48})

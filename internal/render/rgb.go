@@ -49,11 +49,20 @@ func (r *Renderer) PanoramaRGB(eye geom.Vec3, tMin, tMax float64, dynamics []wor
 			defer wg.Done()
 			q := r.Scene.NewQuery()
 			for y := y0; y < y1; y++ {
-				pitch := math.Pi/2 - math.Pi*(float64(y)+0.5)/float64(h)
-				cp, sp := math.Cos(pitch), math.Sin(pitch)
+				pitch := r.pitchAt(y)
+				rowDirs := r.rowDirs(y)
+				var cp, sp float64
+				if rowDirs == nil {
+					cp, sp = math.Cos(pitch), math.Sin(pitch)
+				}
 				for x := 0; x < w; x++ {
-					yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
-					dir := geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+					var dir geom.Vec3
+					if rowDirs != nil {
+						dir = rowDirs[x]
+					} else {
+						yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+						dir = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+					}
 					ray := geom.Ray{Origin: eye, Direction: dir}
 
 					hit, ok := r.Scene.Intersect(q, ray, tMin, tMax)

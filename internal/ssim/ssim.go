@@ -8,11 +8,23 @@
 // on 8-bit luminance; Mean computes the mean SSIM over all full window
 // positions. The Gaussian filtering is separable, so the cost is
 // O(pixels * window) rather than O(pixels * window^2).
+//
+// The metric is the experiment pipeline's hottest non-render path, so the
+// filter is organised around a reusable Comparer: the uint8-to-float
+// conversion is fused into the horizontal filter pass and the per-window
+// SSIM score into the vertical pass, with the five intermediate channel
+// planes (mean, second moments, cross moment) held in scratch buffers that
+// persist across calls. Steady state, a Comparer performs zero heap
+// allocations per comparison; the package-level Mean/Good wrappers draw
+// Comparers from a sync.Pool, so concurrent experiment workers share a
+// small set of scratch buffers instead of allocating ~5×W×H float64s per
+// call as the original implementation did.
 package ssim
 
 import (
 	"errors"
 	"math"
+	"sync"
 
 	"coterie/internal/img"
 )
@@ -53,85 +65,131 @@ func gaussianKernel(size int, sigma float64) []float64 {
 	return k
 }
 
-// filter applies the separable Gaussian to src (valid-mode: output size
-// (w-window+1) x (h-window+1)).
-func filter(src []float64, w, h int) ([]float64, int, int) {
-	ow := w - windowSize + 1
-	oh := h - windowSize + 1
-	// Horizontal pass.
-	tmp := make([]float64, ow*h)
-	for y := 0; y < h; y++ {
-		row := src[y*w : (y+1)*w]
-		for x := 0; x < ow; x++ {
-			var s float64
-			for i, kv := range kernel {
-				s += kv * row[x+i]
-			}
-			tmp[y*ow+x] = s
-		}
-	}
-	// Vertical pass.
-	out := make([]float64, ow*oh)
-	for y := 0; y < oh; y++ {
-		for x := 0; x < ow; x++ {
-			var s float64
-			for i, kv := range kernel {
-				s += kv * tmp[(y+i)*ow+x]
-			}
-			out[y*ow+x] = s
-		}
-	}
-	return out, ow, oh
+// channel indices of the filtered planes.
+const (
+	chA  = iota // E[a]
+	chB         // E[b]
+	chAA        // E[a^2]
+	chBB        // E[b^2]
+	chAB        // E[ab]
+	numCh
+)
+
+// Comparer computes mean SSIM using scratch buffers that are reused across
+// calls. It is not safe for concurrent use; create one per goroutine (or
+// use the package-level Mean, which pools them).
+type Comparer struct {
+	// plane holds the horizontally filtered channel planes, each sized
+	// ow*h for the current comparison geometry.
+	plane [numCh][]float64
 }
+
+// NewComparer returns a Comparer with no scratch allocated yet; buffers
+// grow on first use and are retained for subsequent calls.
+func NewComparer() *Comparer { return &Comparer{} }
 
 // Mean returns the mean SSIM index between two same-sized luma images.
 // Both dimensions must be at least the window size (11).
-func Mean(a, b *img.Gray) (float64, error) {
+func (c *Comparer) Mean(a, b *img.Gray) (float64, error) {
 	if !a.SameSize(b) {
 		return 0, errors.New("ssim: image size mismatch")
 	}
 	if a.W < windowSize || a.H < windowSize {
 		return 0, errors.New("ssim: image smaller than 11x11 window")
 	}
-	n := a.W * a.H
-	fa := make([]float64, n)
-	fb := make([]float64, n)
-	faa := make([]float64, n)
-	fbb := make([]float64, n)
-	fab := make([]float64, n)
-	for i := 0; i < n; i++ {
-		x := float64(a.Pix[i])
-		y := float64(b.Pix[i])
-		fa[i] = x
-		fb[i] = y
-		faa[i] = x * x
-		fbb[i] = y * y
-		fab[i] = x * y
-	}
-	muA, ow, oh := filter(fa, a.W, a.H)
-	muB, _, _ := filter(fb, a.W, a.H)
-	sAA, _, _ := filter(faa, a.W, a.H)
-	sBB, _, _ := filter(fbb, a.W, a.H)
-	sAB, _, _ := filter(fab, a.W, a.H)
+	w, h := a.W, a.H
+	ow := w - windowSize + 1
+	oh := h - windowSize + 1
 
+	n := ow * h
+	for ch := range c.plane {
+		if cap(c.plane[ch]) < n {
+			c.plane[ch] = make([]float64, n)
+		}
+		c.plane[ch] = c.plane[ch][:n]
+	}
+	pa, pb := c.plane[chA], c.plane[chB]
+	paa, pbb, pab := c.plane[chAA], c.plane[chBB], c.plane[chAB]
+
+	// Horizontal pass, fused with the uint8-to-float conversion: the five
+	// channel values are formed on the fly from the source pixels, so no
+	// full-resolution float copies of the inputs exist.
+	for y := 0; y < h; y++ {
+		rowA := a.Pix[y*w : (y+1)*w]
+		rowB := b.Pix[y*w : (y+1)*w]
+		base := y * ow
+		for x := 0; x < ow; x++ {
+			var sa, sb, saa, sbb, sab float64
+			for i, kv := range kernel {
+				xa := float64(rowA[x+i])
+				xb := float64(rowB[x+i])
+				sa += kv * xa
+				sb += kv * xb
+				saa += kv * (xa * xa)
+				sbb += kv * (xb * xb)
+				sab += kv * (xa * xb)
+			}
+			pa[base+x] = sa
+			pb[base+x] = sb
+			paa[base+x] = saa
+			pbb[base+x] = sbb
+			pab[base+x] = sab
+		}
+	}
+
+	// Vertical pass, fused with the per-window SSIM score: each window's
+	// statistics are consumed immediately, so no output planes exist.
 	var sum float64
-	for i := 0; i < ow*oh; i++ {
-		ma, mb := muA[i], muB[i]
-		varA := sAA[i] - ma*ma
-		varB := sBB[i] - mb*mb
-		cov := sAB[i] - ma*mb
-		// Guard tiny negative variances from floating-point error.
-		if varA < 0 {
-			varA = 0
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			var ma, mb, sAA, sBB, sAB float64
+			for i, kv := range kernel {
+				idx := (y+i)*ow + x
+				ma += kv * pa[idx]
+				mb += kv * pb[idx]
+				sAA += kv * paa[idx]
+				sBB += kv * pbb[idx]
+				sAB += kv * pab[idx]
+			}
+			varA := sAA - ma*ma
+			varB := sBB - mb*mb
+			cov := sAB - ma*mb
+			// Guard tiny negative variances from floating-point error.
+			if varA < 0 {
+				varA = 0
+			}
+			if varB < 0 {
+				varB = 0
+			}
+			num := (2*ma*mb + c1) * (2*cov + c2)
+			den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+			sum += num / den
 		}
-		if varB < 0 {
-			varB = 0
-		}
-		num := (2*ma*mb + c1) * (2*cov + c2)
-		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
-		sum += num / den
 	}
 	return sum / float64(ow*oh), nil
+}
+
+// Good reports whether the two frames are similar enough to reuse one for
+// the other under the paper's quality bar (mean SSIM > 0.90).
+func (c *Comparer) Good(a, b *img.Gray) (bool, error) {
+	s, err := c.Mean(a, b)
+	if err != nil {
+		return false, err
+	}
+	return s > GoodThreshold, nil
+}
+
+// pool shares Comparers between the package-level wrappers so concurrent
+// callers reuse scratch buffers instead of allocating per call.
+var pool = sync.Pool{New: func() any { return NewComparer() }}
+
+// Mean returns the mean SSIM index between two same-sized luma images
+// using a pooled Comparer.
+func Mean(a, b *img.Gray) (float64, error) {
+	c := pool.Get().(*Comparer)
+	s, err := c.Mean(a, b)
+	pool.Put(c)
+	return s, err
 }
 
 // Good reports whether the two frames are similar enough to reuse one for

@@ -5,6 +5,44 @@ import (
 	"testing"
 )
 
+// BenchmarkSSIMMean is the canonical acceptance benchmark for the pooled
+// comparer path: it must report 0 allocs/op steady-state. 256x128 matches the
+// experiment pipeline's default panorama resolution.
+func BenchmarkSSIMMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := smoothRandom(rng, 256, 128, 4)
+	c := smoothRandom(rng, 256, 128, 4)
+	if _, err := Mean(a, c); err != nil { // warm the pool's scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mean(a, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSSIMComparerMean measures a dedicated (non-pooled) comparer, the
+// shape the parallel experiment workers use: one comparer per worker.
+func BenchmarkSSIMComparerMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := smoothRandom(rng, 256, 128, 4)
+	x := smoothRandom(rng, 256, 128, 4)
+	c := NewComparer()
+	if _, err := c.Mean(a, x); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Mean(a, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkMean256x128(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	a := smoothRandom(rng, 256, 128, 4)

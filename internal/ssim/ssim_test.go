@@ -1,6 +1,7 @@
 package ssim
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -167,6 +168,158 @@ func TestGood(t *testing.T) {
 	ok, err = Good(a, b)
 	if err != nil || ok {
 		t.Fatalf("noise should not be Good: %v %v", ok, err)
+	}
+}
+
+// referenceMean is the original, allocation-heavy implementation (five
+// full-resolution float planes, two-pass separable filter per plane). The
+// fused Comparer must reproduce it bit for bit: the per-element arithmetic
+// and accumulation order are unchanged, only buffer lifetimes moved.
+func referenceMean(a, b *img.Gray) (float64, error) {
+	if !a.SameSize(b) {
+		return 0, errors.New("ssim: image size mismatch")
+	}
+	if a.W < windowSize || a.H < windowSize {
+		return 0, errors.New("ssim: image smaller than 11x11 window")
+	}
+	filter := func(src []float64, w, h int) ([]float64, int, int) {
+		ow := w - windowSize + 1
+		oh := h - windowSize + 1
+		tmp := make([]float64, ow*h)
+		for y := 0; y < h; y++ {
+			row := src[y*w : (y+1)*w]
+			for x := 0; x < ow; x++ {
+				var s float64
+				for i, kv := range kernel {
+					s += kv * row[x+i]
+				}
+				tmp[y*ow+x] = s
+			}
+		}
+		out := make([]float64, ow*oh)
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				var s float64
+				for i, kv := range kernel {
+					s += kv * tmp[(y+i)*ow+x]
+				}
+				out[y*ow+x] = s
+			}
+		}
+		return out, ow, oh
+	}
+	n := a.W * a.H
+	fa := make([]float64, n)
+	fb := make([]float64, n)
+	faa := make([]float64, n)
+	fbb := make([]float64, n)
+	fab := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := float64(a.Pix[i])
+		y := float64(b.Pix[i])
+		fa[i] = x
+		fb[i] = y
+		faa[i] = x * x
+		fbb[i] = y * y
+		fab[i] = x * y
+	}
+	muA, ow, oh := filter(fa, a.W, a.H)
+	muB, _, _ := filter(fb, a.W, a.H)
+	sAA, _, _ := filter(faa, a.W, a.H)
+	sBB, _, _ := filter(fbb, a.W, a.H)
+	sAB, _, _ := filter(fab, a.W, a.H)
+	var sum float64
+	for i := 0; i < ow*oh; i++ {
+		ma, mb := muA[i], muB[i]
+		varA := sAA[i] - ma*ma
+		varB := sBB[i] - mb*mb
+		cov := sAB[i] - ma*mb
+		if varA < 0 {
+			varA = 0
+		}
+		if varB < 0 {
+			varB = 0
+		}
+		num := (2*ma*mb + c1) * (2*cov + c2)
+		den := (ma*ma + mb*mb + c1) * (varA + varB + c2)
+		sum += num / den
+	}
+	return sum / float64(ow*oh), nil
+}
+
+func TestComparerMatchesReferenceBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := NewComparer()
+	for _, dim := range []struct{ w, h int }{{11, 11}, {64, 48}, {97, 33}, {256, 128}} {
+		for trial := 0; trial < 3; trial++ {
+			a := smoothRandom(rng, dim.w, dim.h, 3)
+			b := smoothRandom(rng, dim.w, dim.h, 3)
+			want, err := referenceMean(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.Mean(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%dx%d trial %d: comparer %v != reference %v (must be bit-exact)",
+					dim.w, dim.h, trial, got, want)
+			}
+			pooled, err := Mean(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pooled != want {
+				t.Fatalf("%dx%d: pooled Mean %v != reference %v", dim.w, dim.h, pooled, want)
+			}
+		}
+	}
+}
+
+func TestComparerReuseAcrossSizes(t *testing.T) {
+	// Shrinking after a large comparison must not leave stale plane tails
+	// in play; growing must reallocate.
+	rng := rand.New(rand.NewSource(22))
+	c := NewComparer()
+	big1, big2 := smoothRandom(rng, 128, 96, 4), smoothRandom(rng, 128, 96, 4)
+	small1, small2 := smoothRandom(rng, 32, 24, 4), smoothRandom(rng, 32, 24, 4)
+	if _, err := c.Mean(big1, big2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Mean(small1, small2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := referenceMean(small1, small2)
+	if got != want {
+		t.Fatalf("after shrink: %v != %v", got, want)
+	}
+	got, err = c.Mean(big1, big2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ = referenceMean(big1, big2)
+	if got != want {
+		t.Fatalf("after regrow: %v != %v", got, want)
+	}
+}
+
+func TestComparerZeroSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	a := smoothRandom(rng, 64, 64, 4)
+	b := smoothRandom(rng, 64, 64, 4)
+	c := NewComparer()
+	if _, err := c.Mean(a, b); err != nil { // warm the scratch
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := c.Mean(a, b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Comparer.Mean allocates %v per op steady-state, want 0", allocs)
 	}
 }
 
