@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the pre-commit gate: vet, build,
 # and the race-detector suite over the packages that fan work across
 # goroutines (eval experiment generators, the pooled SSIM comparer, the
-# parallel cutoff preprocessing).
+# parallel cutoff preprocessing, and the live runtime stack: wall clock,
+# server lifecycle, transport framing, and the sim-vs-live loopback e2e).
 
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench smoke
 
 check: vet build race
 
@@ -19,7 +20,13 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/eval/... ./internal/ssim/... ./internal/cutoff/...
+	$(GO) test -race ./internal/eval/... ./internal/ssim/... ./internal/cutoff/... \
+		./internal/runtime/... ./internal/server/... ./internal/transport/...
+
+# End-to-end smoke: build both binaries, run a short live session over a
+# real socket on localhost, and check the client printed a report.
+smoke:
+	./scripts/smoke.sh
 
 # Hot-path micro-benchmarks (ssim comparer, render LUT, codec, parallel helper).
 bench:

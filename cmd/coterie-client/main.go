@@ -1,8 +1,10 @@
 // Coterie-client plays a synthetic movement trace against a running
-// coterie-server over real TCP, exercising the full client pipeline:
-// per-tick cache lookup, far-BE prefetching on misses, frame decode, and
-// FI synchronisation. It reports the cache hit ratio, bytes fetched and
-// latency percentiles.
+// coterie-server over real TCP/UDP. It runs the same per-frame pipeline
+// (internal/runtime) that drives the paper's simulated experiments —
+// similarity-cache lookup, tracked far-BE prefetch with lookahead, the
+// Eq. 2 task join, vsync-floored display scheduling — just over live
+// sockets instead of the discrete-event testbed. It reports the cache hit
+// ratio, bytes fetched and fetch latency percentiles.
 //
 // Usage (after starting coterie-server -game viking):
 //
@@ -13,144 +15,119 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math"
 	"os"
-	"sort"
 	"time"
 
-	"coterie/internal/cache"
-	"coterie/internal/codec"
 	"coterie/internal/core"
-	"coterie/internal/fisync"
 	"coterie/internal/games"
-	"coterie/internal/geom"
+	"coterie/internal/render"
 	"coterie/internal/server"
 	"coterie/internal/trace"
 )
 
 func main() {
+	if err := run(); err != nil {
+		log.Fatalf("coterie-client: %v", err)
+	}
+}
+
+// run keeps all failure paths as error returns so the deferred teardown
+// in server.RunLive always sends MsgBye — the server sees a clean close,
+// not a dead socket.
+func run() error {
 	game := flag.String("game", "viking", "game to play")
 	addr := flag.String("addr", "localhost:7368", "server address")
 	seconds := flag.Float64("seconds", 30, "trace length to replay")
 	player := flag.Int("player", 0, "player id")
 	seed := flag.Int64("seed", 42, "movement seed")
+	speed := flag.Float64("speed", 1, "replay speed multiplier (1 = real time)")
+	width := flag.Int("width", 0, "panorama width for local preprocessing (0 = default)")
+	height := flag.Int("height", 0, "panorama height for local preprocessing (0 = default)")
 	record := flag.String("record", "", "save the generated movement trace to this file")
 	replay := flag.String("replay", "", "replay a previously recorded trace instead of generating one")
 	flag.Parse()
 
 	spec, err := games.ByName(*game)
 	if err != nil {
-		log.Fatalf("coterie-client: %v", err)
+		return err
 	}
 	// The client runs the same offline preprocessing the server did so
 	// its cache lookups use identical leaf regions and thresholds (the
 	// paper ships the preprocessing output with the app).
 	log.Printf("preparing %s client state...", spec.FullName)
-	env, err := core.PrepareEnv(spec, core.EnvOptions{})
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg: render.Config{W: *width, H: *height},
+	})
 	if err != nil {
-		log.Fatalf("coterie-client: %v", err)
+		return err
 	}
-	cl, err := server.Dial(*addr, spec.Name, uint8(*player))
-	if err != nil {
-		log.Fatalf("coterie-client: %v", err)
-	}
-	defer cl.Close()
-	fi, err := server.DialFI(*addr)
-	if err != nil {
-		log.Fatalf("coterie-client: fi sync: %v", err)
-	}
-	defer fi.Close()
 
+	tr, err := loadTrace(env, *replay, *record, *seconds, *seed, spec.Name)
+	if err != nil {
+		return err
+	}
+
+	report, err := server.RunLive(env, *addr, tr, *player, server.LiveConfig{
+		Speed:        *speed,
+		DecodeFrames: true,
+	})
+	if report != nil {
+		printReport(report, tr.Seconds())
+	}
+	return err
+}
+
+// loadTrace replays a recorded trace or generates one, optionally saving
+// it for later replay.
+func loadTrace(env *core.Env, replay, record string, seconds float64, seed int64, game string) (*trace.Trace, error) {
 	var tr *trace.Trace
-	if *replay != "" {
-		f, err := os.Open(*replay)
+	if replay != "" {
+		f, err := os.Open(replay)
 		if err != nil {
-			log.Fatalf("coterie-client: %v", err)
+			return nil, err
 		}
 		tr, err = trace.Read(f)
 		f.Close()
 		if err != nil {
-			log.Fatalf("coterie-client: reading trace: %v", err)
+			return nil, fmt.Errorf("reading trace: %w", err)
 		}
-		if tr.Game != spec.Name {
-			log.Fatalf("coterie-client: trace is for %q, not %q", tr.Game, spec.Name)
+		if tr.Game != game {
+			return nil, fmt.Errorf("trace is for %q, not %q", tr.Game, game)
 		}
-		log.Printf("replaying %s (%.0f s recorded)", *replay, tr.Seconds())
+		log.Printf("replaying %s (%.0f s recorded)", replay, tr.Seconds())
 	} else {
-		tr = trace.Generate(env.Game, *seconds, *seed)
+		tr = trace.Generate(env.Game, seconds, seed)
 	}
-	if *record != "" {
-		f, err := os.Create(*record)
+	if record != "" {
+		f, err := os.Create(record)
 		if err != nil {
-			log.Fatalf("coterie-client: %v", err)
+			return nil, err
 		}
 		if err := tr.Save(f); err != nil {
-			log.Fatalf("coterie-client: saving trace: %v", err)
+			f.Close()
+			return nil, fmt.Errorf("saving trace: %w", err)
 		}
 		if err := f.Close(); err != nil {
-			log.Fatalf("coterie-client: %v", err)
+			return nil, err
 		}
-		log.Printf("recorded movement trace to %s", *record)
+		log.Printf("recorded movement trace to %s", record)
 	}
-	meta := env.MetaFor()
-	grid := env.Game.Scene.Grid
-	cfg, _ := cache.Version(3)
-	frameCache := cache.New(cfg)
+	return tr, nil
+}
 
-	var fetchLatencies []float64
-	var bytesFetched int64
-	var seq uint32
-	lastPt := geom.GridPoint{I: -1, J: -1}
-	start := time.Now()
-	for tick := 0; tick < tr.Len(); tick++ {
-		pos := tr.Pos[tick]
-		pt := grid.Snap(pos)
-		if pt == lastPt {
-			continue
-		}
-		lastPt = pt
-		frameCache.SetPlayerPos(pos)
-
-		leaf, sig, thresh := meta(pt)
-		req := cache.Request{
-			Point: pt, Pos: grid.Pos(pt), LeafID: leaf, NearSig: sig,
-			DistThresh: thresh, Player: *player,
-		}
-		if _, ok := frameCache.Lookup(req); !ok {
-			t0 := time.Now()
-			data, err := cl.Fetch(pt)
-			if err != nil {
-				log.Fatalf("coterie-client: fetch %v: %v", pt, err)
-			}
-			fetchLatencies = append(fetchLatencies, float64(time.Since(t0).Microseconds())/1000)
-			bytesFetched += int64(len(data))
-			if _, err := codec.Decode(data); err != nil {
-				log.Fatalf("coterie-client: frame %v does not decode: %v", pt, err)
-			}
-			frameCache.Insert(cache.Entry{
-				Point: pt, Pos: req.Pos, LeafID: leaf, NearSig: sig,
-				Data: data, Size: len(data), Owner: *player,
-			})
-		}
-		// FI sync each tick over UDP, like the paper's PUN path; a lost
-		// datagram just means syncing again next frame.
-		seq++
-		if _, err := fi.Sync(fisync.State{Player: uint8(*player), Seq: seq, Pos: pos}, 250*time.Millisecond); err != nil {
-			log.Printf("coterie-client: FI sync dropped: %v", err)
-		}
-	}
-	elapsed := time.Since(start)
-
-	st := frameCache.Stats()
-	fmt.Printf("replayed %.0fs of movement in %v\n", *seconds, elapsed.Round(time.Millisecond))
+func printReport(r *server.LiveReport, seconds float64) {
+	fmt.Printf("replayed %.0fs of movement in %v\n", seconds, r.Wall.Round(time.Millisecond))
+	fmt.Printf("pipeline: %d frames, %.1f fps, inter-frame %.1f ms (p99 %.1f ms)\n",
+		r.Metrics.Frames, r.Metrics.FPS, r.Metrics.InterFrameMs, r.Metrics.P99InterFrameMs)
 	fmt.Printf("cache: %d lookups, hit ratio %.1f%% (paper: ~80%%)\n",
-		st.Hits+st.Misses, st.HitRatio()*100)
-	fmt.Printf("fetched %d frames, %.2f MB total\n", len(fetchLatencies), float64(bytesFetched)/1e6)
-	if len(fetchLatencies) > 0 {
-		sort.Float64s(fetchLatencies)
-		q := func(p float64) float64 {
-			return fetchLatencies[int(math.Min(p*float64(len(fetchLatencies)), float64(len(fetchLatencies)-1)))]
-		}
-		fmt.Printf("fetch latency p50 %.1f ms, p95 %.1f ms\n", q(0.5), q(0.95))
+		r.Cache.Hits+r.Cache.Misses, r.Cache.HitRatio()*100)
+	fmt.Printf("fetched %d frames, %.2f MB total (%d prefetches issued)\n",
+		r.Fetches, float64(r.BytesFetched)/1e6, r.Prefetch.Issued)
+	if len(r.FetchLatenciesMs) > 0 {
+		fmt.Printf("fetch latency p50 %.1f ms, p95 %.1f ms\n",
+			r.LatencyQuantile(0.5), r.LatencyQuantile(0.95))
+	}
+	if r.FIDrops > 0 {
+		fmt.Printf("FI sync: %d round trips dropped\n", r.FIDrops)
 	}
 }

@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"coterie/internal/core"
@@ -29,6 +33,7 @@ func main() {
 	height := flag.Int("height", 128, "panorama height in pixels")
 	prerender := flag.Float64("prerender", 0, "warm up frames within this radius (m) of the spawn before serving")
 	stride := flag.Int("prerender-stride", 16, "grid stride for prerendering (1 = every point)")
+	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown wait for in-flight sessions")
 	flag.Parse()
 
 	spec, err := games.ByName(*game)
@@ -52,6 +57,7 @@ func main() {
 		log.Fatalf("coterie-server: %v", err)
 	}
 	srv := server.New(env)
+	srv.DrainTimeout = *drain
 
 	if *prerender > 0 {
 		region := geom.Rect{
@@ -80,8 +86,19 @@ func main() {
 		}
 	}()
 
+	// SIGINT/SIGTERM stop accepting and drain in-flight sessions.
+	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer cancel()
+	context.AfterFunc(ctx, func() {
+		log.Printf("shutting down: draining sessions (up to %v)...", *drain)
+		pc.Close()
+	})
+
 	log.Printf("serving %s on %s (frames: tcp, FI sync: udp)", spec.Name, ln.Addr())
-	if err := srv.Serve(ln); err != nil {
+	err = srv.ServeContext(ctx, ln)
+	served, rendered := srv.Stats()
+	log.Printf("served %d frames (%d rendered)", served, rendered)
+	if err != nil && !errors.Is(err, context.Canceled) {
 		log.Fatalf("coterie-server: %v", err)
 	}
 }

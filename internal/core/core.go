@@ -30,64 +30,22 @@ import (
 	"coterie/internal/geom"
 	"coterie/internal/netsim"
 	"coterie/internal/render"
+	"coterie/internal/runtime"
 )
 
-// SystemKind identifies one of the evaluated system designs.
-type SystemKind int
+// SystemKind identifies one of the evaluated system designs. The type and
+// its constants live in internal/runtime (the pipeline branches on them);
+// core re-exports them so experiment code keeps reading naturally.
+type SystemKind = runtime.SystemKind
 
 const (
-	// Mobile renders everything locally (§2.2).
-	Mobile SystemKind = iota
-	// ThinClient streams every rendered frame from the server (§2.2).
-	ThinClient
-	// MultiFurion replicates Furion per player: whole-BE prefetch (§3).
-	MultiFurion
-	// MultiFurionCache adds an exact-match frame cache to Multi-Furion
-	// (Fig 11).
-	MultiFurionCache
-	// CoterieNoCache prefetches far-BE frames without reuse (Fig 11).
-	CoterieNoCache
-	// Coterie is the full system (§5).
-	Coterie
+	Mobile           = runtime.Mobile
+	ThinClient       = runtime.ThinClient
+	MultiFurion      = runtime.MultiFurion
+	MultiFurionCache = runtime.MultiFurionCache
+	CoterieNoCache   = runtime.CoterieNoCache
+	Coterie          = runtime.Coterie
 )
-
-// String implements fmt.Stringer.
-func (k SystemKind) String() string {
-	switch k {
-	case Mobile:
-		return "Mobile"
-	case ThinClient:
-		return "Thin-client"
-	case MultiFurion:
-		return "Multi-Furion"
-	case MultiFurionCache:
-		return "Multi-Furion+cache"
-	case CoterieNoCache:
-		return "Coterie w/o cache"
-	case Coterie:
-		return "Coterie"
-	default:
-		return fmt.Sprintf("SystemKind(%d)", int(k))
-	}
-}
-
-// usesBEPrefetch reports whether the system prefetches BE frames from the
-// server (everything except Mobile and Thin-client).
-func (k SystemKind) usesBEPrefetch() bool {
-	switch k {
-	case MultiFurion, MultiFurionCache, CoterieNoCache, Coterie:
-		return true
-	}
-	return false
-}
-
-// splitsNearFar reports whether the system renders near BE on the device.
-func (k SystemKind) splitsNearFar() bool {
-	return k == CoterieNoCache || k == Coterie
-}
-
-// similarityCache reports whether the system reuses similar frames.
-func (k SystemKind) similarityCache() bool { return k == Coterie }
 
 // EnvOptions controls environment preparation.
 type EnvOptions struct {
@@ -296,7 +254,7 @@ func (fs *FrameSizer) SizeFor(kind SystemKind, pt geom.GridPoint) int {
 	switch {
 	case kind == ThinClient:
 		base = fs.Thin
-	case kind.splitsNearFar():
+	case kind.SplitsNearFar():
 		base = fs.FarBE
 	default:
 		base = fs.WholeBE
@@ -314,45 +272,33 @@ func jitterSize(base int, pt geom.GridPoint) int {
 	return int(float64(base) * f)
 }
 
-// simSource adapts the WiFi medium to the prefetch.Source interface with a
-// small server turnaround time (the Coterie server serves pre-rendered,
-// pre-encoded frames, §5.1).
+// simSource adapts the WiFi medium to the runtime.FrameSource (and
+// prefetch.Source) interface with a small server turnaround time (the
+// Coterie server serves pre-rendered, pre-encoded frames, §5.1).
 type simSource struct {
-	sim      *netsim.Sim
-	wifi     *netsim.WiFi
-	sizer    *FrameSizer
-	kind     SystemKind
+	sim   *netsim.Sim
+	wifi  *netsim.WiFi
+	sizer *FrameSizer
+	kind  SystemKind
+	// serverMs is server turnaround counted toward the reported transfer
+	// latency (the pre-rendered frame lookup).
 	serverMs float64
+	// preMs is server work that precedes the transfer without counting
+	// toward its latency (the thin client's on-demand render + encode).
+	preMs float64
 	// latencies accumulates per-transfer network delays for reporting.
-	latencies *latencyAcc
+	latencies *runtime.LatencyAcc
 	// onDeliver, when set, observes every completed fetch (used by the
 	// overhearing extension to populate other players' caches, §4.6).
 	onDeliver func(pt geom.GridPoint, size int)
 }
 
-type latencyAcc struct {
-	sum   float64
-	count int64
-}
-
-func (l *latencyAcc) add(ms float64) {
-	l.sum += ms
-	l.count++
-}
-
-func (l *latencyAcc) mean() float64 {
-	if l.count == 0 {
-		return 0
-	}
-	return l.sum / float64(l.count)
-}
-
-// Fetch implements prefetch.Source over the simulated medium.
+// Fetch implements runtime.FrameSource over the simulated medium.
 func (s *simSource) Fetch(player int, pt geom.GridPoint, done func([]byte, int, float64, float64)) {
 	size := s.sizer.SizeFor(s.kind, pt)
-	s.sim.After(s.serverMs, func() {
+	s.sim.After(s.preMs+s.serverMs, func() {
 		s.wifi.Transfer(player, size, func(start, end float64) {
-			s.latencies.add(end - start + s.serverMs)
+			s.latencies.Add(end - start + s.serverMs)
 			if s.onDeliver != nil {
 				s.onDeliver(pt, size)
 			}

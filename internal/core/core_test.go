@@ -64,19 +64,19 @@ func TestSystemKindStrings(t *testing.T) {
 }
 
 func TestSystemKindPredicates(t *testing.T) {
-	if Mobile.usesBEPrefetch() || ThinClient.usesBEPrefetch() {
+	if Mobile.UsesBEPrefetch() || ThinClient.UsesBEPrefetch() {
 		t.Fatal("Mobile/Thin-client do not prefetch BE")
 	}
-	if !Coterie.usesBEPrefetch() || !MultiFurion.usesBEPrefetch() {
+	if !Coterie.UsesBEPrefetch() || !MultiFurion.UsesBEPrefetch() {
 		t.Fatal("Coterie and Multi-Furion prefetch BE")
 	}
-	if !Coterie.splitsNearFar() || !CoterieNoCache.splitsNearFar() {
+	if !Coterie.SplitsNearFar() || !CoterieNoCache.SplitsNearFar() {
 		t.Fatal("Coterie variants split near/far")
 	}
-	if MultiFurion.splitsNearFar() {
+	if MultiFurion.SplitsNearFar() {
 		t.Fatal("Multi-Furion does not split near/far")
 	}
-	if !Coterie.similarityCache() || CoterieNoCache.similarityCache() {
+	if !Coterie.SimilarityCache() || CoterieNoCache.SimilarityCache() {
 		t.Fatal("similarity cache is Coterie-only")
 	}
 }

@@ -4,26 +4,18 @@ import (
 	"fmt"
 
 	"coterie/internal/cache"
-	"coterie/internal/device"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
 	"coterie/internal/netsim"
 	"coterie/internal/prefetch"
+	"coterie/internal/runtime"
 	"coterie/internal/trace"
-	"coterie/internal/world"
 )
 
-// Timing constants of the testbed pipeline in milliseconds.
+// Timing constants of the testbed's server model in milliseconds. The
+// client-side pipeline constants (merge, FI sync, sensor, thin overlay)
+// live in internal/runtime with the pipeline itself.
 const (
-	tickMs = 1000.0 / trace.TickHz
-	// mergeMs is the cost of compositing near BE + FI with the decoded
-	// far BE (§5.1 task 5, the +T_merge term of Eq. 2).
-	mergeMs = 1.2
-	// syncMs is the FI synchronisation latency through the server (the
-	// paper measures 2-3 ms per interval).
-	syncMs = 2.5
-	// sensorMs is the pose-sampling latency counted by responsiveness.
-	sensorMs = 0.5
 	// serverRenderMs and serverEncodeMs model the thin-client server
 	// rendering and encoding one 4K frame on demand; the GTX 1080 Ti
 	// renders fast but 4K H.264 encoding dominates.
@@ -32,9 +24,6 @@ const (
 	// serverLookupMs is the Coterie/Furion server turnaround for a
 	// pre-rendered, pre-encoded frame.
 	serverLookupMs = 0.4
-	// thinOverlayMs is the thin client's local per-frame GPU work
-	// (reprojection and UI overlay).
-	thinOverlayMs = 3.0
 )
 
 // SessionConfig describes one testbed run.
@@ -58,38 +47,27 @@ type SessionConfig struct {
 	// Current phone NICs cannot do this (no promiscuous mode), so the
 	// shipped design leaves it off; it exists here for the ablation.
 	Overhear bool
+	// Traces, when it holds exactly Players traces, overrides the
+	// generated movement (used to replay identical movement across the
+	// simulated and live backends); otherwise traces are generated from
+	// Seed as usual.
+	Traces []*trace.Trace
+}
+
+// WiFiGoodput returns the configured medium goodput in Mbps.
+func (cfg SessionConfig) WiFiGoodput() float64 {
+	if cfg.WiFi.GoodputMbps > 0 {
+		return cfg.WiFi.GoodputMbps
+	}
+	return 500
 }
 
 // PlayerMetrics aggregates one client's session, matching the columns of
-// Tables 1, 7 and 8.
-type PlayerMetrics struct {
-	Frames       int64
-	FPS          float64
-	InterFrameMs float64
-	// P95InterFrameMs and P99InterFrameMs are tail latencies; VR comfort
-	// depends on the tail, not the mean.
-	P95InterFrameMs  float64
-	P99InterFrameMs  float64
-	ResponsivenessMs float64
-	CPUPct           float64
-	GPUPct           float64
-	PowerW           float64
-	TempC            float64
-	FrameKB          float64 // mean BE transfer size
-	NetDelayMs       float64 // mean BE transfer latency
-	BEMbps           float64 // per-player BE bandwidth
-	CacheHitRatio    float64
-	PrefetchIssued   int64
-}
+// Tables 1, 7 and 8. It is the runtime's metrics type, re-exported.
+type PlayerMetrics = runtime.PlayerMetrics
 
 // SeriesPoint is one per-second sample of Fig 12's resource traces.
-type SeriesPoint struct {
-	Sec    int
-	CPUPct float64
-	GPUPct float64
-	PowerW float64
-	TempC  float64
-}
+type SeriesPoint = runtime.SeriesPoint
 
 // Result is the outcome of a session.
 type Result struct {
@@ -106,7 +84,10 @@ type Result struct {
 	Series []SeriesPoint
 }
 
-// RunSession executes one deterministic testbed session.
+// RunSession executes one deterministic testbed session: it assembles the
+// shared runtime pipeline (internal/runtime) over the discrete-event
+// backend — netsim.Sim as the clock, simSource as the frame source, the
+// in-process hub as FI sync — and runs all players to completion.
 func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 	if cfg.Players < 1 {
 		return nil, fmt.Errorf("core: need at least one player")
@@ -124,67 +105,71 @@ func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 	sim := netsim.NewSim()
 	wifi := netsim.NewWiFi(sim, cfg.WiFi)
 	hub := fisync.NewHub()
-	traces := trace.GenerateParty(env.Game, cfg.Players, cfg.Seconds, cfg.Seed)
+	traces := cfg.Traces
+	if len(traces) != cfg.Players {
+		traces = trace.GenerateParty(env.Game, cfg.Players, cfg.Seconds, cfg.Seed)
+	}
 
 	endMs := cfg.Seconds * 1000
-	clients := make([]*client, cfg.Players)
+	fi := runtime.NewHubFISync(hub)
+	clients := make([]*runtime.Client, cfg.Players)
+	srcs := make([]*simSource, cfg.Players)
 	for i := 0; i < cfg.Players; i++ {
-		c := &client{
-			env:   env,
-			cfg:   cfg,
-			id:    i,
-			sim:   sim,
-			wifi:  wifi,
-			hub:   hub,
-			tr:    traces[i],
-			endMs: endMs,
-			q:     env.Game.Scene.NewQuery(),
-			therm: env.Device.NewThermal(),
-		}
-		if cfg.System.usesBEPrefetch() {
+		deps := runtime.Deps{Clock: sim, FI: fi, Trace: traces[i]}
+		if cfg.System.UsesBEPrefetch() {
 			src := &simSource{
 				sim:       sim,
 				wifi:      wifi,
 				sizer:     env.Sizer,
 				kind:      cfg.System,
 				serverMs:  serverLookupMs,
-				latencies: &latencyAcc{},
+				latencies: &runtime.LatencyAcc{},
 			}
-			c.src = src
 			ccfg := cacheConfigFor(cfg.System, cfg.CachePolicy, cfg.CacheBytes)
-			if cfg.Overhear && cfg.System.similarityCache() {
+			if cfg.Overhear && cfg.System.SimilarityCache() {
 				ccfg, _ = cache.Version(5)
 				ccfg.Policy = cfg.CachePolicy
 				ccfg.CapacityBytes = cfg.CacheBytes
 			}
-			c.cache = cache.New(ccfg)
+			ca := cache.New(ccfg)
 			pfCfg := cfg.Prefetch
-			if !cfg.System.similarityCache() {
+			if !cfg.System.SimilarityCache() {
 				// Furion-style prefetch aims at the next grid point only
 				// (one frame ahead); Coterie's cache reuse creates the
 				// larger prefetching window (§5.2) that lets it aim
 				// further out.
 				pfCfg.NeighborHops = 0
-				pfCfg.LookaheadSec = 1.2 * tickMs / 1000
+				pfCfg.LookaheadSec = 1.2 * runtime.TickMs / 1000
 			}
-			c.pf = prefetch.New(env.Game.Scene.Grid, env.MetaFor(), c.cache, src, i, pfCfg)
+			deps.Source = src
+			deps.Cache = ca
+			deps.Prefetcher = prefetch.New(env.Game.Scene.Grid, env.MetaFor(), ca, src, i, pfCfg)
+			deps.Net = wifi
+			deps.Latencies = src.latencies
+			srcs[i] = src
 		} else if cfg.System == ThinClient {
-			c.src = &simSource{
-				sim:       sim,
-				wifi:      wifi,
-				sizer:     env.Sizer,
-				kind:      ThinClient,
-				serverMs:  0,
-				latencies: &latencyAcc{},
+			src := &simSource{
+				sim:   sim,
+				wifi:  wifi,
+				sizer: env.Sizer,
+				kind:  ThinClient,
+				// On-demand render + encode precede the transfer; the
+				// reported latency covers the transfer only.
+				preMs:     serverRenderMs + serverEncodeMs,
+				latencies: &runtime.LatencyAcc{},
 			}
+			deps.Source = src
+			deps.Net = wifi
+			deps.Latencies = src.latencies
+			srcs[i] = src
 		}
-		clients[i] = c
+		clients[i] = runtime.NewClient(i, runtimeConfig(env, cfg, endMs), deps)
 	}
-	if cfg.Overhear && cfg.System.similarityCache() {
-		wireOverhearing(env, clients)
+	if cfg.Overhear && cfg.System.SimilarityCache() {
+		wireOverhearing(env, clients, srcs)
 	}
 	for _, c := range clients {
-		c.frame()
+		c.Start()
 	}
 	sim.Run(endMs)
 
@@ -194,10 +179,10 @@ func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 		Players: cfg.Players,
 		Seconds: cfg.Seconds,
 	}
-	for _, c := range clients {
-		res.Per = append(res.Per, c.metrics())
-		if c.id == 0 {
-			res.Series = c.series
+	for i, c := range clients {
+		res.Per = append(res.Per, c.Metrics())
+		if i == 0 {
+			res.Series = c.Series()
 		}
 	}
 	res.Mean = meanMetrics(res.Per)
@@ -205,24 +190,45 @@ func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 	return res, nil
 }
 
+// runtimeConfig maps the prepared environment onto the pipeline's view of
+// it. Each client gets its own spatial query (the closures are called
+// only from that client's clock callbacks).
+func runtimeConfig(env *Env, cfg SessionConfig, endMs float64) runtime.Config {
+	scene := env.Game.Scene
+	q := scene.NewQuery()
+	return runtime.Config{
+		System:         cfg.System,
+		Device:         env.Device,
+		Grid:           scene.Grid,
+		EndMs:          endMs,
+		GoodputMbps:    cfg.WiFiGoodput(),
+		TotalTriangles: scene.TotalTriangles(),
+		LODFactor:      env.Game.Spec.LODFactor(),
+		RadiusAt:       env.Map.RadiusAt,
+		TrianglesWithin: func(pos geom.Vec2, radius float64) int {
+			return scene.TrianglesWithin(q, pos, radius)
+		},
+	}
+}
+
 // wireOverhearing makes every completed fetch visible to every client's
 // cache (the §4.6 emulation assumption: "the reply from the server is
 // overheard and cached by all the players").
-func wireOverhearing(env *Env, clients []*client) {
+func wireOverhearing(env *Env, clients []*runtime.Client, srcs []*simSource) {
 	meta := env.MetaFor()
 	grid := env.Game.Scene.Grid
-	for _, owner := range clients {
-		owner := owner
-		owner.src.onDeliver = func(pt geom.GridPoint, size int) {
+	for i, src := range srcs {
+		i := i
+		src.onDeliver = func(pt geom.GridPoint, size int) {
 			leaf, sig, _ := meta(pt)
 			e := cache.Entry{
 				Point: pt, Pos: grid.Pos(pt),
 				LeafID: leaf, NearSig: sig,
-				Size: size, Owner: owner.id,
+				Size: size, Owner: i,
 			}
-			for _, other := range clients {
-				if other != owner && other.cache != nil {
-					other.cache.Insert(e)
+			for j, other := range clients {
+				if j != i && other.Cache() != nil {
+					other.Cache().Insert(e)
 				}
 			}
 		}
@@ -253,46 +259,4 @@ func meanMetrics(per []PlayerMetrics) PlayerMetrics {
 		m.PrefetchIssued += p.PrefetchIssued
 	}
 	return m
-}
-
-// client is one simulated phone.
-type client struct {
-	env   *Env
-	cfg   SessionConfig
-	id    int
-	sim   *netsim.Sim
-	wifi  *netsim.WiFi
-	hub   *fisync.Hub
-	tr    *trace.Trace
-	endMs float64
-
-	cache *cache.Cache
-	pf    *prefetch.Prefetcher
-	src   *simSource
-	q     *world.Query
-	therm *device.Thermal
-
-	seq uint32
-	// prevPredicted is the grid point the previous frame's prefetch
-	// request targeted; Furion-style systems display the frame prefetched
-	// for that prediction (§2.2 steps 3-4).
-	prevPredicted    geom.GridPoint
-	hasPrevPredicted bool
-
-	lastDisplay float64
-	frames      int64
-	interSum    float64
-	inters      []float32
-	respSum     float64
-	cpuSum      float64
-	gpuSum      float64
-	powerSum    float64
-	sizeSum     float64
-	sizeCount   int64
-	series      []SeriesPoint
-	secCPU      float64
-	secGPU      float64
-	secPower    float64
-	secWeight   float64
-	curSec      int
 }

@@ -1,24 +1,115 @@
-package core
+package runtime
 
 import (
 	"math"
 	"sort"
 
+	"coterie/internal/cache"
+	"coterie/internal/device"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/prefetch"
 	"coterie/internal/trace"
 )
+
+// Deps are the backend-provided collaborators of one client pipeline.
+// Clock, FI and Trace are always required; Source (plus Cache/Prefetcher
+// for BE-prefetching systems) and the reporting hooks depend on the
+// system under test.
+type Deps struct {
+	Clock Clock
+	FI    FISync
+	Trace *trace.Trace
+	// Source delivers BE frames (thin-client and BE-prefetching systems).
+	Source FrameSource
+	// Cache and Prefetcher drive the far-BE prefetch path; both are
+	// single-threaded and only touched from clock callbacks.
+	Cache      *cache.Cache
+	Prefetcher *prefetch.Prefetcher
+	// Net feeds the resource model's bandwidth-share estimate; nil means
+	// no network activity (Mobile).
+	Net NetMonitor
+	// Latencies receives per-transfer delays recorded by the Source;
+	// the pipeline reads the mean for PlayerMetrics.NetDelayMs.
+	Latencies *LatencyAcc
+}
+
+// Client runs the per-frame pipeline for one player over a backend. It is
+// not goroutine-safe: Start and every callback run on the clock goroutine.
+type Client struct {
+	cfg   Config
+	id    int
+	clock Clock
+	fi    FISync
+	tr    *trace.Trace
+	cache *cache.Cache
+	pf    *prefetch.Prefetcher
+	src   FrameSource
+	net   NetMonitor
+	lat   *LatencyAcc
+	therm *device.Thermal
+
+	seq uint32
+	// prevPredicted is the grid point the previous frame's prefetch
+	// request targeted; Furion-style systems display the frame prefetched
+	// for that prediction (§2.2 steps 3-4).
+	prevPredicted    geom.GridPoint
+	hasPrevPredicted bool
+
+	lastDisplay float64
+	frames      int64
+	interSum    float64
+	inters      []float32
+	respSum     float64
+	cpuSum      float64
+	gpuSum      float64
+	powerSum    float64
+	sizeSum     float64
+	sizeCount   int64
+	series      []SeriesPoint
+	secCPU      float64
+	secGPU      float64
+	secPower    float64
+	secWeight   float64
+	curSec      int
+}
+
+// NewClient builds a pipeline for one player.
+func NewClient(id int, cfg Config, d Deps) *Client {
+	return &Client{
+		cfg:   cfg,
+		id:    id,
+		clock: d.Clock,
+		fi:    d.FI,
+		tr:    d.Trace,
+		cache: d.Cache,
+		pf:    d.Prefetcher,
+		src:   d.Source,
+		net:   d.Net,
+		lat:   d.Latencies,
+		therm: cfg.Device.NewThermal(),
+	}
+}
+
+// Start begins the frame loop; each displayed frame schedules the next.
+func (c *Client) Start() { c.frame() }
+
+// Cache returns the client's frame cache (nil for non-caching systems).
+func (c *Client) Cache() *cache.Cache { return c.cache }
+
+// Prefetcher returns the client's prefetcher (nil unless BE-prefetching).
+func (c *Client) Prefetcher() *prefetch.Prefetcher { return c.pf }
 
 // frame starts one per-frame pipeline iteration for the client (§5.1): it
 // samples the pose, synchronises FI, runs the system-specific rendering
 // path, and schedules the display completion, which in turn starts the
 // next frame.
-func (c *client) frame() {
-	now := c.sim.Now()
-	if now >= c.endMs {
+func (c *Client) frame() {
+	now := c.clock.Now()
+	if now >= c.cfg.EndMs {
 		return
 	}
-	tick := int(now / tickMs)
+	tick := int(now / TickMs)
 	if tick >= c.tr.Len() {
 		return
 	}
@@ -26,58 +117,56 @@ func (c *client) frame() {
 	vel := c.velocity(tick)
 
 	// FI synchronisation through the server (task 4); the latency is part
-	// of the Eq. 2 max, which the display scheduling below accounts for.
+	// of the Eq. 2 max, which the join below accounts for.
 	c.seq++
-	c.hub.Update(fisync.State{
+	st := fisync.State{
 		Player:  uint8(c.id),
 		Seq:     c.seq,
 		Pos:     pos,
 		Heading: math.Atan2(vel.Z, vel.X),
-	})
-	c.hub.Snapshot(uint8(c.id))
+	}
 
-	dev := c.env.Device
+	dev := c.cfg.Device
 	switch c.cfg.System {
 	case Mobile:
-		spec := c.env.Game.Spec
-		renderMs := dev.FullSceneRenderMs(int(float64(c.env.Game.Scene.TotalTriangles())/spec.LODFactor())) + dev.FIRenderMs
+		c.fi.Sync(st, now, nil)
+		renderMs := dev.FullSceneRenderMs(int(float64(c.cfg.TotalTriangles)/c.cfg.LODFactor)) + dev.FIRenderMs
 		c.display(now, now+renderMs, renderMs, false, 0)
 
 	case ThinClient:
-		pt := c.env.Game.Scene.Grid.Snap(pos)
-		size := c.env.Sizer.SizeFor(ThinClient, pt)
+		c.fi.Sync(st, now, nil)
 		// Sequential remote pipeline: render + encode on the server, then
 		// transfer, then hardware decode and display locally.
-		c.sim.After(serverRenderMs+serverEncodeMs, func() {
-			c.wifi.Transfer(c.id, size, func(start, end float64) {
-				c.src.latencies.add(end - start)
-				c.noteSize(size)
-				readyAt := end + dev.DecodeMs(size) + mergeMs
-				c.display(now, readyAt, thinOverlayMs, true, size)
-			})
+		pt := c.cfg.Grid.Snap(pos)
+		c.src.Fetch(c.id, pt, func(_ []byte, size int, _, end float64) {
+			c.noteSize(size)
+			readyAt := end + dev.DecodeMs(size) + mergeMs
+			c.display(now, readyAt, thinOverlayMs, true, size)
 		})
 
 	default: // BE-prefetching systems (Multi-Furion variants, Coterie)
-		cur := c.env.Game.Scene.Grid.Snap(pos)
+		// Per Eq. 2, the frame interval is the max over the four parallel
+		// tasks plus merging. FI sync joins as a task: the hub backend
+		// completes it inline at the modelled latency, the UDP backend
+		// when the reply datagram lands.
+		join := &frameJoin{pending: 1, ready: now}
+		join.pending++
+		c.fi.Sync(st, now, join.arrive)
+
+		cur := c.cfg.Grid.Snap(pos)
 		c.cache.SetPlayerPos(pos)
 
 		localMs := dev.FIRenderMs
-		if c.cfg.System.splitsNearFar() {
-			radius := c.env.Map.RadiusAt(pos)
-			tris := c.env.Game.Scene.TrianglesWithin(c.q, pos, radius)
+		if c.cfg.System.SplitsNearFar() {
+			radius := c.cfg.RadiusAt(pos)
+			tris := c.cfg.TrianglesWithin(pos, radius)
 			localMs += dev.NearBEFrameMs(tris)
 		}
-
-		// Per Eq. 2, the frame interval is the max over the four parallel
-		// tasks plus merging; the prefetch of the next frames (task 3) is
-		// one of those tasks, so a frame cannot complete before its
-		// prefetch does. Join the decode path and the prefetch path.
-		join := &frameJoin{pending: 1, ready: now}
 
 		// Prefetch request for the upcoming grid point (task 3): cache
 		// first, server on miss. This stream defines the cache hit ratio.
 		look := c.pf.Cfg.LookaheadSec
-		predicted := c.env.Game.Scene.Grid.Snap(geom.V2(pos.X+vel.X*look, pos.Z+vel.Z*look))
+		predicted := c.cfg.Grid.Snap(geom.V2(pos.X+vel.X*look, pos.Z+vel.Z*look))
 		if c.pf.RequestTracked(predicted, func(_ int, at float64) { join.arrive(at) }) {
 			join.pending++
 		}
@@ -88,17 +177,16 @@ func (c *client) frame() {
 		// prefetch targeted ("decode previously prefetched BE for grid
 		// point i", §2.2).
 		need := cur
-		if !c.cfg.System.similarityCache() && c.hasPrevPredicted {
+		if !c.cfg.System.SimilarityCache() && c.hasPrevPredicted {
 			need = c.prevPredicted
 		}
 		c.prevPredicted, c.hasPrevPredicted = predicted, true
 
-		join.fire = func(prefetchDone float64) {
+		join.fire = func(tasksReady float64) {
 			c.pf.Ensure(need, now, func(size int, readyAt float64) {
 				c.noteSize(size)
 				decodeDone := readyAt + dev.DecodeMs(size)
-				tasksDone := math.Max(math.Max(now+localMs, prefetchDone),
-					math.Max(decodeDone, now+syncMs))
+				tasksDone := math.Max(math.Max(now+localMs, tasksReady), decodeDone)
 				c.display(now, tasksDone+mergeMs, localMs, true, size)
 			})
 		}
@@ -125,7 +213,7 @@ func (j *frameJoin) arrive(at float64) {
 }
 
 // velocity estimates the player's velocity in m/s from the trace.
-func (c *client) velocity(tick int) geom.Vec2 {
+func (c *Client) velocity(tick int) geom.Vec2 {
 	const horizon = 6 // ticks (100 ms)
 	j := tick + horizon
 	if j >= c.tr.Len() {
@@ -138,7 +226,7 @@ func (c *client) velocity(tick int) geom.Vec2 {
 	return d.Scale(trace.TickHz / float64(j-tick))
 }
 
-func (c *client) noteSize(size int) {
+func (c *Client) noteSize(size int) {
 	c.sizeSum += float64(size)
 	c.sizeCount++
 }
@@ -148,13 +236,13 @@ func (c *client) noteSize(size int) {
 // Responsiveness (motion-to-photon) counts pose sampling to pipeline
 // readiness — a pipeline faster than the refresh interval yields
 // responsiveness below 16.7 ms, as in Table 7.
-func (c *client) display(start, readyAt float64, renderMs float64, decoding bool, size int) {
-	dev := c.env.Device
+func (c *Client) display(start, readyAt float64, renderMs float64, decoding bool, size int) {
+	dev := c.cfg.Device
 	displayAt := readyAt
 	if min := start + dev.VsyncMs; displayAt < min {
 		displayAt = min
 	}
-	c.sim.At(displayAt, func() {
+	c.clock.At(displayAt, func() {
 		if c.lastDisplay == 0 {
 			c.lastDisplay = start
 		}
@@ -182,29 +270,28 @@ func (c *client) display(start, readyAt float64, renderMs float64, decoding bool
 
 // currentNetMbps estimates the client's instantaneous download rate from
 // its share of the medium.
-func (c *client) currentNetMbps() float64 {
-	if c.src == nil {
+func (c *Client) currentNetMbps() float64 {
+	if c.net == nil {
 		return 0
 	}
-	active := c.wifi.ActiveTransfers()
+	active := c.net.ActiveTransfers()
 	if active == 0 {
 		return 0
 	}
 	// This client's flows get an equal share; approximate by assuming it
 	// owns one of the active transfers.
-	return c.cfg.WiFiGoodput() / float64(active)
+	return c.goodputMbps() / float64(active)
 }
 
-// WiFiGoodput returns the configured medium goodput in Mbps.
-func (cfg SessionConfig) WiFiGoodput() float64 {
-	if cfg.WiFi.GoodputMbps > 0 {
-		return cfg.WiFi.GoodputMbps
+func (c *Client) goodputMbps() float64 {
+	if c.cfg.GoodputMbps > 0 {
+		return c.cfg.GoodputMbps
 	}
 	return 500
 }
 
 // bucket accumulates per-second resource series samples (Fig 12).
-func (c *client) bucket(now float64, cpu, gpu, power, weight float64) {
+func (c *Client) bucket(now float64, cpu, gpu, power, weight float64) {
 	sec := int(now / 1000)
 	if sec != c.curSec && c.secWeight > 0 {
 		c.series = append(c.series, SeriesPoint{
@@ -223,8 +310,11 @@ func (c *client) bucket(now float64, cpu, gpu, power, weight float64) {
 	c.secWeight += weight
 }
 
-// metrics finalises the client's aggregates.
-func (c *client) metrics() PlayerMetrics {
+// Series returns the per-second resource samples accumulated so far.
+func (c *Client) Series() []SeriesPoint { return c.series }
+
+// Metrics finalises the client's aggregates.
+func (c *Client) Metrics() PlayerMetrics {
 	m := PlayerMetrics{Frames: c.frames, TempC: c.therm.Temperature()}
 	if c.frames > 0 {
 		m.InterFrameMs = c.interSum / float64(c.frames)
@@ -239,15 +329,15 @@ func (c *client) metrics() PlayerMetrics {
 	}
 	elapsed := c.lastDisplay / 1000
 	if elapsed <= 0 {
-		elapsed = c.endMs / 1000
+		elapsed = c.cfg.EndMs / 1000
 	}
 	m.FPS = float64(c.frames) / elapsed
 	if c.sizeCount > 0 {
 		m.FrameKB = c.sizeSum / float64(c.sizeCount) / 1024
 	}
-	if c.src != nil {
-		m.NetDelayMs = c.src.latencies.mean()
-		m.BEMbps = float64(c.wifi.FlowBytes(c.id)) * 8 / 1e6 / (c.endMs / 1000)
+	if c.lat != nil && c.net != nil {
+		m.NetDelayMs = c.lat.Mean()
+		m.BEMbps = float64(c.net.FlowBytes(c.id)) * 8 / 1e6 / (c.cfg.EndMs / 1000)
 	}
 	if c.cache != nil {
 		m.CacheHitRatio = c.cache.Stats().HitRatio()

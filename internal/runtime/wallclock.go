@@ -1,0 +1,214 @@
+package runtime
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrStalled reports that the pipeline went idle mid-run: the event queue
+// drained while external I/O was outstanding and no completion arrived
+// within the idle timeout.
+var ErrStalled = errors.New("runtime: wall clock stalled waiting on I/O")
+
+// WallClock drives the pipeline against real time. Like the simulator,
+// virtual session time advances only to scheduled event times — an event
+// at t fires once t milliseconds of (speed-scaled) real time have elapsed,
+// and Now() inside its callback reads exactly t. Frames therefore land on
+// the same vsync-floored instants as in the simulator whenever the real
+// network keeps up, which is what makes live metrics comparable to
+// simulated ones.
+//
+// Event callbacks run on the Run goroutine. Helper goroutines (socket I/O)
+// re-enter the pipeline via IOStarted/Post.
+type WallClock struct {
+	speed float64
+	idle  time.Duration
+
+	mu      sync.Mutex
+	started time.Time
+	now     float64
+	events  wallEvents
+	seq     uint64
+	pending int
+	stopped bool
+	wake    chan struct{}
+}
+
+// NewWallClock creates a clock running at speed times real time (≤0 means
+// real time).
+func NewWallClock(speed float64) *WallClock {
+	if speed <= 0 {
+		speed = 1
+	}
+	return &WallClock{speed: speed, idle: 5 * time.Second, wake: make(chan struct{}, 1)}
+}
+
+// SetIdleTimeout bounds how long Run waits for an outstanding completion
+// while the event queue is empty before returning ErrStalled.
+func (w *WallClock) SetIdleTimeout(d time.Duration) { w.idle = d }
+
+// Now returns the current virtual session time in milliseconds.
+func (w *WallClock) Now() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.now
+}
+
+// At schedules fn at virtual time t (clamped to now).
+func (w *WallClock) At(t float64, fn func()) {
+	w.mu.Lock()
+	w.push(t, fn)
+	w.mu.Unlock()
+	w.signal()
+}
+
+// After schedules fn d milliseconds from the current virtual time.
+func (w *WallClock) After(d float64, fn func()) {
+	w.mu.Lock()
+	w.push(w.now+d, fn)
+	w.mu.Unlock()
+	w.signal()
+}
+
+// IOStarted registers one outstanding external completion. Every call
+// must be balanced by exactly one Post — on success, error or timeout —
+// or Run will report a stall.
+func (w *WallClock) IOStarted() {
+	w.mu.Lock()
+	w.pending++
+	w.mu.Unlock()
+}
+
+// Post hands a completion back to the clock goroutine: fn runs as an
+// event stamped at the real-time frontier (so Now() inside it reflects
+// when the I/O actually finished). Completions arriving after Run has
+// returned are dropped.
+func (w *WallClock) Post(fn func()) {
+	w.mu.Lock()
+	w.pending--
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.push(w.elapsedLocked(), fn)
+	w.mu.Unlock()
+	w.signal()
+}
+
+// push enqueues fn at max(t, now); callers hold w.mu.
+func (w *WallClock) push(t float64, fn func()) {
+	if t < w.now {
+		t = w.now
+	}
+	w.seq++
+	heap.Push(&w.events, &wallEvent{t: t, seq: w.seq, fn: fn})
+}
+
+// elapsedLocked is the speed-scaled real time since Run started.
+func (w *WallClock) elapsedLocked() float64 {
+	if w.started.IsZero() {
+		return 0
+	}
+	return time.Since(w.started).Seconds() * 1000 * w.speed
+}
+
+func (w *WallClock) signal() {
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run fires events in (time, order-scheduled) order until the queue holds
+// nothing at or before the until mark and no I/O is outstanding. It
+// returns ErrStalled if the pipeline blocks on I/O longer than the idle
+// timeout. Run is one-shot: after it returns, late completions are
+// dropped.
+func (w *WallClock) Run(until float64) error {
+	w.mu.Lock()
+	if w.started.IsZero() {
+		w.started = time.Now()
+	}
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.stopped = true
+		w.mu.Unlock()
+	}()
+
+	for {
+		w.mu.Lock()
+		if w.events.Len() == 0 {
+			pending := w.pending
+			w.mu.Unlock()
+			if pending == 0 {
+				return nil
+			}
+			// Blocked on I/O: wait for a Post, bounded by the idle timeout.
+			if w.idle <= 0 {
+				<-w.wake
+				continue
+			}
+			t := time.NewTimer(w.idle)
+			select {
+			case <-w.wake:
+				t.Stop()
+				continue
+			case <-t.C:
+				return ErrStalled
+			}
+		}
+		e := w.events[0]
+		if e.t > until {
+			w.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((e.t - w.elapsedLocked()) / w.speed * float64(time.Millisecond))
+		if wait > 0 {
+			w.mu.Unlock()
+			t := time.NewTimer(wait)
+			select {
+			case <-w.wake: // an earlier event or a completion may have arrived
+			case <-t.C:
+			}
+			t.Stop()
+			continue
+		}
+		heap.Pop(&w.events)
+		if e.t > w.now {
+			w.now = e.t
+		}
+		w.mu.Unlock()
+		e.fn()
+	}
+}
+
+// wallEvent mirrors the simulator's event ordering: by time, then by
+// scheduling order.
+type wallEvent struct {
+	t   float64
+	seq uint64
+	fn  func()
+}
+
+type wallEvents []*wallEvent
+
+func (h wallEvents) Len() int { return len(h) }
+func (h wallEvents) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h wallEvents) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *wallEvents) Push(x any)   { *h = append(*h, x.(*wallEvent)) }
+func (h *wallEvents) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,128 @@
+package runtime
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"coterie/internal/fisync"
+)
+
+func TestWallClockFiresInOrder(t *testing.T) {
+	w := NewWallClock(1000) // 1000x real time: 30 virtual ms ≈ 30 µs wall
+	var got []float64
+	var stamps []float64
+	note := func(w *WallClock) func() {
+		return func() {
+			stamps = append(stamps, w.Now())
+		}
+	}
+	w.At(20, func() { got = append(got, 20); note(w)() })
+	w.At(5, func() { got = append(got, 5); note(w)() })
+	w.After(10, func() { got = append(got, 10); note(w)() })
+	if err := w.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{5, 10, 20}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+		// Now() inside a callback reads the event's virtual time exactly,
+		// like the simulator — this is what keeps vsync-floored frames on
+		// the same instants as in netsim.
+		if stamps[i] != want[i] {
+			t.Fatalf("stamps %v, want %v", stamps, want)
+		}
+	}
+}
+
+func TestWallClockTieBreaksBySchedulingOrder(t *testing.T) {
+	w := NewWallClock(1000)
+	var got []int
+	for i := 0; i < 8; i++ {
+		i := i
+		w.At(5, func() { got = append(got, i) })
+	}
+	if err := w.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestWallClockStopsAtUntil(t *testing.T) {
+	w := NewWallClock(1000)
+	fired := false
+	w.At(50, func() { fired = true })
+	if err := w.Run(20); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event beyond the until mark fired")
+	}
+}
+
+func TestWallClockPostCompletesIO(t *testing.T) {
+	w := NewWallClock(100)
+	var end float64
+	w.At(0, func() {
+		w.IOStarted()
+		go func() {
+			time.Sleep(5 * time.Millisecond)
+			w.Post(func() { end = w.Now() })
+		}()
+	})
+	if err := w.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// 5 ms real at 100x is ~500 virtual ms; the completion must be
+	// stamped at the real-time frontier, not at the scheduling instant.
+	if end < 100 {
+		t.Fatalf("completion stamped at %.1f virtual ms", end)
+	}
+}
+
+func TestWallClockStallDetection(t *testing.T) {
+	w := NewWallClock(1000)
+	w.SetIdleTimeout(20 * time.Millisecond)
+	w.At(0, func() { w.IOStarted() }) // I/O that never completes
+	err := w.Run(10_000)
+	if !errors.Is(err, ErrStalled) {
+		t.Fatalf("err = %v, want ErrStalled", err)
+	}
+}
+
+func TestWallClockDropsLatePosts(t *testing.T) {
+	w := NewWallClock(1000)
+	if err := w.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	// After Run returns, completions must be dropped, not queued.
+	w.Post(func() { t.Fatal("late post ran") })
+}
+
+func TestHubFISyncCompletesInline(t *testing.T) {
+	h := NewHubFISync(fisync.NewHub())
+	called := false
+	h.Sync(fisync.State{Player: 1, Seq: 1}, 100, func(readyAt float64) {
+		called = true
+		if readyAt != 100+syncMs {
+			t.Fatalf("readyAt = %v", readyAt)
+		}
+	})
+	if !called {
+		t.Fatal("done did not fire inline")
+	}
+	// A nil done must still take the snapshot (FI download accounting).
+	h.Sync(fisync.State{Player: 2, Seq: 1}, 100, nil)
+	if h.Hub.DownloadBytes == 0 {
+		t.Fatal("snapshot skipped with nil done")
+	}
+}

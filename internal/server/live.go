@@ -1,0 +1,277 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/cache"
+	"coterie/internal/codec"
+	"coterie/internal/core"
+	"coterie/internal/fisync"
+	"coterie/internal/geom"
+	"coterie/internal/prefetch"
+	"coterie/internal/runtime"
+	"coterie/internal/trace"
+)
+
+// This file is the live backend of the shared client runtime: the same
+// pipeline that drives the deterministic testbed (internal/core) runs here
+// over real sockets — frames over TCP (liveSource), FI sync over UDP
+// (liveFISync), and a WallClock in place of the simulator. RunLive is the
+// entry point cmd/coterie-client and the loopback e2e test share.
+
+// LiveConfig tunes one live client session.
+type LiveConfig struct {
+	// Speed is the replay-speed multiplier; ≤0 means real time.
+	Speed float64
+	// CacheBytes caps the frame cache; 0 means 512 MB as in the testbed.
+	CacheBytes int64
+	// Prefetch tunes the lookahead prefetcher; zero value uses defaults.
+	Prefetch prefetch.Config
+	// FITimeout bounds each UDP FI round trip; 0 means 250 ms. A lost
+	// datagram counts as a drop and the next frame syncs again.
+	FITimeout time.Duration
+	// DecodeFrames validates every fetched frame by decoding it.
+	DecodeFrames bool
+	// IdleTimeout bounds how long the clock waits on a wedged fetch
+	// before giving up; 0 means the WallClock default.
+	IdleTimeout time.Duration
+}
+
+// LiveReport aggregates one live session.
+type LiveReport struct {
+	Metrics  runtime.PlayerMetrics
+	Cache    cache.Stats
+	Prefetch prefetch.Stats
+	// Fetches and BytesFetched count far-BE transfers from the server.
+	Fetches      int64
+	BytesFetched int64
+	// FetchLatenciesMs are per-fetch wall-clock round trips, sorted.
+	FetchLatenciesMs []float64
+	// FIDrops counts FI sync round trips lost to the timeout.
+	FIDrops int64
+	// Wall is the real elapsed time of the session.
+	Wall time.Duration
+}
+
+// LatencyQuantile returns the q-quantile fetch latency in milliseconds.
+func (r *LiveReport) LatencyQuantile(q float64) float64 {
+	l := r.FetchLatenciesMs
+	if len(l) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(l)))
+	if i >= len(l) {
+		i = len(l) - 1
+	}
+	return l[i]
+}
+
+// RunLive replays a movement trace through the shared runtime pipeline
+// against a live server: Coterie's far-BE prefetch path over TCP with the
+// similarity cache, FI sync over UDP. The returned report is valid even
+// when an error cut the session short.
+func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveConfig) (*LiveReport, error) {
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 512 << 20
+	}
+	if cfg.Prefetch.LookaheadSec == 0 {
+		cfg.Prefetch = prefetch.DefaultConfig()
+	}
+	if cfg.FITimeout == 0 {
+		cfg.FITimeout = 250 * time.Millisecond
+	}
+
+	cl, err := Dial(addr, env.Game.Spec.Name, uint8(player))
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	fi, err := DialFI(addr)
+	if err != nil {
+		return nil, fmt.Errorf("fi sync: %w", err)
+	}
+	defer fi.Close()
+
+	clock := runtime.NewWallClock(cfg.Speed)
+	if cfg.IdleTimeout > 0 {
+		clock.SetIdleTimeout(cfg.IdleTimeout)
+	}
+	src := &liveSource{clock: clock, cl: cl, decode: cfg.DecodeFrames, lat: &runtime.LatencyAcc{}}
+	fiSync := &liveFISync{clock: clock, fi: fi, timeout: cfg.FITimeout}
+
+	ccfg, _ := cache.Version(3) // intra-player similar frames, as in the testbed
+	ccfg.CapacityBytes = cfg.CacheBytes
+	frameCache := cache.New(ccfg)
+	pf := prefetch.New(env.Game.Scene.Grid, env.MetaFor(), frameCache, src, player, cfg.Prefetch)
+
+	endMs := tr.Seconds() * 1000
+	scene := env.Game.Scene
+	q := scene.NewQuery()
+	rcfg := runtime.Config{
+		System:         runtime.Coterie,
+		Device:         env.Device,
+		Grid:           scene.Grid,
+		EndMs:          endMs,
+		TotalTriangles: scene.TotalTriangles(),
+		LODFactor:      env.Game.Spec.LODFactor(),
+		RadiusAt:       env.Map.RadiusAt,
+		TrianglesWithin: func(pos geom.Vec2, radius float64) int {
+			return scene.TrianglesWithin(q, pos, radius)
+		},
+	}
+	client := runtime.NewClient(player, rcfg, runtime.Deps{
+		Clock:      clock,
+		FI:         fiSync,
+		Trace:      tr,
+		Source:     src,
+		Cache:      frameCache,
+		Prefetcher: pf,
+		Net:        src,
+		Latencies:  src.lat,
+	})
+
+	start := time.Now()
+	client.Start()
+	runErr := clock.Run(endMs)
+
+	report := &LiveReport{
+		Metrics:          client.Metrics(),
+		Cache:            frameCache.Stats(),
+		Prefetch:         pf.Stats(),
+		Fetches:          src.fetches.Load(),
+		BytesFetched:     src.bytes.Load(),
+		FetchLatenciesMs: src.latencies(),
+		FIDrops:          fiSync.drops,
+		Wall:             time.Since(start),
+	}
+	sort.Float64s(report.FetchLatenciesMs)
+	if err := src.firstError(); err != nil {
+		return report, err
+	}
+	return report, runErr
+}
+
+// liveSource fetches far-BE frames over the TCP protocol. It implements
+// both runtime.FrameSource (and prefetch.Source) and runtime.NetMonitor.
+// The protocol is synchronous request/reply on one connection, so fetches
+// serialise on a mutex; the pipeline's MaxInflight bounds queueing.
+type liveSource struct {
+	clock  *runtime.WallClock
+	cl     *Client
+	decode bool
+	lat    *runtime.LatencyAcc
+
+	inflight atomic.Int64
+	fetches  atomic.Int64
+	bytes    atomic.Int64
+
+	// connMu serialises the request/reply connection and guards err.
+	connMu sync.Mutex
+	err    error
+
+	// wallMs is only touched on the clock goroutine (Post callbacks and
+	// the post-run report, which share RunLive's goroutine).
+	wallMs []float64
+}
+
+// Fetch implements runtime.FrameSource: the blocking round trip runs on
+// its own goroutine and re-enters the pipeline through the clock. On
+// error the completion still fires (size 0) so the Eq. 2 join never
+// wedges; the error surfaces through firstError after the run.
+func (s *liveSource) Fetch(player int, pt geom.GridPoint, done func(data []byte, size int, startMs, endMs float64)) {
+	startVirtual := s.clock.Now()
+	s.clock.IOStarted()
+	s.inflight.Add(1)
+	go func() {
+		t0 := time.Now()
+		data, err := s.fetchOnce(pt)
+		wall := time.Since(t0)
+		s.inflight.Add(-1)
+		s.clock.Post(func() {
+			end := s.clock.Now()
+			if err != nil {
+				done(nil, 0, startVirtual, end)
+				return
+			}
+			s.fetches.Add(1)
+			s.bytes.Add(int64(len(data)))
+			s.wallMs = append(s.wallMs, float64(wall.Microseconds())/1000)
+			s.lat.Add(end - startVirtual)
+			done(data, len(data), startVirtual, end)
+		})
+	}()
+}
+
+// fetchOnce serialises one request/reply exchange on the connection.
+func (s *liveSource) fetchOnce(pt geom.GridPoint) ([]byte, error) {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.err != nil {
+		return nil, s.err
+	}
+	data, err := s.cl.Fetch(pt)
+	if err == nil && s.decode {
+		if _, derr := codec.Decode(data); derr != nil {
+			err = fmt.Errorf("frame %v does not decode: %w", pt, derr)
+		}
+	}
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	return data, nil
+}
+
+func (s *liveSource) firstError() error {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	return s.err
+}
+
+func (s *liveSource) latencies() []float64 {
+	return append([]float64(nil), s.wallMs...)
+}
+
+// ActiveTransfers implements runtime.NetMonitor.
+func (s *liveSource) ActiveTransfers() int { return int(s.inflight.Load()) }
+
+// FlowBytes implements runtime.NetMonitor; the live client has one flow.
+func (s *liveSource) FlowBytes(int) int64 { return s.bytes.Load() }
+
+// liveFISync synchronises FI over UDP each frame, like the paper's PUN
+// path. A lost datagram simply counts as a drop — the next frame resends.
+type liveFISync struct {
+	clock   *runtime.WallClock
+	fi      *FIClient
+	timeout time.Duration
+
+	mu sync.Mutex // serialises the UDP socket
+
+	// peers and drops are only touched on the clock goroutine.
+	peers []fisync.State
+	drops int64
+}
+
+// Sync implements runtime.FISync.
+func (f *liveFISync) Sync(st fisync.State, nowMs float64, done func(readyAtMs float64)) {
+	f.clock.IOStarted()
+	go func() {
+		f.mu.Lock()
+		others, err := f.fi.Sync(st, f.timeout)
+		f.mu.Unlock()
+		f.clock.Post(func() {
+			if err != nil {
+				f.drops++
+			} else {
+				f.peers = others
+			}
+			if done != nil {
+				done(f.clock.Now())
+			}
+		})
+	}()
+}

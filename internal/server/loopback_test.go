@@ -1,0 +1,330 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/geom"
+	"coterie/internal/trace"
+	"coterie/internal/transport"
+)
+
+// startLiveServer runs a full live server — frames over TCP, FI sync over
+// UDP on the same port — under a cancellable context.
+func startLiveServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := New(poolEnv(t))
+	srv.DrainTimeout = 2 * time.Second
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeContext(ctx, ln)
+	}()
+	go srv.ServeFIUDP(pc)
+	t.Cleanup(func() {
+		cancel()
+		pc.Close()
+		<-done
+	})
+	return srv, addr
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+// TestLoopbackMatchesSim is the end-to-end check of the runtime split:
+// the same pipeline code replays the same movement trace over (a) the
+// discrete-event netsim backend and (b) real TCP/UDP loopback sockets,
+// and the cache behaviour — the part of the pipeline the transport must
+// not perturb — has to agree. Transfer *sizes* are not comparable (the
+// simulator models 4K frames, the live server serves real encodes at the
+// test resolution), so the comparison is hit ratio and fetch counts;
+// live byte counts are checked against the server's own accounting.
+func TestLoopbackMatchesSim(t *testing.T) {
+	env := poolEnv(t)
+	srv, addr := startLiveServer(t)
+	tr := trace.Generate(env.Game, 2, 7)
+
+	// Warm the server across the trace's neighbourhood so live fetch
+	// latency is lookup-bound, keeping the live tick sequence aligned
+	// with the simulated one.
+	bounds := geom.Rect{MinX: tr.Pos[0].X, MinZ: tr.Pos[0].Z, MaxX: tr.Pos[0].X, MaxZ: tr.Pos[0].Z}
+	for _, p := range tr.Pos {
+		if p.X < bounds.MinX {
+			bounds.MinX = p.X
+		}
+		if p.Z < bounds.MinZ {
+			bounds.MinZ = p.Z
+		}
+		if p.X > bounds.MaxX {
+			bounds.MaxX = p.X
+		}
+		if p.Z > bounds.MaxZ {
+			bounds.MaxZ = p.Z
+		}
+	}
+	// Margin covers the prefetcher's lookahead predictions (a few grid
+	// steps) without ballooning the prerender set: the pool grid is 1/32 m,
+	// so every 0.25 m of margin is 8 grid steps in each direction.
+	bounds.MinX -= 0.25
+	bounds.MinZ -= 0.25
+	bounds.MaxX += 0.25
+	bounds.MaxZ += 0.25
+	if _, err := srv.PrerenderRegion(bounds, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := core.RunSession(env, core.SessionConfig{
+		System:  core.Coterie,
+		Players: 1,
+		Seconds: tr.Seconds(),
+		Traces:  []*trace.Trace{tr},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	live, err := RunLive(env, addr, tr, 0, LiveConfig{
+		Speed:        4,
+		DecodeFrames: true,
+		IdleTimeout:  10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	simHit := sim.Per[0].CacheHitRatio
+	liveHit := live.Metrics.CacheHitRatio
+	if d := liveHit - simHit; d < -0.2 || d > 0.2 {
+		t.Errorf("cache hit ratio diverged: live %.3f vs sim %.3f", liveHit, simHit)
+	}
+	simIssued := float64(sim.Per[0].PrefetchIssued)
+	liveIssued := float64(live.Prefetch.Issued)
+	if liveIssued < 0.5*simIssued || liveIssued > 2*simIssued {
+		t.Errorf("prefetches issued diverged: live %.0f vs sim %.0f", liveIssued, simIssued)
+	}
+	if live.Fetches == 0 || live.BytesFetched == 0 {
+		t.Fatalf("live session fetched nothing: %+v", live)
+	}
+	if live.Metrics.Frames == 0 {
+		t.Fatal("live session displayed no frames")
+	}
+
+	// The server's own accounting must agree with the client's byte and
+	// fetch counts exactly: one session, every fetch served over it.
+	waitFor(t, 2*time.Second, func() bool {
+		_, completed := srv.Sessions()
+		return len(completed) == 1
+	})
+	_, completed := srv.Sessions()
+	st := completed[0]
+	if st.Err != "" {
+		t.Errorf("session ended with error: %s", st.Err)
+	}
+	if st.FramesServed != live.Fetches {
+		t.Errorf("server served %d frames, client fetched %d", st.FramesServed, live.Fetches)
+	}
+	if st.BytesSent != live.BytesFetched {
+		t.Errorf("server sent %d bytes, client counted %d", st.BytesSent, live.BytesFetched)
+	}
+}
+
+// TestConcurrentFrameForSingleflight drives N concurrent fetches of one
+// cold grid point through the singleflight path: exactly one render, one
+// shared buffer.
+func TestConcurrentFrameForSingleflight(t *testing.T) {
+	srv := New(poolEnv(t))
+	pt := srv.env.Game.Scene.Grid.Snap(srv.env.Game.Spawn)
+
+	const n = 16
+	var (
+		start   = make(chan struct{})
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		buffers = make(map[*byte]int)
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			data, err := srv.FrameFor(pt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			buffers[&data[0]]++
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if len(buffers) != 1 {
+		t.Fatalf("%d distinct buffers returned, want 1", len(buffers))
+	}
+	if _, rendered := srv.Stats(); rendered != 1 {
+		t.Fatalf("rendered %d times under concurrency, want 1", rendered)
+	}
+}
+
+// dialRaw opens a raw TCP connection and completes the hello exchange.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { nc.Close() })
+	c := transport.NewConn(nc)
+	hello := transport.EncodeHello(transport.Hello{Player: 9, Game: "pool"})
+	if err := c.Send(transport.Message{Type: transport.MsgHello, Payload: hello}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	return nc
+}
+
+// expectSessionClose asserts the server tears the connection down (rather
+// than hanging) after the bad bytes already written to nc.
+func expectSessionClose(t *testing.T, nc net.Conn) {
+	t.Helper()
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				t.Fatal("server kept the session open")
+			}
+			return // EOF or reset: session closed cleanly
+		}
+	}
+}
+
+func TestSessionLoopRejectsMalformedInput(t *testing.T) {
+	_, addr := startLiveServer(t)
+
+	t.Run("unknown type", func(t *testing.T) {
+		nc := dialRaw(t, addr)
+		nc.Write([]byte{0x7F, 0, 0, 0, 0})
+		expectSessionClose(t, nc)
+	})
+	t.Run("oversized length", func(t *testing.T) {
+		nc := dialRaw(t, addr)
+		nc.Write([]byte{byte(transport.MsgFrameRequest), 0xFF, 0xFF, 0xFF, 0xFF})
+		expectSessionClose(t, nc)
+	})
+	t.Run("truncated message", func(t *testing.T) {
+		nc := dialRaw(t, addr)
+		// Header promises 9 payload bytes; send 2 and half-close.
+		nc.Write([]byte{byte(transport.MsgFrameRequest), 0, 0, 0, 9, 1, 2})
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+		expectSessionClose(t, nc)
+	})
+	t.Run("bad frame request payload", func(t *testing.T) {
+		nc := dialRaw(t, addr)
+		nc.Write([]byte{byte(transport.MsgFrameRequest), 0, 0, 0, 1, 42})
+		expectSessionClose(t, nc)
+	})
+}
+
+func TestServeContextDrainsOnCancel(t *testing.T) {
+	srv := New(poolEnv(t))
+	srv.DrainTimeout = 50 * time.Millisecond
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	served := make(chan error, 1)
+	go func() { served <- srv.ServeContext(ctx, ln) }()
+
+	cl, err := Dial(ln.Addr().String(), "pool", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	pt := srv.env.Game.Scene.Grid.Snap(srv.env.Game.Spawn)
+	if _, err := cl.Fetch(pt); err != nil {
+		t.Fatal(err)
+	}
+
+	cancel()
+	select {
+	case err := <-served:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ServeContext returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeContext did not drain after cancel")
+	}
+	// The idle session was force-closed by the drain timeout.
+	if _, err := cl.Fetch(pt); err == nil {
+		t.Fatal("session survived shutdown")
+	}
+}
+
+func TestSessionStatsRecorded(t *testing.T) {
+	srv, addr := startLiveServer(t)
+	cl, err := Dial(addr, "pool", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := srv.env.Game.Scene.Grid
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Fetch(grid.Snap(geom.V2(2, float64(2+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.Close() // sends MsgBye: a clean teardown, not an error
+
+	waitFor(t, 2*time.Second, func() bool {
+		_, completed := srv.Sessions()
+		return len(completed) == 1
+	})
+	_, completed := srv.Sessions()
+	st := completed[0]
+	if st.Err != "" {
+		t.Errorf("clean close recorded error %q", st.Err)
+	}
+	if st.Player != 3 || st.Game != "pool" {
+		t.Errorf("session identity %+v", st)
+	}
+	if st.FramesServed != 2 || st.BytesSent == 0 {
+		t.Errorf("session accounting %+v", st)
+	}
+	if active, _ := srv.Sessions(); active != 0 {
+		t.Errorf("%d sessions still active", active)
+	}
+}

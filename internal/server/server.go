@@ -2,16 +2,20 @@
 // pre-renders and pre-encodes panoramic far-BE frames for grid points
 // (memoised on first request — the paper renders offline; lazy
 // memoisation computes the identical frames on demand) and synchronises
-// foreground interactions between connected clients (§5.1).
+// foreground interactions between connected clients (§5.1). It also hosts
+// the live backend of the shared client runtime (live.go): the TCP/UDP
+// implementations of runtime.FrameSource and runtime.FISync.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"coterie/internal/codec"
 	"coterie/internal/core"
@@ -25,21 +29,62 @@ import (
 type Server struct {
 	env *core.Env
 
+	// IdleTimeout bounds how long a session may sit between messages;
+	// 0 means no limit. Set before Serve.
+	IdleTimeout time.Duration
+	// DrainTimeout bounds the graceful-shutdown wait for in-flight
+	// sessions once the listener closes; after it, open connections are
+	// force-closed. 0 means wait indefinitely. Set before Serve.
+	DrainTimeout time.Duration
+
 	mu     sync.Mutex
 	frames map[geom.GridPoint][]byte
-	hub    *fisync.Hub
+	// calls tracks in-flight renders so concurrent requests for one grid
+	// point share a single render (singleflight).
+	calls map[geom.GridPoint]*frameCall
+	hub   *fisync.Hub
 
 	// Stats
 	served   int64
 	rendered int64
+
+	sessMu   sync.Mutex
+	sessions map[net.Conn]struct{}
+	history  []SessionStats
+}
+
+// maxSessionHistory bounds the retained per-session stats.
+const maxSessionHistory = 256
+
+// frameCall is one in-flight render shared by concurrent requesters.
+type frameCall struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// SessionStats describes one completed client session.
+type SessionStats struct {
+	Remote       string
+	Player       uint8
+	Game         string
+	StartedAt    time.Time
+	Duration     time.Duration
+	FramesServed int64
+	BytesSent    int64
+	FISyncs      int64
+	// Err is the terminal error, empty for a clean MsgBye teardown.
+	Err string
 }
 
 // New creates a server for the environment.
 func New(env *core.Env) *Server {
 	return &Server{
-		env:    env,
-		frames: make(map[geom.GridPoint][]byte),
-		hub:    fisync.NewHub(),
+		env:      env,
+		frames:   make(map[geom.GridPoint][]byte),
+		calls:    make(map[geom.GridPoint]*frameCall),
+		hub:      fisync.NewHub(),
+		sessions: make(map[net.Conn]struct{}),
 	}
 }
 
@@ -51,6 +96,9 @@ func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
 }
 
 // frameFor additionally reports whether this call rendered the frame.
+// Concurrent calls for the same point share one render: the first caller
+// renders, the rest block on its result, so rendered counts are exact and
+// all callers share one buffer.
 func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 	if !s.env.Game.Scene.Grid.In(pt) {
 		return nil, false, fmt.Errorf("server: grid point %v outside world", pt)
@@ -60,27 +108,37 @@ func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 		s.mu.Unlock()
 		return data, false, nil
 	}
+	if c, ok := s.calls[pt]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.data, false, c.err
+	}
+	c := &frameCall{done: make(chan struct{})}
+	s.calls[pt] = c
 	s.mu.Unlock()
 
+	c.data, c.err = s.render(pt)
+
+	s.mu.Lock()
+	delete(s.calls, pt)
+	if c.err == nil {
+		s.frames[pt] = c.data
+		s.rendered++
+	}
+	s.mu.Unlock()
+	close(c.done)
+	return c.data, c.err == nil, c.err
+}
+
+// render produces the encoded far-BE panorama for an in-grid point.
+func (s *Server) render(pt geom.GridPoint) ([]byte, error) {
 	pos := s.env.Game.Scene.Grid.Pos(pt)
 	leaf := s.env.Map.LeafAt(pos)
 	if leaf == nil {
-		return nil, false, fmt.Errorf("server: no leaf region at %v", pos)
+		return nil, fmt.Errorf("server: no leaf region at %v", pos)
 	}
 	pano := s.env.Renderer.Panorama(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil)
-	data := codec.Encode(pano, s.env.CRF)
-
-	s.mu.Lock()
-	// A concurrent request may have rendered the same point; keep the
-	// first result so callers always share one buffer.
-	if prior, ok := s.frames[pt]; ok {
-		s.mu.Unlock()
-		return prior, false, nil
-	}
-	s.frames[pt] = data
-	s.rendered++
-	s.mu.Unlock()
-	return data, true, nil
+	return codec.Encode(pano, s.env.CRF), nil
 }
 
 // Stats returns (frames served, frames rendered).
@@ -90,30 +148,116 @@ func (s *Server) Stats() (served, rendered int64) {
 	return s.served, s.rendered
 }
 
+// Sessions returns the number of open sessions and a copy of the
+// completed-session history (most recent last).
+func (s *Server) Sessions() (active int, completed []SessionStats) {
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	return len(s.sessions), append([]SessionStats(nil), s.history...)
+}
+
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(ln net.Listener) error {
+	return s.ServeContext(context.Background(), ln)
+}
+
+// ServeContext accepts connections until the listener closes or the
+// context is cancelled, then drains: it stops accepting, waits up to
+// DrainTimeout for in-flight sessions to finish, and force-closes the
+// rest. A cancelled context returns ctx.Err(); a closed listener returns
+// nil.
+func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
+	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	defer stop()
+
+	var wg sync.WaitGroup
+	var acceptErr error
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				return nil
+			if !errors.Is(err, net.ErrClosed) {
+				acceptErr = err
 			}
-			return err
+			break
 		}
+		s.sessMu.Lock()
+		s.sessions[conn] = struct{}{}
+		s.sessMu.Unlock()
+		wg.Add(1)
 		go func() {
-			if err := s.handle(conn); err != nil {
-				log.Printf("coterie-server: session ended: %v", err)
+			defer wg.Done()
+			st := s.handle(conn)
+			conn.Close()
+			s.sessMu.Lock()
+			delete(s.sessions, conn)
+			s.history = append(s.history, st)
+			if len(s.history) > maxSessionHistory {
+				s.history = s.history[len(s.history)-maxSessionHistory:]
+			}
+			s.sessMu.Unlock()
+			if st.Err != "" {
+				log.Printf("coterie-server: session %s (player %d) ended after %v: %s",
+					st.Remote, st.Player, st.Duration.Round(time.Millisecond), st.Err)
+			} else {
+				log.Printf("coterie-server: session %s (player %d) closed: %d frames, %d FI syncs in %v",
+					st.Remote, st.Player, st.FramesServed, st.FISyncs,
+					st.Duration.Round(time.Millisecond))
 			}
 		}()
 	}
+
+	s.drain(&wg)
+	if acceptErr != nil {
+		return acceptErr
+	}
+	return ctx.Err()
 }
 
-// handle runs one client session.
-func (s *Server) handle(nc net.Conn) error {
-	defer nc.Close()
+// drain waits for in-flight sessions, force-closing them after the
+// configured timeout.
+func (s *Server) drain(wg *sync.WaitGroup) {
+	var killer *time.Timer
+	if s.DrainTimeout > 0 {
+		killer = time.AfterFunc(s.DrainTimeout, func() {
+			s.sessMu.Lock()
+			for conn := range s.sessions {
+				conn.Close()
+			}
+			s.sessMu.Unlock()
+		})
+	}
+	wg.Wait()
+	if killer != nil {
+		killer.Stop()
+	}
+}
+
+// handle runs one client session and reports its stats. The terminal
+// error, if any, lands in the returned stats.
+func (s *Server) handle(nc net.Conn) SessionStats {
+	st := SessionStats{Remote: nc.RemoteAddr().String(), StartedAt: time.Now()}
+	err := s.session(nc, &st)
+	st.Duration = time.Since(st.StartedAt)
+	if err != nil {
+		st.Err = err.Error()
+	}
+	return st
+}
+
+// recv reads the next message, applying the idle timeout.
+func (s *Server) recv(nc net.Conn, c *transport.Conn) (transport.Message, error) {
+	if s.IdleTimeout > 0 {
+		if err := nc.SetReadDeadline(time.Now().Add(s.IdleTimeout)); err != nil {
+			return transport.Message{}, err
+		}
+	}
+	return c.Recv()
+}
+
+func (s *Server) session(nc net.Conn, st *SessionStats) error {
 	c := transport.NewConn(nc)
 
-	m, err := c.Recv()
+	m, err := s.recv(nc, c)
 	if err != nil {
 		return err
 	}
@@ -124,6 +268,7 @@ func (s *Server) handle(nc net.Conn) error {
 	if err != nil {
 		return err
 	}
+	st.Player, st.Game = hello.Player, hello.Game
 	if hello.Game != s.env.Game.Spec.Name {
 		return c.Send(errMsg(fmt.Sprintf("server hosts %q, client wants %q", s.env.Game.Spec.Name, hello.Game)))
 	}
@@ -132,7 +277,7 @@ func (s *Server) handle(nc net.Conn) error {
 	}
 
 	for {
-		m, err := c.Recv()
+		m, err := s.recv(nc, c)
 		if err != nil {
 			return err
 		}
@@ -152,19 +297,22 @@ func (s *Server) handle(nc net.Conn) error {
 			s.mu.Lock()
 			s.served++
 			s.mu.Unlock()
+			st.FramesServed++
+			st.BytesSent += int64(len(data))
 			reply := transport.EncodeFrameReply(transport.FrameReply{Point: req.Point, Data: data})
 			if err := c.Send(transport.Message{Type: transport.MsgFrameReply, Payload: reply}); err != nil {
 				return err
 			}
 		case transport.MsgFISync:
-			st, _, err := fisync.DecodeState(m.Payload)
+			fst, _, err := fisync.DecodeState(m.Payload)
 			if err != nil {
 				return err
 			}
 			s.mu.Lock()
-			s.hub.Update(st)
-			others := s.hub.Snapshot(st.Player)
+			s.hub.Update(fst)
+			others := s.hub.Snapshot(fst.Player)
 			s.mu.Unlock()
+			st.FISyncs++
 			var payload []byte
 			for _, o := range others {
 				payload = o.Encode(payload)
@@ -264,7 +412,8 @@ func (c *Client) SyncFI(st fisync.State) ([]fisync.State, error) {
 	return out, nil
 }
 
-// Close ends the session.
+// Close ends the session with MsgBye so the server records a clean
+// teardown.
 func (c *Client) Close() error {
 	_ = c.conn.Send(transport.Message{Type: transport.MsgBye})
 	return c.closer()

@@ -61,11 +61,16 @@ func WriteMessage(w io.Writer, m Message) error {
 	return err
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. A header with an unknown type or
+// an oversized length fails immediately — before any payload read — so a
+// corrupt or hostile peer cannot make the reader block on garbage.
 func ReadMessage(r io.Reader) (Message, error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
+	}
+	if t := MsgType(hdr[0]); t < MsgHello || t > MsgBye {
+		return Message{}, fmt.Errorf("transport: unknown message type %d", hdr[0])
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > MaxPayload {

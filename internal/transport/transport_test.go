@@ -50,8 +50,45 @@ func TestReadMessageTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := buf.Bytes()
+	// Truncated payload: header promises 5 bytes, stream ends early.
 	if _, err := ReadMessage(bytes.NewReader(data[:len(data)-2])); err == nil {
-		t.Fatal("truncated read accepted")
+		t.Fatal("truncated payload accepted")
+	}
+	// Truncated header: fewer than the 5 framing bytes.
+	for n := 0; n < 5; n++ {
+		if _, err := ReadMessage(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("truncated header (%d bytes) accepted", n)
+		}
+	}
+}
+
+func TestReadMessageUnknownType(t *testing.T) {
+	for _, typ := range []byte{0, byte(MsgBye) + 1, 0x7F, 0xFF} {
+		hdr := []byte{typ, 0, 0, 0, 0}
+		if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
+			t.Fatalf("unknown type %d accepted", typ)
+		}
+	}
+}
+
+func TestConnRecvFailsCleanly(t *testing.T) {
+	// Recv over a Conn must surface framing errors (and make them sticky)
+	// rather than blocking or yielding garbage.
+	cases := map[string][]byte{
+		"unknown type":      {0x7F, 0, 0, 0, 0},
+		"oversized length":  {byte(MsgFrameReply), 0xFF, 0xFF, 0xFF, 0xFF},
+		"truncated header":  {byte(MsgHello), 0, 0},
+		"truncated payload": {byte(MsgHello), 0, 0, 0, 9, 'h', 'i'},
+	}
+	for name, raw := range cases {
+		c := NewConn(bytes.NewBuffer(raw))
+		if _, err := c.Recv(); err == nil {
+			t.Errorf("%s: Recv accepted", name)
+			continue
+		}
+		if _, err := c.Recv(); err == nil {
+			t.Errorf("%s: error not sticky", name)
+		}
 	}
 }
 

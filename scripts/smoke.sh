@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Smoke test for the live client/server path: build both binaries, host a
+# small game on a random localhost port, replay a 2-second movement trace
+# over real TCP/UDP, and check the client prints a session report. This is
+# the out-of-process complement to the in-process loopback e2e test in
+# internal/server (which compares the live runtime against the simulator).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+bin=$(mktemp -d)
+server_pid=
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    wait 2>/dev/null || true
+    rm -rf "$bin"
+}
+trap cleanup EXIT INT TERM
+
+echo "smoke: building binaries..."
+go build -o "$bin/coterie-server" ./cmd/coterie-server
+go build -o "$bin/coterie-client" ./cmd/coterie-client
+
+port=$((20000 + RANDOM % 20000))
+addr="127.0.0.1:$port"
+
+# Small panoramas keep the offline preprocessing and per-frame renders
+# fast; the protocol and pipeline are the same at any resolution.
+"$bin/coterie-server" -game pool -addr "$addr" -width 64 -height 32 \
+    -drain 2s >"$bin/server.log" 2>&1 &
+server_pid=$!
+
+echo "smoke: waiting for server on $addr..."
+for _ in $(seq 1 240); do
+    if ! kill -0 "$server_pid" 2>/dev/null; then
+        echo "smoke: server exited during startup" >&2
+        cat "$bin/server.log" >&2
+        exit 1
+    fi
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+        exec 3>&- 3<&-
+        break
+    fi
+    sleep 0.5
+done
+
+echo "smoke: running 2-second live session..."
+"$bin/coterie-client" -game pool -addr "$addr" -seconds 2 -speed 2 \
+    -width 64 -height 32 | tee "$bin/client.log"
+
+grep -q "^pipeline: " "$bin/client.log" || {
+    echo "smoke: client report missing" >&2
+    cat "$bin/server.log" >&2
+    exit 1
+}
+
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=
+echo "smoke: OK"
