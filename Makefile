@@ -2,7 +2,9 @@
 # and the race-detector suite over the packages that fan work across
 # goroutines (eval experiment generators, the pooled SSIM comparer, the
 # parallel cutoff preprocessing, and the live runtime stack: wall clock,
-# server lifecycle, transport framing, and the sim-vs-live loopback e2e).
+# server lifecycle, transport framing, and the sim-vs-live loopback e2e)
+# or share atomic state (the obs metrics registry, the cache and
+# prefetcher once instrumented into a shared registry).
 
 GO ?= go
 
@@ -21,7 +23,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/eval/... ./internal/ssim/... ./internal/cutoff/... \
-		./internal/runtime/... ./internal/server/... ./internal/transport/...
+		./internal/runtime/... ./internal/server/... ./internal/transport/... \
+		./internal/cache/... ./internal/prefetch/... ./internal/obs/...
 
 # End-to-end smoke: build both binaries, run a short live session over a
 # real socket on localhost, and check the client printed a report.

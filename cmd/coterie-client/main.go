@@ -12,14 +12,19 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
 	"coterie/internal/core"
 	"coterie/internal/games"
+	"coterie/internal/obs"
 	"coterie/internal/render"
 	"coterie/internal/server"
 	"coterie/internal/trace"
@@ -45,6 +50,8 @@ func run() error {
 	height := flag.Int("height", 0, "panorama height for local preprocessing (0 = default)")
 	record := flag.String("record", "", "save the generated movement trace to this file")
 	replay := flag.String("replay", "", "replay a previously recorded trace instead of generating one")
+	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /trace, expvar and pprof (empty = disabled)")
+	metricsJSON := flag.String("metrics-json", "", "write the metrics registry snapshot as JSON to this file at session end (\"-\" = stdout)")
 	flag.Parse()
 
 	spec, err := games.ByName(*game)
@@ -67,14 +74,60 @@ func run() error {
 		return err
 	}
 
+	// The registry exists whenever either observability flag asks for it;
+	// a nil registry keeps the pipeline's instrument branches dead.
+	var reg *obs.Registry
+	if *admin != "" || *metricsJSON != "" {
+		reg = obs.NewRegistry()
+	}
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			return fmt.Errorf("admin: %w", err)
+		}
+		adminSrv := &http.Server{Handler: obs.AdminMux(reg)}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("coterie-client: admin listener failed: %v", err)
+			}
+		}()
+		defer adminSrv.Close()
+		log.Printf("admin endpoint on http://%s (/metrics, /trace, /debug/pprof)", aln.Addr())
+	}
+
 	report, err := server.RunLive(env, *addr, tr, *player, server.LiveConfig{
 		Speed:        *speed,
 		DecodeFrames: true,
+		Obs:          reg,
 	})
 	if report != nil {
 		printReport(report, tr.Seconds())
 	}
+	if *metricsJSON != "" {
+		if werr := writeMetrics(reg, *metricsJSON); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// writeMetrics dumps the registry snapshot as indented JSON to a file or
+// stdout ("-").
+func writeMetrics(reg *obs.Registry, path string) error {
+	b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("metrics-json: %w", err)
+	}
+	b = append(b, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(b)
+		return err
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return fmt.Errorf("metrics-json: %w", err)
+	}
+	log.Printf("wrote metrics snapshot to %s", path)
+	return nil
 }
 
 // loadTrace replays a recorded trace or generates one, optionally saving

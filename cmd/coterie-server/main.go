@@ -7,6 +7,12 @@
 //
 //	coterie-server -game viking -addr :7368
 //	coterie-client -game viking -addr localhost:7368
+//
+// With -admin, an HTTP listener exposes /metrics (JSON registry
+// snapshot), /trace (recent frame spans), /debug/vars (expvar) and
+// /debug/pprof for live inspection:
+//
+//	coterie-server -game viking -addr :7368 -admin :6060
 package main
 
 import (
@@ -14,7 +20,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
 	"os/signal"
 	"syscall"
 	"time"
@@ -22,6 +30,7 @@ import (
 	"coterie/internal/core"
 	"coterie/internal/games"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/render"
 	"coterie/internal/server"
 )
@@ -29,6 +38,7 @@ import (
 func main() {
 	game := flag.String("game", "viking", "game to host (see games catalog)")
 	addr := flag.String("addr", ":7368", "listen address")
+	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /trace, expvar and pprof (empty = disabled)")
 	width := flag.Int("width", 256, "panorama width in pixels")
 	height := flag.Int("height", 128, "panorama height in pixels")
 	prerender := flag.Float64("prerender", 0, "warm up frames within this radius (m) of the spawn before serving")
@@ -59,6 +69,27 @@ func main() {
 	srv := server.New(env)
 	srv.DrainTimeout = *drain
 
+	// The metrics registry always exists (the instruments are cheap); the
+	// admin listener is what -admin opts into.
+	reg := obs.NewRegistry()
+	reg.PublishExpvar("coterie")
+	srv.Instrument(reg)
+
+	var adminSrv *http.Server
+	if *admin != "" {
+		aln, err := net.Listen("tcp", *admin)
+		if err != nil {
+			log.Fatalf("coterie-server: admin: %v", err)
+		}
+		adminSrv = &http.Server{Handler: obs.AdminMux(reg)}
+		go func() {
+			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				slog.Warn("admin listener failed", "err", err)
+			}
+		}()
+		log.Printf("admin endpoint on http://%s (/metrics, /trace, /debug/vars, /debug/pprof)", aln.Addr())
+	}
+
 	if *prerender > 0 {
 		region := geom.Rect{
 			MinX: env.Game.Spawn.X - *prerender, MinZ: env.Game.Spawn.Z - *prerender,
@@ -82,16 +113,25 @@ func main() {
 	}
 	go func() {
 		if err := srv.ServeFIUDP(pc); err != nil {
-			log.Printf("coterie-server: fi sync: %v", err)
+			slog.Warn("fi sync listener failed", "err", err)
 		}
 	}()
 
-	// SIGINT/SIGTERM stop accepting and drain in-flight sessions.
+	// SIGINT/SIGTERM stop accepting and drain in-flight sessions. Close
+	// failures here are logged, not swallowed: a failed close can leak the
+	// port past the process's advertised shutdown.
 	ctx, cancel := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer cancel()
 	context.AfterFunc(ctx, func() {
-		log.Printf("shutting down: draining sessions (up to %v)...", *drain)
-		pc.Close()
+		slog.Info("shutting down: draining sessions", "timeout", *drain)
+		if err := pc.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+			slog.Warn("udp listener close failed", "err", err)
+		}
+		if adminSrv != nil {
+			if err := adminSrv.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+				slog.Warn("admin listener close failed", "err", err)
+			}
+		}
 	})
 
 	log.Printf("serving %s on %s (frames: tcp, FI sync: udp)", spec.Name, ln.Addr())

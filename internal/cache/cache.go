@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 )
 
 // Policy selects the replacement policy.
@@ -140,6 +141,37 @@ type Cache struct {
 	// playerPos is the owner's latest position, the FLF eviction
 	// reference point.
 	playerPos geom.Vec2
+	// obs mirrors stats into a metrics registry when instrumented; the
+	// zero value (nil instruments) costs one predictable branch per op.
+	obs instruments
+}
+
+// instruments are the cache's registry instruments; counters mirror Stats
+// field-for-field so legacy reports and registry snapshots always agree.
+type instruments struct {
+	hits, misses, exactHits *obs.Counter
+	inserts, evictions      *obs.Counter
+	bytesServed             *obs.Counter
+	bytesStored, entries    *obs.Gauge
+}
+
+// Instrument mirrors the cache's counters into a registry under the
+// "cache." namespace. Instrument(nil) is a no-op; caches sharing one
+// registry (multi-player sessions) aggregate into the same instruments.
+func (c *Cache) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.obs = instruments{
+		hits:        r.Counter("cache.hits"),
+		misses:      r.Counter("cache.misses"),
+		exactHits:   r.Counter("cache.exact_hits"),
+		inserts:     r.Counter("cache.inserts"),
+		evictions:   r.Counter("cache.evictions"),
+		bytesServed: r.Counter("cache.bytes_served_from_hits"),
+		bytesStored: r.Gauge("cache.bytes_stored"),
+		entries:     r.Gauge("cache.entries"),
+	}
 }
 
 type cellKey struct{ cx, cz int32 }
@@ -184,6 +216,9 @@ func (c *Cache) Insert(e Entry) {
 	c.cells[k] = append(c.cells[k], ent)
 	c.stats.Inserts++
 	c.stats.BytesStored += int64(e.Size)
+	c.obs.inserts.Inc()
+	c.obs.bytesStored.Add(int64(e.Size))
+	c.obs.entries.Add(1)
 
 	if c.cfg.CapacityBytes > 0 {
 		for c.stats.BytesStored > c.cfg.CapacityBytes && len(c.byPoint) > 1 {
@@ -193,6 +228,7 @@ func (c *Cache) Insert(e Entry) {
 			}
 			c.removeEntry(victim)
 			c.stats.Evictions++
+			c.obs.evictions.Inc()
 		}
 	}
 }
@@ -241,6 +277,8 @@ func (c *Cache) removeEntry(e *Entry) {
 		}
 	}
 	c.stats.BytesStored -= int64(e.Size)
+	c.obs.bytesStored.Add(-int64(e.Size))
+	c.obs.entries.Add(-1)
 }
 
 // visible reports whether the entry may serve the requesting player under
@@ -260,13 +298,17 @@ func (c *Cache) Lookup(req Request) (*Entry, bool) {
 	if e != nil {
 		c.touch(e)
 		c.stats.Hits++
+		c.obs.hits.Inc()
 		if exact {
 			c.stats.ExactHits++
+			c.obs.exactHits.Inc()
 		}
 		c.stats.BytesServedFromHits += int64(e.Size)
+		c.obs.bytesServed.Add(int64(e.Size))
 		return e, true
 	}
 	c.stats.Misses++
+	c.obs.misses.Inc()
 	return nil, false
 }
 

@@ -7,6 +7,7 @@ import (
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
 	"coterie/internal/netsim"
+	"coterie/internal/obs"
 	"coterie/internal/prefetch"
 	"coterie/internal/runtime"
 	"coterie/internal/trace"
@@ -52,6 +53,10 @@ type SessionConfig struct {
 	// simulated and live backends); otherwise traces are generated from
 	// Seed as usual.
 	Traces []*trace.Trace
+	// Obs, when non-nil, receives the session's metrics and frame traces:
+	// the shared pipeline instruments (aggregated across players) plus the
+	// simulated medium's counters. nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // WiFiGoodput returns the configured medium goodput in Mbps.
@@ -104,6 +109,7 @@ func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 
 	sim := netsim.NewSim()
 	wifi := netsim.NewWiFi(sim, cfg.WiFi)
+	wifi.Instrument(cfg.Obs)
 	hub := fisync.NewHub()
 	traces := cfg.Traces
 	if len(traces) != cfg.Players {
@@ -115,7 +121,7 @@ func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 	clients := make([]*runtime.Client, cfg.Players)
 	srcs := make([]*simSource, cfg.Players)
 	for i := 0; i < cfg.Players; i++ {
-		deps := runtime.Deps{Clock: sim, FI: fi, Trace: traces[i]}
+		deps := runtime.Deps{Clock: sim, FI: fi, Trace: traces[i], Obs: cfg.Obs}
 		if cfg.System.UsesBEPrefetch() {
 			src := &simSource{
 				sim:       sim,

@@ -86,6 +86,74 @@ func TestHubDropsStaleSeq(t *testing.T) {
 	}
 }
 
+func TestNewerSeqWraparound(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		want bool
+	}{
+		{1, 0, true},
+		{0, 1, false},
+		{5, 5, false}, // equal is not newer (a resent datagram must not count)
+		// uint32 boundary: small numbers follow huge ones.
+		{0, 0xFFFFFFFF, true},
+		{0xFFFFFFFF, 0, false},
+		{2, 0xFFFFFFFE, true},
+		{0xFFFFFFFE, 2, false},
+		// Exactly half the space apart: int32(a-b) is math.MinInt32,
+		// which is not > 0, so the tie breaks toward "stale" both ways —
+		// the hub never oscillates between two equidistant sequences.
+		{0x80000000, 0, false},
+		{0, 0x80000000, false},
+		// Just under half the space counts as newer.
+		{0x7FFFFFFF, 0, true},
+		{0, 0x80000001, true},
+	}
+	for _, c := range cases {
+		if got := newerSeq(c.a, c.b); got != c.want {
+			t.Errorf("newerSeq(%#x, %#x) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestHubSeqEdgeCases(t *testing.T) {
+	// A duplicate sequence (retransmitted datagram) must not overwrite.
+	h := NewHub()
+	h.Update(State{Player: 0, Seq: 7, Anim: 1})
+	h.Update(State{Player: 0, Seq: 7, Anim: 2})
+	if snap := h.Snapshot(9); snap[0].Anim != 1 {
+		t.Fatal("duplicate sequence overwrote state")
+	}
+
+	// Stale updates straddling the wraparound: 0xFFFFFFFE arrives after
+	// the counter already wrapped to 1.
+	h = NewHub()
+	h.Update(State{Player: 0, Seq: 0xFFFFFFFE, Anim: 1})
+	h.Update(State{Player: 0, Seq: 1, Anim: 2})          // wrapped: newer
+	h.Update(State{Player: 0, Seq: 0xFFFFFFFF, Anim: 3}) // pre-wrap straggler: stale
+	if snap := h.Snapshot(9); snap[0].Anim != 2 {
+		t.Fatalf("post-wrap state lost: anim = %d", snap[0].Anim)
+	}
+
+	// A fresh hub accepts any first sequence, including 0 and the max.
+	h = NewHub()
+	h.Update(State{Player: 0, Seq: 0, Anim: 1})
+	h.Update(State{Player: 1, Seq: 0xFFFFFFFF, Anim: 2})
+	if h.Players() != 2 {
+		t.Fatalf("players = %d", h.Players())
+	}
+
+	// Sequences advancing across the boundary one step at a time.
+	h = NewHub()
+	anim := uint8(0)
+	for seq := uint32(0xFFFFFFFD); seq != 3; seq++ {
+		anim++
+		h.Update(State{Player: 0, Seq: seq, Anim: anim})
+	}
+	if snap := h.Snapshot(9); snap[0].Anim != anim || snap[0].Seq != 2 {
+		t.Fatalf("walk across wraparound ended at seq %d anim %d", snap[0].Seq, snap[0].Anim)
+	}
+}
+
 func TestTickBytesMatchesTable9Scaling(t *testing.T) {
 	// Table 9: FI bandwidth is ~1 Kbps at 1 player and 260-275 Kbps at 4.
 	// At 60 Hz the per-tick byte budget implies those rates.

@@ -1,6 +1,10 @@
 package netsim
 
-import "math"
+import (
+	"math"
+
+	"coterie/internal/obs"
+)
 
 // WiFiConfig describes the shared medium.
 type WiFiConfig struct {
@@ -30,6 +34,27 @@ type WiFi struct {
 	// Stats
 	totalBytes   int64
 	perFlowBytes map[int]int64
+
+	// Observability (nil instruments when not wired to a registry).
+	obsTransfers *obs.Counter
+	obsBytes     *obs.Counter
+	obsActive    *obs.Gauge
+	obsLatency   *obs.Histogram
+}
+
+// Instrument mirrors the medium's activity into a registry under the
+// "netsim." namespace: transfers started/delivered bytes, the current
+// active-transfer count, and per-transfer latency (base latency plus the
+// contention slowdown — the quantity Fig 11 plots against player count).
+// Instrument(nil) is a no-op.
+func (w *WiFi) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	w.obsTransfers = r.Counter("netsim.transfers")
+	w.obsBytes = r.Counter("netsim.bytes")
+	w.obsActive = r.Gauge("netsim.active_transfers")
+	w.obsLatency = r.Histogram("netsim.transfer_ms")
 }
 
 type transfer struct {
@@ -88,6 +113,8 @@ func (w *WiFi) Transfer(flow int, bytes int, done func(start, end float64)) {
 		}
 		w.settle()
 		w.active[t] = struct{}{}
+		w.obsTransfers.Inc()
+		w.obsActive.Set(int64(len(w.active)))
 		w.reschedule()
 	})
 }
@@ -156,11 +183,16 @@ func (w *WiFi) completeFinished() {
 	for _, t := range finished {
 		delete(w.active, t)
 	}
+	if len(finished) > 0 {
+		w.obsActive.Set(int64(len(w.active)))
+	}
 	w.reschedule()
 	now := w.sim.Now()
 	for _, t := range finished {
 		w.perFlowBytes[t.flow] += int64(t.origin)
 		w.totalBytes += int64(t.origin)
+		w.obsBytes.Add(int64(t.origin))
+		w.obsLatency.Observe(now - t.start)
 		if t.done != nil {
 			t.done(t.start, now)
 		}

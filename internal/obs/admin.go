@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// This file is the admin surface of the registry: the opt-in HTTP
+// listener the live server exposes with -admin. It serves
+//
+//	/metrics      JSON registry snapshot (counters, gauges, histograms)
+//	/trace        recent per-frame stage spans from the trace ring
+//	/debug/vars   expvar (includes the registry once PublishExpvar ran)
+//	/debug/pprof  the standard Go profiling endpoints
+//
+// Everything here is a cold path; the hot-path budget lives in obs.go.
+
+// maxTraceSpans bounds one /trace response.
+const maxTraceSpans = 4096
+
+// AdminMux returns the admin HTTP handler for a registry.
+func AdminMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.Snapshot())
+	})
+	mux.HandleFunc("/trace", func(w http.ResponseWriter, req *http.Request) {
+		n := 128
+		if q := req.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		if n > maxTraceSpans {
+			n = maxTraceSpans
+		}
+		spans := r.Trace().Recent(n)
+		if spans == nil {
+			spans = []FrameSpan{}
+		}
+		writeJSON(w, spans)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// PublishExpvar publishes the registry's snapshot under the given name in
+// the process-wide expvar namespace (served on /debug/vars). Publishing
+// the same name twice is a no-op rather than expvar's panic, so tests and
+// restarting callers are safe.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

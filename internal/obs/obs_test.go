@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryAndInstrumentsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	g := r.Gauge("y")
+	h := r.Histogram("z")
+	tr := r.Trace()
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1.5)
+	tr.Record(&FrameSpan{})
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || tr.Recorded() != 0 {
+		t.Fatal("nil instruments recorded something")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Gauges) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestRegistryInstrumentsAreShared(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("cache.hits")
+	b := r.Counter("cache.hits")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := r.Counter("cache.hits").Value(); got != 3 {
+		t.Fatalf("shared counter = %d, want 3", got)
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same name returned distinct histograms")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("same name returned distinct gauges")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("n")
+			h := r.Histogram("lat")
+			for j := 0; j < per; j++ {
+				c.Inc()
+				h.Observe(float64(j % 50))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != workers*per {
+		t.Fatalf("counter = %d, want %d", got, workers*per)
+	}
+	if got := r.Histogram("lat").Count(); got != workers*per {
+		t.Fatalf("histogram count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram() // default latency buckets
+	// 100 samples at 1..100 ms: p50 ~ 50, p95 ~ 95, p99 ~ 99.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Mean < 49 || s.Mean > 52 {
+		t.Fatalf("mean = %.2f, want ~50.5", s.Mean)
+	}
+	// Bucketed quantiles are coarse; assert the right bucket, not the
+	// exact rank.
+	if s.P50 < 33.3 || s.P50 > 66.7 {
+		t.Fatalf("p50 = %.2f, want within (33.3, 66.7]", s.P50)
+	}
+	if s.P95 < 66.7 || s.P95 > 133 {
+		t.Fatalf("p95 = %.2f, want within (66.7, 133]", s.P95)
+	}
+	if s.P99 < s.P95 || s.P99 > 133 {
+		t.Fatalf("p99 = %.2f, want >= p95 and within (66.7, 133]", s.P99)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram(1, 2)
+	h.Observe(100)
+	h.Observe(200)
+	s := h.Snapshot()
+	if s.Counts[2] != 2 {
+		t.Fatalf("overflow bucket = %d, want 2", s.Counts[2])
+	}
+	if s.P99 != 2 { // overflow reports the largest finite edge
+		t.Fatalf("overflow p99 = %.2f, want 2", s.P99)
+	}
+}
+
+func TestTraceRingWrapsAndOrdersOldestFirst(t *testing.T) {
+	tr := NewTraceRing(4)
+	for i := 1; i <= 6; i++ {
+		tr.Record(&FrameSpan{Frame: int64(i)})
+	}
+	if tr.Recorded() != 6 {
+		t.Fatalf("recorded = %d", tr.Recorded())
+	}
+	got := tr.Recent(10) // more than capacity: clamps to the 4 retained
+	if len(got) != 4 {
+		t.Fatalf("recent len = %d", len(got))
+	}
+	for i, sp := range got {
+		if want := int64(3 + i); sp.Frame != want {
+			t.Fatalf("recent[%d].Frame = %d, want %d", i, sp.Frame, want)
+		}
+	}
+	if last := tr.Recent(1); len(last) != 1 || last[0].Frame != 6 {
+		t.Fatalf("recent(1) = %+v", last)
+	}
+}
+
+func TestAdminMetricsAndTraceEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("server.frames_served").Add(7)
+	r.Gauge("server.sessions_active").Set(1)
+	r.Histogram("server.render_ms").Observe(3)
+	r.Trace().Record(&FrameSpan{Frame: 1, FetchMs: 2.5, CacheHit: true})
+	srv := httptest.NewServer(AdminMux(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.frames_served"] != 7 {
+		t.Fatalf("metrics snapshot: %+v", snap)
+	}
+	if snap.Histograms["server.render_ms"].Count != 1 {
+		t.Fatalf("histogram missing from snapshot: %+v", snap)
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/trace?n=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var spans []FrameSpan
+	if err := json.NewDecoder(res.Body).Decode(&spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].FetchMs != 2.5 || !spans[0].CacheHit {
+		t.Fatalf("trace spans: %+v", spans)
+	}
+
+	for _, path := range []string{"/debug/vars", "/debug/pprof/"} {
+		res, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != 200 {
+			t.Fatalf("%s -> %d", path, res.StatusCode)
+		}
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	r.PublishExpvar("coterie-test")
+	r.PublishExpvar("coterie-test") // second call must not panic
+	var nilReg *Registry
+	nilReg.PublishExpvar("coterie-test-nil") // nil-safe
+}
+
+func TestSnapshotDumpIsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(1)
+	d1 := r.Snapshot().Dump()
+	d2 := r.Snapshot().Dump()
+	if d1 != d2 || d1 == "" {
+		t.Fatalf("dump not deterministic:\n%s\n%s", d1, d2)
+	}
+}

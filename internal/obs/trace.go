@@ -1,0 +1,111 @@
+package obs
+
+import "sync"
+
+// defaultTraceSlots is the ring capacity: at 60 fps it holds the last
+// ~8.5 seconds of frames for one player.
+const defaultTraceSlots = 512
+
+// FrameSpan breaks one displayed frame into the per-stage spans of the
+// paper's latency accounting (Eq. 2, Tables 1/5): the parallel tasks the
+// frame interval is the max over, plus where the display budget went. All
+// durations are virtual session milliseconds, so spans from the simulated
+// and live backends are directly comparable.
+type FrameSpan struct {
+	Player int   `json:"player"`
+	Frame  int64 `json:"frame"` // 1-based display sequence for the player
+	// StartMs is the pose-sampling time; DisplayMs is when the frame
+	// reached the display (vsync-floored).
+	StartMs   float64 `json:"start_ms"`
+	DisplayMs float64 `json:"display_ms"`
+	// LocalMs is the on-device render span (FI + near BE, or the full
+	// scene for the Mobile baseline).
+	LocalMs float64 `json:"local_ms"`
+	// FetchMs is the span the display path waited on the BE frame for
+	// *this* interval: 0 when the cache lookup hit, the fetch RTT when it
+	// had to go to the server.
+	FetchMs float64 `json:"fetch_ms"`
+	// PrefetchMs is the span of the tracked prefetch for the *next* grid
+	// point (the T_prefetch term); 0 when the prefetch request hit the
+	// cache and no transfer was needed.
+	PrefetchMs float64 `json:"prefetch_ms"`
+	// DecodeMs is the hardware-decode span for the displayed BE frame.
+	DecodeMs float64 `json:"decode_ms"`
+	// JoinMs is the Eq. 2 join: the max over the parallel tasks (FI sync
+	// round trip, prefetch issue) measured from frame start.
+	JoinMs float64 `json:"join_ms"`
+	// SlackMs is the display slack: how long the finished pipeline waited
+	// for the vsync floor. Zero means the frame consumed its full budget.
+	SlackMs float64 `json:"slack_ms"`
+	// CacheHit reports whether the displayed BE frame came out of the
+	// similarity cache; Prefetched whether a tracked prefetch transfer was
+	// in flight this frame.
+	CacheHit   bool `json:"cache_hit"`
+	Prefetched bool `json:"prefetched"`
+}
+
+// TraceRing is a fixed-capacity ring of FrameSpans. Slots are allocated
+// once; recording copies the caller's span into the next slot, so the hot
+// path never allocates. The mutex is uncontended in practice (one writer
+// per clock goroutine, readers only on the cold /trace endpoint).
+//
+// All methods tolerate a nil receiver, so a disabled registry costs one
+// branch.
+type TraceRing struct {
+	mu    sync.Mutex
+	slots []FrameSpan
+	total uint64 // spans ever recorded
+}
+
+// NewTraceRing creates a ring with n pooled span slots (the default
+// capacity if n <= 0).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = defaultTraceSlots
+	}
+	return &TraceRing{slots: make([]FrameSpan, n)}
+}
+
+// Record copies the span into the next slot, overwriting the oldest.
+func (t *TraceRing) Record(sp *FrameSpan) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.slots[t.total%uint64(len(t.slots))] = *sp
+	t.total++
+	t.mu.Unlock()
+}
+
+// Recorded returns the number of spans ever recorded.
+func (t *TraceRing) Recorded() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns up to n of the most recent spans, oldest first. It
+// allocates a fresh copy; this is the cold reporting path.
+func (t *TraceRing) Recent(n int) []FrameSpan {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	avail := t.total
+	if avail > uint64(len(t.slots)) {
+		avail = uint64(len(t.slots))
+	}
+	if uint64(n) > avail {
+		n = int(avail)
+	}
+	out := make([]FrameSpan, n)
+	for i := 0; i < n; i++ {
+		idx := (t.total - uint64(n) + uint64(i)) % uint64(len(t.slots))
+		out[i] = t.slots[idx]
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 
 	"coterie/internal/cache"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 )
 
 // Meta computes the cache lookup metadata of a grid point: its leaf
@@ -68,6 +69,35 @@ type Prefetcher struct {
 	waiters  map[geom.GridPoint][]Waiter
 	scratch  []geom.GridPoint
 	stats    Stats
+	obs      instruments
+}
+
+// instruments mirror Stats into a metrics registry, plus the per-fetch
+// RTT histogram the paper's latency breakdown needs (Tables 1/5).
+type instruments struct {
+	issued, skippedCache   *obs.Counter
+	skippedBusy, delivered *obs.Counter
+	bytesFetched           *obs.Counter
+	inflightGauge          *obs.Gauge
+	fetchRTT               *obs.Histogram
+}
+
+// Instrument mirrors the prefetcher's counters into a registry under the
+// "prefetch." namespace. Instrument(nil) is a no-op; prefetchers sharing
+// one registry aggregate into the same instruments.
+func (p *Prefetcher) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	p.obs = instruments{
+		issued:        r.Counter("prefetch.issued"),
+		skippedCache:  r.Counter("prefetch.skipped_cache"),
+		skippedBusy:   r.Counter("prefetch.skipped_busy"),
+		delivered:     r.Counter("prefetch.delivered"),
+		bytesFetched:  r.Counter("prefetch.bytes_fetched"),
+		inflightGauge: r.Gauge("prefetch.inflight"),
+		fetchRTT:      r.Histogram("prefetch.fetch_rtt_ms"),
+	}
 }
 
 // Waiter is notified when a demanded frame becomes available: its size and
@@ -221,11 +251,13 @@ func (p *Prefetcher) Tick(pos, vel geom.Vec2) {
 		}
 		if len(p.inflight) >= p.Cfg.MaxInflight {
 			p.stats.SkippedBusy++
+			p.obs.skippedBusy.Inc()
 			return
 		}
 		req := p.request(cand)
 		if _, ok := p.Cache.Peek(req); ok {
 			p.stats.SkippedCache++
+			p.obs.skippedCache.Inc()
 			continue
 		}
 		if p.coveredByInflight(req) {
@@ -254,9 +286,15 @@ func (p *Prefetcher) Fetch(pt geom.GridPoint) {
 func (p *Prefetcher) fetch(pt geom.GridPoint, req cache.Request) {
 	p.inflight[pt] = true
 	p.stats.Issued++
+	p.obs.issued.Inc()
+	p.obs.inflightGauge.Set(int64(len(p.inflight)))
 	p.Source.Fetch(p.Player, pt, func(data []byte, size int, startMs, endMs float64) {
 		delete(p.inflight, pt)
 		p.stats.Delivered++
+		p.obs.delivered.Inc()
+		p.obs.bytesFetched.Add(int64(size))
+		p.obs.inflightGauge.Set(int64(len(p.inflight)))
+		p.obs.fetchRTT.Observe(endMs - startMs)
 		p.Cache.Insert(cache.Entry{
 			Point:   pt,
 			Pos:     req.Pos,

@@ -8,6 +8,7 @@ import (
 	"coterie/internal/device"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/prefetch"
 	"coterie/internal/trace"
 )
@@ -32,6 +33,11 @@ type Deps struct {
 	// Latencies receives per-transfer delays recorded by the Source;
 	// the pipeline reads the mean for PlayerMetrics.NetDelayMs.
 	Latencies *LatencyAcc
+	// Obs, when non-nil, receives the pipeline's metrics and per-frame
+	// stage spans, and is wired through to the cache and prefetcher so
+	// the same instruments light up under every backend. Nil disables
+	// instrumentation at near-zero cost.
+	Obs *obs.Registry
 }
 
 // Client runs the per-frame pipeline for one player over a backend. It is
@@ -72,11 +78,52 @@ type Client struct {
 	secPower    float64
 	secWeight   float64
 	curSec      int
+
+	// Observability: histograms/counters resolved once at construction
+	// (nil-safe no-ops when Deps.Obs is nil), a trace ring, and one pooled
+	// span filled in place each frame — the pipeline is single-threaded,
+	// and a frame's display callback always runs before the next frame
+	// starts, so one slot suffices and the hot path never allocates.
+	obs  pipelineObs
+	ring *obs.TraceRing
+	span obs.FrameSpan
 }
 
-// NewClient builds a pipeline for one player.
+// pipelineObs are the pipeline's registry instruments: the per-stage
+// breakdown of the frame budget (Eq. 2) the paper's Tables 1/5 report.
+type pipelineObs struct {
+	frames    *obs.Counter
+	interMs   *obs.Histogram
+	respMs    *obs.Histogram
+	fetchMs   *obs.Histogram
+	decodeMs  *obs.Histogram
+	joinMs    *obs.Histogram
+	slackMs   *obs.Histogram
+	cacheMiss *obs.Counter
+	cacheHit  *obs.Counter
+}
+
+// instrumentPipeline resolves the pipeline instruments from a registry.
+func instrumentPipeline(r *obs.Registry) pipelineObs {
+	return pipelineObs{
+		frames:    r.Counter("frames.displayed"),
+		interMs:   r.Histogram("frame.inter_ms"),
+		respMs:    r.Histogram("frame.responsiveness_ms"),
+		fetchMs:   r.Histogram("frame.fetch_ms"),
+		decodeMs:  r.Histogram("frame.decode_ms"),
+		joinMs:    r.Histogram("frame.join_ms"),
+		slackMs:   r.Histogram("frame.display_slack_ms"),
+		cacheHit:  r.Counter("frames.display_cache_hits"),
+		cacheMiss: r.Counter("frames.display_cache_misses"),
+	}
+}
+
+// NewClient builds a pipeline for one player. When Deps.Obs is set, the
+// client wires the registry through to its cache and prefetcher too, so
+// one call site lights up the whole per-client instrument set identically
+// under the simulated and live backends.
 func NewClient(id int, cfg Config, d Deps) *Client {
-	return &Client{
+	c := &Client{
 		cfg:   cfg,
 		id:    id,
 		clock: d.Clock,
@@ -89,6 +136,17 @@ func NewClient(id int, cfg Config, d Deps) *Client {
 		lat:   d.Latencies,
 		therm: cfg.Device.NewThermal(),
 	}
+	if d.Obs != nil {
+		c.obs = instrumentPipeline(d.Obs)
+		c.ring = d.Obs.Trace()
+		if c.cache != nil {
+			c.cache.Instrument(d.Obs)
+		}
+		if c.pf != nil {
+			c.pf.Instrument(d.Obs)
+		}
+	}
+	return c
 }
 
 // Start begins the frame loop; each displayed frame schedules the next.
@@ -116,6 +174,11 @@ func (c *Client) frame() {
 	pos := c.tr.Pos[tick]
 	vel := c.velocity(tick)
 
+	// Reset the pooled span for this frame. The struct stores are cheap
+	// and unconditional; whether the span is published is decided by the
+	// ring at display time.
+	c.span = obs.FrameSpan{Player: c.id, Frame: c.frames + 1, StartMs: now}
+
 	// FI synchronisation through the server (task 4); the latency is part
 	// of the Eq. 2 max, which the join below accounts for.
 	c.seq++
@@ -131,6 +194,7 @@ func (c *Client) frame() {
 	case Mobile:
 		c.fi.Sync(st, now, nil)
 		renderMs := dev.FullSceneRenderMs(int(float64(c.cfg.TotalTriangles)/c.cfg.LODFactor)) + dev.FIRenderMs
+		c.span.LocalMs = renderMs
 		c.display(now, now+renderMs, renderMs, false, 0)
 
 	case ThinClient:
@@ -140,7 +204,11 @@ func (c *Client) frame() {
 		pt := c.cfg.Grid.Snap(pos)
 		c.src.Fetch(c.id, pt, func(_ []byte, size int, _, end float64) {
 			c.noteSize(size)
-			readyAt := end + dev.DecodeMs(size) + mergeMs
+			decodeMs := dev.DecodeMs(size)
+			readyAt := end + decodeMs + mergeMs
+			c.span.LocalMs = thinOverlayMs
+			c.span.FetchMs = end - now
+			c.span.DecodeMs = decodeMs
 			c.display(now, readyAt, thinOverlayMs, true, size)
 		})
 
@@ -167,7 +235,11 @@ func (c *Client) frame() {
 		// first, server on miss. This stream defines the cache hit ratio.
 		look := c.pf.Cfg.LookaheadSec
 		predicted := c.cfg.Grid.Snap(geom.V2(pos.X+vel.X*look, pos.Z+vel.Z*look))
-		if c.pf.RequestTracked(predicted, func(_ int, at float64) { join.arrive(at) }) {
+		if c.pf.RequestTracked(predicted, func(_ int, at float64) {
+			c.span.PrefetchMs = at - now
+			join.arrive(at)
+		}) {
+			c.span.Prefetched = true
 			join.pending++
 		}
 
@@ -185,8 +257,17 @@ func (c *Client) frame() {
 		join.fire = func(tasksReady float64) {
 			c.pf.Ensure(need, now, func(size int, readyAt float64) {
 				c.noteSize(size)
-				decodeDone := readyAt + dev.DecodeMs(size)
+				decodeMs := dev.DecodeMs(size)
+				decodeDone := readyAt + decodeMs
 				tasksDone := math.Max(math.Max(now+localMs, tasksReady), decodeDone)
+				// Stage spans: Ensure answers at now exactly when the
+				// display frame came out of the cache; anything later is
+				// the fetch RTT the display blocked on.
+				c.span.LocalMs = localMs
+				c.span.FetchMs = readyAt - now
+				c.span.DecodeMs = decodeMs
+				c.span.JoinMs = tasksReady - now
+				c.span.CacheHit = readyAt == now
 				c.display(now, tasksDone+mergeMs, localMs, true, size)
 			})
 		}
@@ -251,7 +332,29 @@ func (c *Client) display(start, readyAt float64, renderMs float64, decoding bool
 		c.frames++
 		c.interSum += inter
 		c.inters = append(c.inters, float32(inter))
-		c.respSum += sensorMs + (readyAt - start)
+		resp := sensorMs + (readyAt - start)
+		c.respSum += resp
+
+		// Publish this frame's stage spans and latency observations. The
+		// span was filled in place across the frame's callbacks, all of
+		// which run before this display event.
+		c.span.DisplayMs = displayAt
+		c.span.SlackMs = displayAt - readyAt
+		c.obs.frames.Inc()
+		c.obs.interMs.Observe(inter)
+		c.obs.respMs.Observe(resp)
+		c.obs.fetchMs.Observe(c.span.FetchMs)
+		c.obs.decodeMs.Observe(c.span.DecodeMs)
+		c.obs.joinMs.Observe(c.span.JoinMs)
+		c.obs.slackMs.Observe(c.span.SlackMs)
+		if decoding && c.cfg.System.UsesBEPrefetch() {
+			if c.span.CacheHit {
+				c.obs.cacheHit.Inc()
+			} else {
+				c.obs.cacheMiss.Inc()
+			}
+		}
+		c.ring.Record(&c.span)
 
 		// Resource accounting over this frame interval.
 		netMbps := c.currentNetMbps()

@@ -12,9 +12,11 @@ import (
 	"coterie/internal/core"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/prefetch"
 	"coterie/internal/runtime"
 	"coterie/internal/trace"
+	"coterie/internal/transport"
 )
 
 // This file is the live backend of the shared client runtime: the same
@@ -39,6 +41,10 @@ type LiveConfig struct {
 	// IdleTimeout bounds how long the clock waits on a wedged fetch
 	// before giving up; 0 means the WallClock default.
 	IdleTimeout time.Duration
+	// Obs, when non-nil, receives the session's metrics and frame traces:
+	// the shared pipeline instruments plus live-specific ones (client
+	// transport byte counts, FI sync drops). nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // LiveReport aggregates one live session.
@@ -90,6 +96,7 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 		return nil, err
 	}
 	defer cl.Close()
+	cl.Instrument(transport.NewMetrics(cfg.Obs, "client.transport"))
 	fi, err := DialFI(addr)
 	if err != nil {
 		return nil, fmt.Errorf("fi sync: %w", err)
@@ -102,6 +109,10 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 	}
 	src := &liveSource{clock: clock, cl: cl, decode: cfg.DecodeFrames, lat: &runtime.LatencyAcc{}}
 	fiSync := &liveFISync{clock: clock, fi: fi, timeout: cfg.FITimeout}
+	if cfg.Obs != nil {
+		fiSync.obsSyncs = cfg.Obs.Counter("fi.syncs")
+		fiSync.obsDrops = cfg.Obs.Counter("fi.drops")
+	}
 
 	ccfg, _ := cache.Version(3) // intra-player similar frames, as in the testbed
 	ccfg.CapacityBytes = cfg.CacheBytes
@@ -132,6 +143,7 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 		Prefetcher: pf,
 		Net:        src,
 		Latencies:  src.lat,
+		Obs:        cfg.Obs,
 	})
 
 	start := time.Now()
@@ -254,6 +266,10 @@ type liveFISync struct {
 	// peers and drops are only touched on the clock goroutine.
 	peers []fisync.State
 	drops int64
+
+	// Observability (nil when not instrumented).
+	obsSyncs *obs.Counter
+	obsDrops *obs.Counter
 }
 
 // Sync implements runtime.FISync.
@@ -264,8 +280,10 @@ func (f *liveFISync) Sync(st fisync.State, nowMs float64, done func(readyAtMs fl
 		others, err := f.fi.Sync(st, f.timeout)
 		f.mu.Unlock()
 		f.clock.Post(func() {
+			f.obsSyncs.Inc()
 			if err != nil {
 				f.drops++
+				f.obsDrops.Inc()
 			} else {
 				f.peers = others
 			}

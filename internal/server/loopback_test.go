@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -10,6 +11,7 @@ import (
 
 	"coterie/internal/core"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/trace"
 	"coterie/internal/transport"
 )
@@ -70,34 +72,7 @@ func TestLoopbackMatchesSim(t *testing.T) {
 	srv, addr := startLiveServer(t)
 	tr := trace.Generate(env.Game, 2, 7)
 
-	// Warm the server across the trace's neighbourhood so live fetch
-	// latency is lookup-bound, keeping the live tick sequence aligned
-	// with the simulated one.
-	bounds := geom.Rect{MinX: tr.Pos[0].X, MinZ: tr.Pos[0].Z, MaxX: tr.Pos[0].X, MaxZ: tr.Pos[0].Z}
-	for _, p := range tr.Pos {
-		if p.X < bounds.MinX {
-			bounds.MinX = p.X
-		}
-		if p.Z < bounds.MinZ {
-			bounds.MinZ = p.Z
-		}
-		if p.X > bounds.MaxX {
-			bounds.MaxX = p.X
-		}
-		if p.Z > bounds.MaxZ {
-			bounds.MaxZ = p.Z
-		}
-	}
-	// Margin covers the prefetcher's lookahead predictions (a few grid
-	// steps) without ballooning the prerender set: the pool grid is 1/32 m,
-	// so every 0.25 m of margin is 8 grid steps in each direction.
-	bounds.MinX -= 0.25
-	bounds.MinZ -= 0.25
-	bounds.MaxX += 0.25
-	bounds.MaxZ += 0.25
-	if _, err := srv.PrerenderRegion(bounds, 1, 0); err != nil {
-		t.Fatal(err)
-	}
+	warmServer(t, srv, tr)
 
 	sim, err := core.RunSession(env, core.SessionConfig{
 		System:  core.Coterie,
@@ -153,6 +128,137 @@ func TestLoopbackMatchesSim(t *testing.T) {
 		t.Errorf("server sent %d bytes, client counted %d", st.BytesSent, live.BytesFetched)
 	}
 }
+
+// warmServer prerenders the server across the trace's neighbourhood so
+// live fetch latency is lookup-bound, keeping the live tick sequence
+// aligned with the simulated one.
+func warmServer(t *testing.T, srv *Server, tr *trace.Trace) {
+	t.Helper()
+	bounds := geom.Rect{MinX: tr.Pos[0].X, MinZ: tr.Pos[0].Z, MaxX: tr.Pos[0].X, MaxZ: tr.Pos[0].Z}
+	for _, p := range tr.Pos {
+		if p.X < bounds.MinX {
+			bounds.MinX = p.X
+		}
+		if p.Z < bounds.MinZ {
+			bounds.MinZ = p.Z
+		}
+		if p.X > bounds.MaxX {
+			bounds.MaxX = p.X
+		}
+		if p.Z > bounds.MaxZ {
+			bounds.MaxZ = p.Z
+		}
+	}
+	// Margin covers the prefetcher's lookahead predictions (a few grid
+	// steps) without ballooning the prerender set: the pool grid is 1/32 m,
+	// so every 0.25 m of margin is 8 grid steps in each direction.
+	bounds.MinX -= 0.25
+	bounds.MinZ -= 0.25
+	bounds.MaxX += 0.25
+	bounds.MaxZ += 0.25
+	if _, err := srv.PrerenderRegion(bounds, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoopbackObsCountersMatchSim runs the same trace through both
+// backends with a metrics registry attached to each and asserts the
+// shared pipeline instruments report *identical* counts for cache hits,
+// prefetches issued/delivered, and frames displayed. This is the
+// strongest form of the backend-equivalence claim: with a warmed server
+// every fetch completes well inside one vsync interval in both backends,
+// so the per-tick cache and prefetch decisions — and therefore the
+// counters — must agree exactly, not just within tolerance. A live fetch
+// straddling a tick boundary (scheduler hiccup) can legitimately perturb
+// one run, so the live side retries a bounded number of times; the
+// registry-vs-legacy-stats cross-checks are deterministic and asserted
+// on every attempt.
+func TestLoopbackObsCountersMatchSim(t *testing.T) {
+	env := poolEnv(t)
+	srv, addr := startLiveServer(t)
+	tr := trace.Generate(env.Game, 2, 7)
+	warmServer(t, srv, tr)
+
+	simReg := obs.NewRegistry()
+	sim, err := core.RunSession(env, core.SessionConfig{
+		System:  core.Coterie,
+		Players: 1,
+		Seconds: tr.Seconds(),
+		Traces:  []*trace.Trace{tr},
+		Obs:     simReg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simC := simReg.Snapshot().Counters
+
+	// The sim registry must agree with the result's own accounting: the
+	// instruments observe the same events the legacy stats count.
+	if got, want := simC["prefetch.issued"], sim.Per[0].PrefetchIssued; got != want {
+		t.Errorf("sim registry prefetch.issued = %d, metrics say %d", got, want)
+	}
+	if got, want := simC["frames.displayed"], sim.Per[0].Frames; got != want {
+		t.Errorf("sim registry frames.displayed = %d, metrics say %d", got, want)
+	}
+
+	compare := []string{
+		"cache.hits",
+		"cache.misses",
+		"prefetch.issued",
+		"prefetch.delivered",
+		"frames.displayed",
+	}
+	const attempts = 3
+	for attempt := 1; ; attempt++ {
+		liveReg := obs.NewRegistry()
+		live, err := RunLive(env, addr, tr, 0, LiveConfig{
+			Speed:        1, // real time: virtual latencies closest to the modelled medium
+			DecodeFrames: true,
+			IdleTimeout:  10 * time.Second,
+			Obs:          liveReg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveC := liveReg.Snapshot().Counters
+
+		// Deterministic on every attempt: the live registry mirrors the
+		// live report's legacy counters exactly.
+		if got, want := liveC["cache.hits"], live.Cache.Hits; got != want {
+			t.Fatalf("live registry cache.hits = %d, report says %d", got, want)
+		}
+		if got, want := liveC["prefetch.issued"], live.Prefetch.Issued; got != want {
+			t.Fatalf("live registry prefetch.issued = %d, report says %d", got, want)
+		}
+		if got, want := liveC["prefetch.delivered"], live.Prefetch.Delivered; got != want {
+			t.Fatalf("live registry prefetch.delivered = %d, report says %d", got, want)
+		}
+		if got, want := liveC["frames.displayed"], live.Metrics.Frames; got != want {
+			t.Fatalf("live registry frames.displayed = %d, report says %d", got, want)
+		}
+		// The trace ring saw every displayed frame.
+		if got := liveReg.Trace().Recorded(); got != uint64(live.Metrics.Frames) {
+			t.Fatalf("trace ring recorded %d spans, %d frames displayed", got, live.Metrics.Frames)
+		}
+
+		var diverged []string
+		for _, name := range compare {
+			if liveC[name] != simC[name] {
+				diverged = append(diverged,
+					name+": live "+itoa(liveC[name])+" vs sim "+itoa(simC[name]))
+			}
+		}
+		if len(diverged) == 0 {
+			break
+		}
+		if attempt == attempts {
+			t.Fatalf("counters diverged after %d attempts: %v", attempts, diverged)
+		}
+		t.Logf("attempt %d diverged (%v), retrying", attempt, diverged)
+	}
+}
+
+func itoa(v int64) string { return fmt.Sprintf("%d", v) }
 
 // TestConcurrentFrameForSingleflight drives N concurrent fetches of one
 // cold grid point through the singleflight path: exactly one render, one

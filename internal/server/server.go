@@ -11,7 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"sync"
@@ -21,6 +21,7 @@ import (
 	"coterie/internal/core"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 )
 
@@ -36,6 +37,9 @@ type Server struct {
 	// sessions once the listener closes; after it, open connections are
 	// force-closed. 0 means wait indefinitely. Set before Serve.
 	DrainTimeout time.Duration
+	// Logger receives the server's structured lifecycle and session logs;
+	// nil means slog.Default(). Set before Serve.
+	Logger *slog.Logger
 
 	mu     sync.Mutex
 	frames map[geom.GridPoint][]byte
@@ -51,6 +55,65 @@ type Server struct {
 	sessMu   sync.Mutex
 	sessions map[net.Conn]struct{}
 	history  []SessionStats
+
+	// Observability (zero values when not instrumented).
+	obs serverObs
+	tm  *transport.Metrics
+}
+
+// serverObs holds the server's registry instruments; all fields are
+// nil-safe, so the uninstrumented server pays one branch per event.
+type serverObs struct {
+	framesServed   *obs.Counter
+	framesRendered *obs.Counter
+	frameStoreHits *obs.Counter
+	renderShared   *obs.Counter
+	bytesSent      *obs.Counter
+	fiSyncs        *obs.Counter
+	sessionsTotal  *obs.Counter
+	sessionErrors  *obs.Counter
+	sessionsActive *obs.Gauge
+	renderMs       *obs.Histogram
+	udpDatagrams   *obs.Counter
+	udpDropped     *obs.Counter
+	udpBytesIn     *obs.Counter
+	udpBytesOut    *obs.Counter
+}
+
+// Instrument mirrors the server's activity into a registry under the
+// "server." namespace and attaches per-message-type transport metrics to
+// subsequently accepted sessions. Call before Serve; Instrument(nil) is a
+// no-op.
+func (s *Server) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	s.obs = serverObs{
+		framesServed:   r.Counter("server.frames_served"),
+		framesRendered: r.Counter("server.frames_rendered"),
+		frameStoreHits: r.Counter("server.frame_store_hits"),
+		renderShared:   r.Counter("server.renders_shared"),
+		bytesSent:      r.Counter("server.frame_bytes_sent"),
+		fiSyncs:        r.Counter("server.fi_syncs"),
+		sessionsTotal:  r.Counter("server.sessions_total"),
+		sessionErrors:  r.Counter("server.session_errors"),
+		sessionsActive: r.Gauge("server.sessions_active"),
+		renderMs:       r.Histogram("server.render_ms"),
+		udpDatagrams:   r.Counter("server.udp.datagrams"),
+		udpDropped:     r.Counter("server.udp.dropped"),
+		udpBytesIn:     r.Counter("server.udp.bytes_in"),
+		udpBytesOut:    r.Counter("server.udp.bytes_out"),
+	}
+	s.tm = transport.NewMetrics(r, "server.transport")
+}
+
+// logger returns the configured structured logger, defaulting to
+// slog.Default().
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
 }
 
 // maxSessionHistory bounds the retained per-session stats.
@@ -106,10 +169,12 @@ func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 	s.mu.Lock()
 	if data, ok := s.frames[pt]; ok {
 		s.mu.Unlock()
+		s.obs.frameStoreHits.Inc()
 		return data, false, nil
 	}
 	if c, ok := s.calls[pt]; ok {
 		s.mu.Unlock()
+		s.obs.renderShared.Inc()
 		<-c.done
 		return c.data, false, c.err
 	}
@@ -117,13 +182,16 @@ func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 	s.calls[pt] = c
 	s.mu.Unlock()
 
+	renderStart := time.Now()
 	c.data, c.err = s.render(pt)
+	s.obs.renderMs.Observe(float64(time.Since(renderStart)) / float64(time.Millisecond))
 
 	s.mu.Lock()
 	delete(s.calls, pt)
 	if c.err == nil {
 		s.frames[pt] = c.data
 		s.rendered++
+		s.obs.framesRendered.Inc()
 	}
 	s.mu.Unlock()
 	close(c.done)
@@ -165,9 +233,17 @@ func (s *Server) Serve(ln net.Listener) error {
 // context is cancelled, then drains: it stops accepting, waits up to
 // DrainTimeout for in-flight sessions to finish, and force-closes the
 // rest. A cancelled context returns ctx.Err(); a closed listener returns
-// nil.
+// nil. A listener-close failure during context-triggered shutdown is
+// logged and joined into the returned error rather than swallowed.
 func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
-	stop := context.AfterFunc(ctx, func() { ln.Close() })
+	var closeMu sync.Mutex
+	var closeErr error
+	stop := context.AfterFunc(ctx, func() {
+		err := ln.Close()
+		closeMu.Lock()
+		closeErr = err
+		closeMu.Unlock()
+	})
 	defer stop()
 
 	var wg sync.WaitGroup
@@ -183,6 +259,8 @@ func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
 		s.sessMu.Lock()
 		s.sessions[conn] = struct{}{}
 		s.sessMu.Unlock()
+		s.obs.sessionsTotal.Inc()
+		s.obs.sessionsActive.Add(1)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -195,22 +273,38 @@ func (s *Server) ServeContext(ctx context.Context, ln net.Listener) error {
 				s.history = s.history[len(s.history)-maxSessionHistory:]
 			}
 			s.sessMu.Unlock()
+			s.obs.sessionsActive.Add(-1)
 			if st.Err != "" {
-				log.Printf("coterie-server: session %s (player %d) ended after %v: %s",
-					st.Remote, st.Player, st.Duration.Round(time.Millisecond), st.Err)
+				s.obs.sessionErrors.Inc()
+				s.logger().Warn("session ended with error",
+					"remote", st.Remote, "player", st.Player,
+					"duration", st.Duration.Round(time.Millisecond), "err", st.Err)
 			} else {
-				log.Printf("coterie-server: session %s (player %d) closed: %d frames, %d FI syncs in %v",
-					st.Remote, st.Player, st.FramesServed, st.FISyncs,
-					st.Duration.Round(time.Millisecond))
+				s.logger().Info("session closed",
+					"remote", st.Remote, "player", st.Player,
+					"frames", st.FramesServed, "fi_syncs", st.FISyncs,
+					"duration", st.Duration.Round(time.Millisecond))
 			}
 		}()
 	}
 
 	s.drain(&wg)
-	if acceptErr != nil {
-		return acceptErr
+
+	closeMu.Lock()
+	lnCloseErr := closeErr
+	closeMu.Unlock()
+	if lnCloseErr != nil && !errors.Is(lnCloseErr, net.ErrClosed) {
+		s.logger().Warn("listener close failed during drain", "err", lnCloseErr)
+	} else {
+		lnCloseErr = nil
 	}
-	return ctx.Err()
+	if acceptErr != nil {
+		return errors.Join(acceptErr, lnCloseErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return errors.Join(err, lnCloseErr)
+	}
+	return lnCloseErr
 }
 
 // drain waits for in-flight sessions, force-closing them after the
@@ -256,6 +350,7 @@ func (s *Server) recv(nc net.Conn, c *transport.Conn) (transport.Message, error)
 
 func (s *Server) session(nc net.Conn, st *SessionStats) error {
 	c := transport.NewConn(nc)
+	c.Instrument(s.tm)
 
 	m, err := s.recv(nc, c)
 	if err != nil {
@@ -297,6 +392,8 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			s.mu.Lock()
 			s.served++
 			s.mu.Unlock()
+			s.obs.framesServed.Inc()
+			s.obs.bytesSent.Add(int64(len(data)))
 			st.FramesServed++
 			st.BytesSent += int64(len(data))
 			reply := transport.EncodeFrameReply(transport.FrameReply{Point: req.Point, Data: data})
@@ -312,6 +409,7 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			s.hub.Update(fst)
 			others := s.hub.Snapshot(fst.Player)
 			s.mu.Unlock()
+			s.obs.fiSyncs.Inc()
 			st.FISyncs++
 			var payload []byte
 			for _, o := range others {
@@ -366,6 +464,10 @@ func Dial(addr, game string, player uint8) (*Client, error) {
 	}
 	return &Client{conn: c, closer: nc.Close, Player: player}, nil
 }
+
+// Instrument attaches per-message-type transport metrics to the client's
+// connection (nil detaches). Call before concurrent use.
+func (c *Client) Instrument(m *transport.Metrics) { c.conn.Instrument(m) }
 
 // Fetch requests one far-BE frame.
 func (c *Client) Fetch(pt geom.GridPoint) ([]byte, error) {

@@ -27,8 +27,11 @@ func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 			}
 			return err
 		}
+		s.obs.udpDatagrams.Inc()
+		s.obs.udpBytesIn.Add(int64(n))
 		st, _, err := fisync.DecodeState(buf[:n])
 		if err != nil {
+			s.obs.udpDropped.Inc()
 			continue // malformed datagram: drop, like any UDP service
 		}
 		s.mu.Lock()
@@ -39,6 +42,7 @@ func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 		for _, o := range others {
 			out = o.Encode(out)
 		}
+		s.obs.udpBytesOut.Add(int64(len(out)))
 		if _, err := pc.WriteTo(out, addr); err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil

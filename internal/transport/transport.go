@@ -14,6 +14,7 @@ import (
 	"io"
 
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 )
 
 // MsgType identifies a protocol message.
@@ -167,13 +168,87 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 	}, nil
 }
 
+// msgName returns the metric label of a message type.
+func msgName(t MsgType) string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgFrameRequest:
+		return "frame_request"
+	case MsgFrameReply:
+		return "frame_reply"
+	case MsgFISync:
+		return "fi_sync"
+	case MsgError:
+		return "error"
+	case MsgBye:
+		return "bye"
+	default:
+		return "unknown"
+	}
+}
+
+// frameOverhead is the wire framing cost accounted per message: 1 type
+// byte plus the 4-byte length prefix.
+const frameOverhead = 5
+
+// Metrics holds per-message-type transfer instruments for one direction
+// pair, resolved once so the per-message cost is two atomic adds. A nil
+// *Metrics disables accounting.
+type Metrics struct {
+	sentCount [MsgBye + 1]*obs.Counter
+	sentBytes [MsgBye + 1]*obs.Counter
+	recvCount [MsgBye + 1]*obs.Counter
+	recvBytes [MsgBye + 1]*obs.Counter
+}
+
+// NewMetrics resolves per-message-type counters under
+// "<prefix>.sent.<type>.count|bytes" and the recv equivalents. Byte
+// counts include the 5-byte frame header. Returns nil (disabled) for a
+// nil registry.
+func NewMetrics(r *obs.Registry, prefix string) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{}
+	for t := MsgHello; t <= MsgBye; t++ {
+		n := msgName(t)
+		m.sentCount[t] = r.Counter(prefix + ".sent." + n + ".count")
+		m.sentBytes[t] = r.Counter(prefix + ".sent." + n + ".bytes")
+		m.recvCount[t] = r.Counter(prefix + ".recv." + n + ".count")
+		m.recvBytes[t] = r.Counter(prefix + ".recv." + n + ".bytes")
+	}
+	return m
+}
+
+func (m *Metrics) sent(msg Message) {
+	if m == nil || msg.Type < MsgHello || msg.Type > MsgBye {
+		return
+	}
+	m.sentCount[msg.Type].Inc()
+	m.sentBytes[msg.Type].Add(int64(len(msg.Payload) + frameOverhead))
+}
+
+func (m *Metrics) received(msg Message) {
+	if m == nil || msg.Type < MsgHello || msg.Type > MsgBye {
+		return
+	}
+	m.recvCount[msg.Type].Inc()
+	m.recvBytes[msg.Type].Add(int64(len(msg.Payload) + frameOverhead))
+}
+
 // Conn wraps a stream with buffered message IO.
 type Conn struct {
 	rw  io.ReadWriter
 	br  *bufio.Reader
 	bw  *bufio.Writer
 	err error
+	m   *Metrics
 }
+
+// Instrument attaches per-message-type metrics to the connection (nil
+// detaches). Call before concurrent use.
+func (c *Conn) Instrument(m *Metrics) { c.m = m }
 
 // NewConn wraps a stream (typically a net.Conn).
 func NewConn(rw io.ReadWriter) *Conn {
@@ -193,6 +268,7 @@ func (c *Conn) Send(m Message) error {
 		c.err = err
 		return err
 	}
+	c.m.sent(m)
 	return nil
 }
 
@@ -204,6 +280,8 @@ func (c *Conn) Recv() (Message, error) {
 	m, err := ReadMessage(c.br)
 	if err != nil {
 		c.err = err
+		return m, err
 	}
-	return m, err
+	c.m.received(m)
+	return m, nil
 }

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Smoke test for the live client/server path: build both binaries, host a
 # small game on a random localhost port, replay a 2-second movement trace
-# over real TCP/UDP, and check the client prints a session report. This is
-# the out-of-process complement to the in-process loopback e2e test in
+# over real TCP/UDP, and check the client prints a session report. While
+# the session runs, the server's admin endpoint is scraped to assert the
+# observability pipeline reports real traffic (non-zero frames served);
+# the client's end-of-session metrics snapshot must show cache hits. This
+# is the out-of-process complement to the in-process loopback e2e test in
 # internal/server (which compares the live runtime against the simulator).
 set -euo pipefail
 
@@ -10,24 +13,41 @@ cd "$(dirname "$0")/.."
 
 bin=$(mktemp -d)
 server_pid=
+client_pid=
 cleanup() {
     [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null
+    [ -n "$client_pid" ] && kill "$client_pid" 2>/dev/null
     wait 2>/dev/null || true
     rm -rf "$bin"
 }
 trap cleanup EXIT INT TERM
+
+# http_get HOST PORT PATH: minimal HTTP/1.0 GET over bash's /dev/tcp so
+# the smoke test needs no curl/wget on the host.
+http_get() {
+    local out
+    if ! exec 3<>"/dev/tcp/$1/$2" 2>/dev/null; then
+        return 1
+    fi
+    printf 'GET %s HTTP/1.0\r\nHost: %s\r\n\r\n' "$3" "$1" >&3
+    out=$(cat <&3)
+    exec 3>&- 3<&-
+    printf '%s' "$out"
+}
 
 echo "smoke: building binaries..."
 go build -o "$bin/coterie-server" ./cmd/coterie-server
 go build -o "$bin/coterie-client" ./cmd/coterie-client
 
 port=$((20000 + RANDOM % 20000))
+admin_port=$((port + 1))
 addr="127.0.0.1:$port"
+admin_addr="127.0.0.1:$admin_port"
 
 # Small panoramas keep the offline preprocessing and per-frame renders
 # fast; the protocol and pipeline are the same at any resolution.
 "$bin/coterie-server" -game pool -addr "$addr" -width 64 -height 32 \
-    -drain 2s >"$bin/server.log" 2>&1 &
+    -admin "$admin_addr" -drain 2s >"$bin/server.log" 2>&1 &
 server_pid=$!
 
 echo "smoke: waiting for server on $addr..."
@@ -46,11 +66,48 @@ done
 
 echo "smoke: running 2-second live session..."
 "$bin/coterie-client" -game pool -addr "$addr" -seconds 2 -speed 2 \
-    -width 64 -height 32 | tee "$bin/client.log"
+    -width 64 -height 32 -metrics-json "$bin/metrics.json" \
+    >"$bin/client.log" 2>&1 &
+client_pid=$!
+
+# Scrape the server's /metrics while the session is live; the prefetch
+# path must push server.frames_served above zero well before the session
+# ends.
+echo "smoke: scraping $admin_addr/metrics mid-session..."
+served_ok=
+while kill -0 "$client_pid" 2>/dev/null; do
+    if http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" 2>/dev/null &&
+        grep -Eq '"server\.frames_served": *[1-9]' "$bin/metrics.scrape"; then
+        served_ok=1
+        break
+    fi
+    sleep 0.2
+done
+if [ -z "$served_ok" ]; then
+    # The session may have raced past the scrape loop; accept a post-hoc
+    # scrape as long as the counter is non-zero (the server keeps it).
+    http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" || true
+    grep -Eq '"server\.frames_served": *[1-9]' "$bin/metrics.scrape" || {
+        echo "smoke: /metrics never reported frames served" >&2
+        cat "$bin/metrics.scrape" >&2
+        cat "$bin/server.log" >&2
+        exit 1
+    }
+fi
+
+wait "$client_pid"
+client_pid=
+cat "$bin/client.log"
 
 grep -q "^pipeline: " "$bin/client.log" || {
     echo "smoke: client report missing" >&2
     cat "$bin/server.log" >&2
+    exit 1
+}
+
+grep -Eq '"cache\.hits": *[1-9]' "$bin/metrics.json" || {
+    echo "smoke: client metrics snapshot shows no cache hits" >&2
+    cat "$bin/metrics.json" >&2
     exit 1
 }
 
