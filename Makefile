@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench smoke
+.PHONY: check vet build test race bench bench-diff smoke
 
 check: vet build race
 
@@ -34,3 +34,10 @@ smoke:
 # Hot-path micro-benchmarks (ssim comparer, render LUT, codec, parallel helper).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/ssim/... ./internal/render/... ./internal/codec/...
+
+# Bench regression gate: compare two benchtab JSON reports' micro results.
+# Usage: make bench-diff BENCH_OLD=BENCH_1.json BENCH_NEW=BENCH_2.json
+BENCH_OLD ?= BENCH_1.json
+BENCH_NEW ?= BENCH_2.json
+bench-diff:
+	$(GO) run ./scripts $(BENCH_OLD) $(BENCH_NEW)

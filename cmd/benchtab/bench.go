@@ -11,9 +11,11 @@ import (
 
 	"coterie/internal/codec"
 	"coterie/internal/games"
+	"coterie/internal/geom"
 	"coterie/internal/img"
 	"coterie/internal/render"
 	"coterie/internal/ssim"
+	"coterie/internal/transport"
 )
 
 // benchReport is the -bench-json payload: wall-clock per experiment plus the
@@ -70,7 +72,9 @@ func measure(name string, fn func(b *testing.B)) microBench {
 
 // runMicroBenches exercises the allocation-free hot paths: the pooled SSIM
 // comparer, the renderer's ray-direction LUT (against the inline-trig
-// fallback), and the codec round trip.
+// fallback), the codec round trip, and the per-frame transport codec
+// (which carries the span-v2 trace context, so any per-frame allocation
+// creep there shows up in the bench-diff gate).
 func runMicroBenches() ([]microBench, error) {
 	rng := rand.New(rand.NewSource(1))
 	a := smoothGray(rng, 256, 128, 4)
@@ -119,6 +123,36 @@ func runMicroBenches() ([]microBench, error) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
 				if _, err := codec.Decode(stream); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		}),
+		measure("transport.FrameRequest/roundtrip", func(bb *testing.B) {
+			req := transport.FrameRequest{
+				Player: 1,
+				Point:  geom.GridPoint{I: 42, J: -7},
+				ReqID:  9,
+				SentMs: 1234.5,
+			}
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := transport.DecodeFrameRequest(transport.EncodeFrameRequest(req)); err != nil {
+					bb.Fatal(err)
+				}
+			}
+		}),
+		measure("transport.FrameReply/roundtrip", func(bb *testing.B) {
+			reply := transport.FrameReply{
+				Point:   geom.GridPoint{I: 42, J: -7},
+				ReqID:   9,
+				RecvMs:  1000,
+				SendMs:  1010,
+				QueueMs: 1, RenderMs: 6, EncodeMs: 3,
+				Data: stream,
+			}
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				if _, err := transport.DecodeFrameReply(transport.EncodeFrameReply(reply)); err != nil {
 					bb.Fatal(err)
 				}
 			}

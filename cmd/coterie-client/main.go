@@ -92,7 +92,7 @@ func run() error {
 			}
 		}()
 		defer adminSrv.Close()
-		log.Printf("admin endpoint on http://%s (/metrics, /trace, /debug/pprof)", aln.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics, /trace, /qoe, /debug/pprof)", aln.Addr())
 	}
 
 	report, err := server.RunLive(env, *addr, tr, *player, server.LiveConfig{
@@ -111,10 +111,17 @@ func run() error {
 	return err
 }
 
-// writeMetrics dumps the registry snapshot as indented JSON to a file or
-// stdout ("-").
+// writeMetrics dumps the registry snapshot plus a QoE summary over the
+// recorded spans as indented JSON to a file or stdout ("-").
 func writeMetrics(reg *obs.Registry, path string) error {
-	b, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	dump := struct {
+		Metrics obs.Snapshot    `json:"metrics"`
+		QoE     obs.QoESnapshot `json:"qoe"`
+	}{
+		Metrics: reg.Snapshot(),
+		QoE:     reg.QoE(obs.QoEConfig{Player: -1}),
+	}
+	b, err := json.MarshalIndent(dump, "", "  ")
 	if err != nil {
 		return fmt.Errorf("metrics-json: %w", err)
 	}

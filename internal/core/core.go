@@ -29,6 +29,7 @@ import (
 	"coterie/internal/games"
 	"coterie/internal/geom"
 	"coterie/internal/netsim"
+	"coterie/internal/obs"
 	"coterie/internal/render"
 	"coterie/internal/runtime"
 )
@@ -274,31 +275,50 @@ func jitterSize(base int, pt geom.GridPoint) int {
 
 // simSource adapts the WiFi medium to the runtime.FrameSource (and
 // prefetch.Source) interface with a small server turnaround time (the
-// Coterie server serves pre-rendered, pre-encoded frames, §5.1).
+// Coterie server serves pre-rendered, pre-encoded frames, §5.1). It also
+// implements runtime.StageReporter: the testbed emits the same server-side
+// stage decomposition the live backend carries over the wire, so sim and
+// live traces decompose identically (span schema v2).
 type simSource struct {
 	sim   *netsim.Sim
 	wifi  *netsim.WiFi
 	sizer *FrameSizer
 	kind  SystemKind
 	// serverMs is server turnaround counted toward the reported transfer
-	// latency (the pre-rendered frame lookup).
+	// latency (the pre-rendered frame lookup); it is attributed to the
+	// queue stage of the trace decomposition.
 	serverMs float64
-	// preMs is server work that precedes the transfer without counting
-	// toward its latency (the thin client's on-demand render + encode).
-	preMs float64
+	// renderMs and encodeMs are server work preceding the transfer without
+	// counting toward its latency (the thin client's on-demand render and
+	// encode).
+	renderMs float64
+	encodeMs float64
 	// latencies accumulates per-transfer network delays for reporting.
 	latencies *runtime.LatencyAcc
 	// onDeliver, when set, observes every completed fetch (used by the
 	// overhearing extension to populate other players' caches, §4.6).
 	onDeliver func(pt geom.GridPoint, size int)
+	// last is the stage decomposition of the most recent completed fetch
+	// (only touched on the simulator goroutine).
+	last obs.FetchStages
 }
 
 // Fetch implements runtime.FrameSource over the simulated medium.
 func (s *simSource) Fetch(player int, pt geom.GridPoint, done func([]byte, int, float64, float64)) {
 	size := s.sizer.SizeFor(s.kind, pt)
-	s.sim.After(s.preMs+s.serverMs, func() {
+	issued := s.sim.Now()
+	s.sim.After(s.renderMs+s.encodeMs+s.serverMs, func() {
 		s.wifi.Transfer(player, size, func(start, end float64) {
 			s.latencies.Add(end - start + s.serverMs)
+			rtt := end - issued
+			s.last = obs.FetchStages{
+				NetMs:    rtt - s.serverMs - s.renderMs - s.encodeMs,
+				QueueMs:  s.serverMs,
+				RenderMs: s.renderMs,
+				EncodeMs: s.encodeMs,
+				RTTMs:    rtt,
+				Valid:    true,
+			}
 			if s.onDeliver != nil {
 				s.onDeliver(pt, size)
 			}
@@ -306,6 +326,9 @@ func (s *simSource) Fetch(player int, pt geom.GridPoint, done func([]byte, int, 
 		})
 	})
 }
+
+// LastFetchStages implements runtime.StageReporter.
+func (s *simSource) LastFetchStages() obs.FetchStages { return s.last }
 
 // cacheConfigFor returns the cache configuration a system uses.
 func cacheConfigFor(kind SystemKind, policy cache.Policy, capacity int64) cache.Config {

@@ -161,7 +161,8 @@ func RunSession(env *Env, cfg SessionConfig) (*Result, error) {
 				kind:  ThinClient,
 				// On-demand render + encode precede the transfer; the
 				// reported latency covers the transfer only.
-				preMs:     serverRenderMs + serverEncodeMs,
+				renderMs:  serverRenderMs,
+				encodeMs:  serverEncodeMs,
 				latencies: &runtime.LatencyAcc{},
 			}
 			deps.Source = src

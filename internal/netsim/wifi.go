@@ -36,17 +36,23 @@ type WiFi struct {
 	perFlowBytes map[int]int64
 
 	// Observability (nil instruments when not wired to a registry).
-	obsTransfers *obs.Counter
-	obsBytes     *obs.Counter
-	obsActive    *obs.Gauge
-	obsLatency   *obs.Histogram
+	obsTransfers  *obs.Counter
+	obsBytes      *obs.Counter
+	obsActive     *obs.Gauge
+	obsLatency    *obs.Histogram
+	obsSerialise  *obs.Histogram
+	obsContention *obs.Histogram
 }
 
 // Instrument mirrors the medium's activity into a registry under the
 // "netsim." namespace: transfers started/delivered bytes, the current
 // active-transfer count, and per-transfer latency (base latency plus the
 // contention slowdown — the quantity Fig 11 plots against player count).
-// Instrument(nil) is a no-op.
+// Each delivered transfer also records its latency attribution: the ideal
+// serialisation time (bytes at full goodput) and the contention excess
+// (everything beyond base latency plus serialisation — the time lost to
+// sharing the medium with concurrent transfers). Instrument(nil) is a
+// no-op.
 func (w *WiFi) Instrument(r *obs.Registry) {
 	if r == nil {
 		return
@@ -55,6 +61,8 @@ func (w *WiFi) Instrument(r *obs.Registry) {
 	w.obsBytes = r.Counter("netsim.bytes")
 	w.obsActive = r.Gauge("netsim.active_transfers")
 	w.obsLatency = r.Histogram("netsim.transfer_ms")
+	w.obsSerialise = r.Histogram("netsim.serialise_ms")
+	w.obsContention = r.Histogram("netsim.contention_ms")
 }
 
 type transfer struct {
@@ -193,6 +201,17 @@ func (w *WiFi) completeFinished() {
 		w.totalBytes += int64(t.origin)
 		w.obsBytes.Add(int64(t.origin))
 		w.obsLatency.Observe(now - t.start)
+		// Attribute the latency: serialisation is what the bytes would take
+		// alone at full goodput; contention is the measured excess over base
+		// latency + serialisation (clamped — quantum rounding can leave a
+		// tiny negative residue).
+		serialise := float64(t.origin) / w.bytesPerMs()
+		contention := (now - t.start) - w.cfg.BaseLatencyMs - serialise
+		if contention < 0 {
+			contention = 0
+		}
+		w.obsSerialise.Observe(serialise)
+		w.obsContention.Observe(contention)
 		if t.done != nil {
 			t.done(t.start, now)
 		}

@@ -13,6 +13,9 @@ import (
 //
 //	/metrics      JSON registry snapshot (counters, gauges, histograms)
 //	/trace        recent per-frame stage spans from the trace ring
+//	              (?n= recent count, ?player= one player's spans only)
+//	/qoe          sliding-window QoE summary derived from the spans
+//	              (?window= ms, ?budget= ms, ?player=)
 //	/debug/vars   expvar (includes the registry once PublishExpvar ran)
 //	/debug/pprof  the standard Go profiling endpoints
 //
@@ -40,11 +43,42 @@ func AdminMux(r *Registry) *http.ServeMux {
 		if n > maxTraceSpans {
 			n = maxTraceSpans
 		}
-		spans := r.Trace().Recent(n)
+		player, ok := playerParam(req)
+		if !ok {
+			http.Error(w, "bad player", http.StatusBadRequest)
+			return
+		}
+		spans := r.Trace().RecentFor(n, player)
 		if spans == nil {
 			spans = []FrameSpan{}
 		}
 		writeJSON(w, spans)
+	})
+	mux.HandleFunc("/qoe", func(w http.ResponseWriter, req *http.Request) {
+		cfg := QoEConfig{Player: -1}
+		if q := req.URL.Query().Get("window"); q != "" {
+			v, err := strconv.ParseFloat(q, 64)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad window", http.StatusBadRequest)
+				return
+			}
+			cfg.WindowMs = v
+		}
+		if q := req.URL.Query().Get("budget"); q != "" {
+			v, err := strconv.ParseFloat(q, 64)
+			if err != nil || v <= 0 {
+				http.Error(w, "bad budget", http.StatusBadRequest)
+				return
+			}
+			cfg.BudgetMs = v
+		}
+		player, ok := playerParam(req)
+		if !ok {
+			http.Error(w, "bad player", http.StatusBadRequest)
+			return
+		}
+		cfg.Player = player
+		writeJSON(w, r.QoE(cfg))
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -64,6 +98,20 @@ func (r *Registry) PublishExpvar(name string) {
 		return
 	}
 	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}
+
+// playerParam parses an optional ?player= query value; absence means all
+// players (-1). ok is false on a malformed value.
+func playerParam(req *http.Request) (player int, ok bool) {
+	q := req.URL.Query().Get("player")
+	if q == "" {
+		return -1, true
+	}
+	v, err := strconv.Atoi(q)
+	if err != nil || v < 0 {
+		return 0, false
+	}
+	return v, true
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

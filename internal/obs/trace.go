@@ -25,6 +25,19 @@ type FrameSpan struct {
 	// *this* interval: 0 when the cache lookup hit, the fetch RTT when it
 	// had to go to the server.
 	FetchMs float64 `json:"fetch_ms"`
+	// NetMs, QueueMs, RenderMs and EncodeMs decompose the fetch that
+	// delivered the displayed BE frame (span schema v2): network transit
+	// plus reply write, server-side queue wait (connection queue and
+	// singleflight sharing), server render, and server encode. The live
+	// backend carries these over the wire in the frame reply; the netsim
+	// backend emits them natively from its server model, so sim and live
+	// traces decompose identically. All four are zero on a cache hit. The
+	// sum equals the delivering fetch's full round trip, which can exceed
+	// FetchMs when the display attached to a transfer already in flight.
+	NetMs    float64 `json:"net_ms"`
+	QueueMs  float64 `json:"queue_ms"`
+	RenderMs float64 `json:"render_ms"`
+	EncodeMs float64 `json:"encode_ms"`
 	// PrefetchMs is the span of the tracked prefetch for the *next* grid
 	// point (the T_prefetch term); 0 when the prefetch request hit the
 	// cache and no transfer was needed.
@@ -42,6 +55,34 @@ type FrameSpan struct {
 	// in flight this frame.
 	CacheHit   bool `json:"cache_hit"`
 	Prefetched bool `json:"prefetched"`
+}
+
+// FetchStages decomposes one BE-frame fetch round trip across the
+// client/server boundary (trace-context v2). Sources fill it when a fetch
+// completes; the pipeline copies it into the FrameSpan of the frame that
+// waited on the fetch. All durations are virtual session milliseconds.
+type FetchStages struct {
+	// NetMs is everything the server did not account for: request and
+	// reply transit plus reply marshalling/write. It is derived as
+	// RTTMs minus the server-side stages, so the identity
+	// NetMs+QueueMs+RenderMs+EncodeMs == RTTMs holds exactly.
+	NetMs float64
+	// QueueMs is the server-side wait before stage work began: connection
+	// queueing plus singleflight waiting on another request's render.
+	QueueMs float64
+	// RenderMs and EncodeMs are the server's render and encode spans,
+	// zero when the frame came out of the server's frame store.
+	RenderMs float64
+	EncodeMs float64
+	// RTTMs is the full fetch round trip as the client measured it, from
+	// request issue to delivery.
+	RTTMs float64
+	// OffsetMs is the estimated server-minus-client clock offset
+	// (NTP-style, from the request/reply timestamps); 0 for backends that
+	// share one clock.
+	OffsetMs float64
+	// Valid marks stages actually populated by the source.
+	Valid bool
 }
 
 // TraceRing is a fixed-capacity ring of FrameSpans. Slots are allocated
@@ -85,6 +126,45 @@ func (t *TraceRing) Recorded() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.total
+}
+
+// Len returns the ring capacity in slots (0 for a nil ring).
+func (t *TraceRing) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// RecentFor returns up to n of the most recent spans for one player,
+// oldest first; player < 0 matches every player (same as Recent). Like
+// Recent, it is the cold reporting path and allocates a fresh copy.
+func (t *TraceRing) RecentFor(n, player int) []FrameSpan {
+	if player < 0 {
+		return t.Recent(n)
+	}
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	avail := t.total
+	if avail > uint64(len(t.slots)) {
+		avail = uint64(len(t.slots))
+	}
+	var out []FrameSpan
+	// Scan newest to oldest collecting matches, then reverse into
+	// oldest-first order.
+	for i := uint64(0); i < avail && len(out) < n; i++ {
+		idx := (t.total - 1 - i) % uint64(len(t.slots))
+		if t.slots[idx].Player == player {
+			out = append(out, t.slots[idx])
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
 }
 
 // Recent returns up to n of the most recent spans, oldest first. It

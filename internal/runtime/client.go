@@ -51,9 +51,12 @@ type Client struct {
 	cache *cache.Cache
 	pf    *prefetch.Prefetcher
 	src   FrameSource
-	net   NetMonitor
-	lat   *LatencyAcc
-	therm *device.Thermal
+	// stages is the source's optional cross-node trace capability (span
+	// schema v2); nil when the source does not report stage decompositions.
+	stages StageReporter
+	net    NetMonitor
+	lat    *LatencyAcc
+	therm  *device.Thermal
 
 	seq uint32
 	// prevPredicted is the grid point the previous frame's prefetch
@@ -101,6 +104,12 @@ type pipelineObs struct {
 	slackMs   *obs.Histogram
 	cacheMiss *obs.Counter
 	cacheHit  *obs.Counter
+	// Cross-node fetch decomposition (span schema v2), observed once per
+	// delivering fetch rather than per frame.
+	netMs          *obs.Histogram
+	queueMs        *obs.Histogram
+	serverRenderMs *obs.Histogram
+	serverEncodeMs *obs.Histogram
 }
 
 // instrumentPipeline resolves the pipeline instruments from a registry.
@@ -115,6 +124,11 @@ func instrumentPipeline(r *obs.Registry) pipelineObs {
 		slackMs:   r.Histogram("frame.display_slack_ms"),
 		cacheHit:  r.Counter("frames.display_cache_hits"),
 		cacheMiss: r.Counter("frames.display_cache_misses"),
+
+		netMs:          r.Histogram("frame.net_ms"),
+		queueMs:        r.Histogram("frame.queue_ms"),
+		serverRenderMs: r.Histogram("frame.server_render_ms"),
+		serverEncodeMs: r.Histogram("frame.server_encode_ms"),
 	}
 }
 
@@ -136,6 +150,7 @@ func NewClient(id int, cfg Config, d Deps) *Client {
 		lat:   d.Latencies,
 		therm: cfg.Device.NewThermal(),
 	}
+	c.stages, _ = d.Source.(StageReporter)
 	if d.Obs != nil {
 		c.obs = instrumentPipeline(d.Obs)
 		c.ring = d.Obs.Trace()
@@ -209,6 +224,7 @@ func (c *Client) frame() {
 			c.span.LocalMs = thinOverlayMs
 			c.span.FetchMs = end - now
 			c.span.DecodeMs = decodeMs
+			c.fillFetchStages()
 			c.display(now, readyAt, thinOverlayMs, true, size)
 		})
 
@@ -268,6 +284,9 @@ func (c *Client) frame() {
 				c.span.DecodeMs = decodeMs
 				c.span.JoinMs = tasksReady - now
 				c.span.CacheHit = readyAt == now
+				if !c.span.CacheHit {
+					c.fillFetchStages()
+				}
 				c.display(now, tasksDone+mergeMs, localMs, true, size)
 			})
 		}
@@ -305,6 +324,25 @@ func (c *Client) velocity(tick int) geom.Vec2 {
 	}
 	d := c.tr.Pos[j].Sub(c.tr.Pos[tick])
 	return d.Scale(trace.TickHz / float64(j-tick))
+}
+
+// fillFetchStages copies the delivering fetch's cross-node stage
+// decomposition into this frame's span (span schema v2). It must be called
+// inside the fetch's done callback: completion waiters fire synchronously
+// there on the clock goroutine, so the source's "last completed fetch" is
+// exactly the fetch that delivered this frame.
+func (c *Client) fillFetchStages() {
+	if c.stages == nil {
+		return
+	}
+	st := c.stages.LastFetchStages()
+	if !st.Valid {
+		return
+	}
+	c.span.NetMs = st.NetMs
+	c.span.QueueMs = st.QueueMs
+	c.span.RenderMs = st.RenderMs
+	c.span.EncodeMs = st.EncodeMs
 }
 
 func (c *Client) noteSize(size int) {
@@ -347,6 +385,12 @@ func (c *Client) display(start, readyAt float64, renderMs float64, decoding bool
 		c.obs.decodeMs.Observe(c.span.DecodeMs)
 		c.obs.joinMs.Observe(c.span.JoinMs)
 		c.obs.slackMs.Observe(c.span.SlackMs)
+		if c.span.NetMs+c.span.QueueMs+c.span.RenderMs+c.span.EncodeMs > 0 {
+			c.obs.netMs.Observe(c.span.NetMs)
+			c.obs.queueMs.Observe(c.span.QueueMs)
+			c.obs.serverRenderMs.Observe(c.span.RenderMs)
+			c.obs.serverEncodeMs.Observe(c.span.EncodeMs)
+		}
 		if decoding && c.cfg.System.UsesBEPrefetch() {
 			if c.span.CacheHit {
 				c.obs.cacheHit.Inc()

@@ -24,6 +24,7 @@ import (
 	"coterie/internal/device"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/trace"
 )
 
@@ -42,6 +43,17 @@ type Clock interface {
 // both the prefetcher and the pipeline's direct (thin-client) path.
 type FrameSource interface {
 	Fetch(player int, pt geom.GridPoint, done func(data []byte, size int, startMs, endMs float64))
+}
+
+// StageReporter is an optional FrameSource capability: sources that carry
+// the cross-node trace context (span schema v2) expose the stage
+// decomposition of their most recently completed fetch. The pipeline
+// type-asserts it from Deps.Source and reads it inside the fetch's done
+// callback — safe because callbacks run on the clock goroutine and
+// completion waiters fire synchronously inside each fetch's done, so "last
+// completed" is exactly the fetch that delivered the frame.
+type StageReporter interface {
+	LastFetchStages() obs.FetchStages
 }
 
 // FISync exchanges foreground-interaction state with the other players

@@ -107,7 +107,14 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 	if cfg.IdleTimeout > 0 {
 		clock.SetIdleTimeout(cfg.IdleTimeout)
 	}
-	src := &liveSource{clock: clock, cl: cl, decode: cfg.DecodeFrames, lat: &runtime.LatencyAcc{}}
+	speed := cfg.Speed
+	if speed <= 0 {
+		speed = 1
+	}
+	src := &liveSource{clock: clock, cl: cl, decode: cfg.DecodeFrames, lat: &runtime.LatencyAcc{}, speed: speed}
+	if cfg.Obs != nil {
+		src.obsOffset = cfg.Obs.Gauge("client.clock_offset_us")
+	}
 	fiSync := &liveFISync{clock: clock, fi: fi, timeout: cfg.FITimeout}
 	if cfg.Obs != nil {
 		fiSync.obsSyncs = cfg.Obs.Counter("fi.syncs")
@@ -176,6 +183,9 @@ type liveSource struct {
 	cl     *Client
 	decode bool
 	lat    *runtime.LatencyAcc
+	// speed converts wall-clock durations to virtual session milliseconds
+	// (the WallClock multiplier; 1 in real time).
+	speed float64
 
 	inflight atomic.Int64
 	fetches  atomic.Int64
@@ -185,9 +195,19 @@ type liveSource struct {
 	connMu sync.Mutex
 	err    error
 
-	// wallMs is only touched on the clock goroutine (Post callbacks and
-	// the post-run report, which share RunLive's goroutine).
+	// wallMs, last, bestNetMs and offsetMs are only touched on the clock
+	// goroutine (Post callbacks and the post-run report, which share
+	// RunLive's goroutine).
 	wallMs []float64
+	// last is the stage decomposition of the most recent completed fetch
+	// (runtime.StageReporter). bestNetMs/offsetMs hold the NTP-style clock
+	// offset estimate, min-RTT filtered: the sample whose network-only
+	// round trip was shortest bounds the offset tightest.
+	last       obs.FetchStages
+	haveOffset bool
+	bestNetMs  float64
+	offsetMs   float64
+	obsOffset  *obs.Gauge
 }
 
 // Fetch implements runtime.FrameSource: the blocking round trip runs on
@@ -200,42 +220,86 @@ func (s *liveSource) Fetch(player int, pt geom.GridPoint, done func(data []byte,
 	s.inflight.Add(1)
 	go func() {
 		t0 := time.Now()
-		data, err := s.fetchOnce(pt)
+		reply, sentMs, doneMs, err := s.fetchOnce(pt)
 		wall := time.Since(t0)
 		s.inflight.Add(-1)
 		s.clock.Post(func() {
 			end := s.clock.Now()
 			if err != nil {
+				s.last = obs.FetchStages{}
 				done(nil, 0, startVirtual, end)
 				return
 			}
+			data := reply.Data
 			s.fetches.Add(1)
 			s.bytes.Add(int64(len(data)))
 			s.wallMs = append(s.wallMs, float64(wall.Microseconds())/1000)
 			s.lat.Add(end - startVirtual)
+			s.recordStages(reply, sentMs, doneMs, end-startVirtual)
 			done(data, len(data), startVirtual, end)
 		})
 	}()
 }
 
+// recordStages derives the trace-context v2 stage decomposition of one
+// completed fetch (clock goroutine only). Server-side wall durations are
+// converted to virtual session milliseconds via the replay speed; NetMs
+// absorbs the remainder of the pipeline-visible round trip so the identity
+// NetMs+QueueMs+RenderMs+EncodeMs == RTTMs holds exactly. The clock offset
+// is estimated NTP-style from the request/reply stamps, keeping the
+// estimate from the sample with the smallest network-only round trip.
+func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rttVirtual float64) {
+	queue := reply.QueueMs * s.speed
+	render := reply.RenderMs * s.speed
+	encode := reply.EncodeMs * s.speed
+	if sum := queue + render + encode; sum > rttVirtual && sum > 0 {
+		// Clock skew between the two hosts can make the server-side span
+		// nominally exceed the measured round trip; scale it down so the
+		// decomposition still sums to the RTT.
+		f := rttVirtual / sum
+		queue, render, encode = queue*f, render*f, encode*f
+	}
+	s.last = obs.FetchStages{
+		NetMs:    rttVirtual - queue - render - encode,
+		QueueMs:  queue,
+		RenderMs: render,
+		EncodeMs: encode,
+		RTTMs:    rttVirtual,
+		Valid:    true,
+	}
+	// NTP offset: t0=sentMs (client), t1=RecvMs, t2=SendMs (server),
+	// t3=doneMs (client). The network-only RTT excludes server hold time.
+	netRTT := (doneMs - sentMs) - (reply.SendMs - reply.RecvMs)
+	if netRTT >= 0 && (!s.haveOffset || netRTT < s.bestNetMs) {
+		s.haveOffset = true
+		s.bestNetMs = netRTT
+		s.offsetMs = ((reply.RecvMs - sentMs) + (reply.SendMs - doneMs)) / 2
+		s.obsOffset.Set(int64(s.offsetMs * 1000))
+	}
+	s.last.OffsetMs = s.offsetMs
+}
+
+// LastFetchStages implements runtime.StageReporter.
+func (s *liveSource) LastFetchStages() obs.FetchStages { return s.last }
+
 // fetchOnce serialises one request/reply exchange on the connection.
-func (s *liveSource) fetchOnce(pt geom.GridPoint) ([]byte, error) {
+func (s *liveSource) fetchOnce(pt geom.GridPoint) (transport.FrameReply, float64, float64, error) {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.err != nil {
-		return nil, s.err
+		return transport.FrameReply{}, 0, 0, s.err
 	}
-	data, err := s.cl.Fetch(pt)
+	reply, sentMs, doneMs, err := s.cl.FetchTraced(pt)
 	if err == nil && s.decode {
-		if _, derr := codec.Decode(data); derr != nil {
+		if _, derr := codec.Decode(reply.Data); derr != nil {
 			err = fmt.Errorf("frame %v does not decode: %w", pt, derr)
 		}
 	}
 	if err != nil {
 		s.err = err
-		return nil, err
+		return transport.FrameReply{}, 0, 0, err
 	}
-	return data, nil
+	return reply, sentMs, doneMs, nil
 }
 
 func (s *liveSource) firstError() error {

@@ -2,9 +2,11 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -259,6 +261,141 @@ func TestLoopbackObsCountersMatchSim(t *testing.T) {
 }
 
 func itoa(v int64) string { return fmt.Sprintf("%d", v) }
+
+// TestLoopbackTraceDecompositionAndQoE is the end-to-end check of span
+// schema v2: both backends replay the same trace with a registry attached,
+// and every recorded miss span's cross-node decomposition
+// (NetMs+QueueMs+RenderMs+EncodeMs) must account for the FetchMs the
+// display waited. The stage sum is the delivering fetch's full round
+// trip; FetchMs clocks from the frame start, but the display path only
+// demands the frame (pf.Ensure) once the frame's parallel tasks join, at
+// most JoinMs later — so an emergency fetch's round trip covers
+// FetchMs−JoinMs, and a fetch already in flight covers more. Cache-hit
+// spans carry no stages at all. The /qoe endpoint is then
+// scraped from an AdminMux over each registry and the two snapshots must
+// agree on the trace: matching schema, deterministic against ComputeQoE,
+// and consistent QoE between the backends within the same tolerances the
+// sim-vs-live equivalence tests use.
+func TestLoopbackTraceDecompositionAndQoE(t *testing.T) {
+	env := poolEnv(t)
+	srv, addr := startLiveServer(t)
+	tr := trace.Generate(env.Game, 2, 7)
+	warmServer(t, srv, tr)
+
+	simReg := obs.NewRegistry()
+	if _, err := core.RunSession(env, core.SessionConfig{
+		System:  core.Coterie,
+		Players: 1,
+		Seconds: tr.Seconds(),
+		Traces:  []*trace.Trace{tr},
+		Obs:     simReg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	liveReg := obs.NewRegistry()
+	if _, err := RunLive(env, addr, tr, 0, LiveConfig{
+		Speed:        4,
+		DecodeFrames: true,
+		IdleTimeout:  10 * time.Second,
+		Obs:          liveReg,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// checkSpans validates the decomposition invariants over one backend's
+	// recorded spans and reports how many miss spans carried stages (so the
+	// assertions cannot pass vacuously).
+	checkSpans := func(name string, reg *obs.Registry, tolMs float64) (staged int) {
+		ring := reg.Trace()
+		spans := ring.Recent(ring.Len())
+		if len(spans) == 0 {
+			t.Fatalf("%s: no spans recorded", name)
+		}
+		for _, sp := range spans {
+			sum := sp.NetMs + sp.QueueMs + sp.RenderMs + sp.EncodeMs
+			if sp.CacheHit {
+				if sum != 0 {
+					t.Errorf("%s: cache-hit span %d carries stages: %+v", name, sp.Frame, sp)
+				}
+				continue
+			}
+			if sp.NetMs < 0 || sp.QueueMs < 0 || sp.RenderMs < 0 || sp.EncodeMs < 0 {
+				t.Errorf("%s: negative stage in span %d: %+v", name, sp.Frame, sp)
+			}
+			if sum == 0 {
+				continue // miss delivered before instrumented stages existed
+			}
+			staged++
+			if floor := sp.FetchMs - sp.JoinMs - tolMs; sum < floor {
+				t.Errorf("%s: span %d stages sum %.3f ms < FetchMs %.3f − JoinMs %.3f ms (tol %.3f)",
+					name, sp.Frame, sum, sp.FetchMs, sp.JoinMs, tolMs)
+			}
+		}
+		return staged
+	}
+	// The sim is exact: an emergency fetch issues the moment the join
+	// fires, so the stage sum equals FetchMs−JoinMs to float precision;
+	// prefetch-attached fetches only make the sum larger. The live side
+	// adds goroutine hand-off and wall-clock sampling noise between the
+	// pipeline's view of the fetch and the transport's, so it gets a few
+	// milliseconds.
+	if n := checkSpans("sim", simReg, 1e-6); n == 0 {
+		t.Error("sim trace recorded no staged miss spans")
+	}
+	if n := checkSpans("live", liveReg, 5.0); n == 0 {
+		t.Error("live trace recorded no staged miss spans")
+	}
+
+	// Scrape /qoe from an admin mux over each registry, windowed over the
+	// whole session so both cover the full trace.
+	scrape := func(reg *obs.Registry) obs.QoESnapshot {
+		s := httptest.NewServer(obs.AdminMux(reg))
+		defer s.Close()
+		res, err := s.Client().Get(s.URL + "/qoe?window=10000")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		var q obs.QoESnapshot
+		if err := json.NewDecoder(res.Body).Decode(&q); err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	simQ, liveQ := scrape(simReg), scrape(liveReg)
+
+	// The endpoint must be a pure function of the recorded spans.
+	ring := simReg.Trace()
+	direct := obs.ComputeQoE(ring.Recent(ring.Len()), obs.QoEConfig{WindowMs: 10000, Player: -1})
+	if simQ.All != direct.All || simQ.Spans != direct.Spans {
+		t.Errorf("/qoe diverged from ComputeQoE on the same trace:\n%+v\n%+v", simQ.All, direct.All)
+	}
+
+	for name, q := range map[string]obs.QoESnapshot{"sim": simQ, "live": liveQ} {
+		if q.Spans == 0 || q.All.Frames == 0 {
+			t.Fatalf("%s /qoe snapshot empty: %+v", name, q)
+		}
+		if q.All.WindowFPS <= 0 || q.All.WindowFPS > 200 {
+			t.Errorf("%s window fps insane: %+v", name, q.All)
+		}
+		if q.All.MissedVsyncRatio < 0 || q.All.MissedVsyncRatio > 1 {
+			t.Errorf("%s missed-vsync ratio out of range: %+v", name, q.All)
+		}
+	}
+	// Backend agreement on the same trace, with the tolerances the
+	// equivalence tests use (exact equality is covered, with retries, by
+	// TestLoopbackObsCountersMatchSim).
+	if d := liveQ.All.CacheHitRate - simQ.All.CacheHitRate; d < -0.2 || d > 0.2 {
+		t.Errorf("cache hit rate diverged: live %.3f vs sim %.3f", liveQ.All.CacheHitRate, simQ.All.CacheHitRate)
+	}
+	if lo, hi := 0.75*simQ.All.WindowFPS, 1.25*simQ.All.WindowFPS; liveQ.All.WindowFPS < lo || liveQ.All.WindowFPS > hi {
+		t.Errorf("window fps diverged: live %.1f vs sim %.1f", liveQ.All.WindowFPS, simQ.All.WindowFPS)
+	}
+	if d := liveQ.All.MissedVsyncRatio - simQ.All.MissedVsyncRatio; d < -0.3 || d > 0.3 {
+		t.Errorf("missed-vsync diverged: live %.3f vs sim %.3f", liveQ.All.MissedVsyncRatio, simQ.All.MissedVsyncRatio)
+	}
+}
 
 // TestConcurrentFrameForSingleflight drives N concurrent fetches of one
 // cold grid point through the singleflight path: exactly one render, one

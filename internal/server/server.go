@@ -126,6 +126,16 @@ type frameCall struct {
 	err  error
 }
 
+// frameStages decomposes one server-side frame lookup for the reply's
+// trace context: how long the request waited on another request's
+// singleflight render (queue), and the render and encode spans when this
+// lookup did the work itself. A frame-store hit is all zeros.
+type frameStages struct {
+	QueueMs  float64
+	RenderMs float64
+	EncodeMs float64
+}
+
 // SessionStats describes one completed client session.
 type SessionStats struct {
 	Remote       string
@@ -159,32 +169,41 @@ func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
 }
 
 // frameFor additionally reports whether this call rendered the frame.
-// Concurrent calls for the same point share one render: the first caller
-// renders, the rest block on its result, so rendered counts are exact and
-// all callers share one buffer.
 func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
+	data, rendered, _, err := s.frameForStaged(pt)
+	return data, rendered, err
+}
+
+// frameForStaged is frameFor plus the stage decomposition for the reply's
+// trace context. Concurrent calls for the same point share one render: the
+// first caller renders (and reports render/encode spans), the rest block
+// on its result (and report the wait as queue time), so rendered counts
+// are exact and all callers share one buffer.
+func (s *Server) frameForStaged(pt geom.GridPoint) ([]byte, bool, frameStages, error) {
+	var stg frameStages
 	if !s.env.Game.Scene.Grid.In(pt) {
-		return nil, false, fmt.Errorf("server: grid point %v outside world", pt)
+		return nil, false, stg, fmt.Errorf("server: grid point %v outside world", pt)
 	}
 	s.mu.Lock()
 	if data, ok := s.frames[pt]; ok {
 		s.mu.Unlock()
 		s.obs.frameStoreHits.Inc()
-		return data, false, nil
+		return data, false, stg, nil
 	}
 	if c, ok := s.calls[pt]; ok {
 		s.mu.Unlock()
 		s.obs.renderShared.Inc()
+		waitStart := time.Now()
 		<-c.done
-		return c.data, false, c.err
+		stg.QueueMs = float64(time.Since(waitStart)) / float64(time.Millisecond)
+		return c.data, false, stg, c.err
 	}
 	c := &frameCall{done: make(chan struct{})}
 	s.calls[pt] = c
 	s.mu.Unlock()
 
-	renderStart := time.Now()
-	c.data, c.err = s.render(pt)
-	s.obs.renderMs.Observe(float64(time.Since(renderStart)) / float64(time.Millisecond))
+	c.data, stg.RenderMs, stg.EncodeMs, c.err = s.render(pt)
+	s.obs.renderMs.Observe(stg.RenderMs + stg.EncodeMs)
 
 	s.mu.Lock()
 	delete(s.calls, pt)
@@ -195,19 +214,31 @@ func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 	}
 	s.mu.Unlock()
 	close(c.done)
-	return c.data, c.err == nil, c.err
+	return c.data, c.err == nil, stg, c.err
 }
 
-// render produces the encoded far-BE panorama for an in-grid point.
-func (s *Server) render(pt geom.GridPoint) ([]byte, error) {
+// render produces the encoded far-BE panorama for an in-grid point,
+// reporting the render and encode spans separately (wall milliseconds).
+func (s *Server) render(pt geom.GridPoint) (data []byte, renderMs, encodeMs float64, err error) {
 	pos := s.env.Game.Scene.Grid.Pos(pt)
 	leaf := s.env.Map.LeafAt(pos)
 	if leaf == nil {
-		return nil, fmt.Errorf("server: no leaf region at %v", pos)
+		return nil, 0, 0, fmt.Errorf("server: no leaf region at %v", pos)
 	}
+	renderStart := time.Now()
 	pano := s.env.Renderer.Panorama(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil)
-	return codec.Encode(pano, s.env.CRF), nil
+	encodeStart := time.Now()
+	data = codec.Encode(pano, s.env.CRF)
+	end := time.Now()
+	renderMs = float64(encodeStart.Sub(renderStart)) / float64(time.Millisecond)
+	encodeMs = float64(end.Sub(encodeStart)) / float64(time.Millisecond)
+	return data, renderMs, encodeMs, nil
 }
+
+// wallMs is the server's trace clock: wall time in unix milliseconds.
+// Request/reply stamps use it so the client can estimate the clock offset
+// NTP-style from its own wall clock.
+func wallMs() float64 { return float64(time.Now().UnixNano()) / 1e6 }
 
 // Stats returns (frames served, frames rendered).
 func (s *Server) Stats() (served, rendered int64) {
@@ -378,11 +409,12 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 		}
 		switch m.Type {
 		case transport.MsgFrameRequest:
+			recvMs := wallMs()
 			req, err := transport.DecodeFrameRequest(m.Payload)
 			if err != nil {
 				return err
 			}
-			data, err := s.FrameFor(req.Point)
+			data, _, stg, err := s.frameForStaged(req.Point)
 			if err != nil {
 				if err := c.Send(errMsg(err.Error())); err != nil {
 					return err
@@ -396,7 +428,17 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			s.obs.bytesSent.Add(int64(len(data)))
 			st.FramesServed++
 			st.BytesSent += int64(len(data))
-			reply := transport.EncodeFrameReply(transport.FrameReply{Point: req.Point, Data: data})
+			reply := transport.EncodeFrameReply(transport.FrameReply{
+				Point:        req.Point,
+				ReqID:        req.ReqID,
+				ClientSentMs: req.SentMs,
+				RecvMs:       recvMs,
+				SendMs:       wallMs(),
+				QueueMs:      stg.QueueMs,
+				RenderMs:     stg.RenderMs,
+				EncodeMs:     stg.EncodeMs,
+				Data:         data,
+			})
 			if err := c.Send(transport.Message{Type: transport.MsgFrameReply, Payload: reply}); err != nil {
 				return err
 			}
@@ -435,6 +477,7 @@ type Client struct {
 	conn   *transport.Conn
 	closer func() error
 	Player uint8
+	reqID  uint32 // monotonic frame-request id (single-goroutine use)
 }
 
 // Dial connects and performs the hello exchange.
@@ -471,22 +514,41 @@ func (c *Client) Instrument(m *transport.Metrics) { c.conn.Instrument(m) }
 
 // Fetch requests one far-BE frame.
 func (c *Client) Fetch(pt geom.GridPoint) ([]byte, error) {
-	req := transport.EncodeFrameRequest(transport.FrameRequest{Player: c.Player, Point: pt})
-	if err := c.conn.Send(transport.Message{Type: transport.MsgFrameRequest, Payload: req}); err != nil {
-		return nil, err
+	reply, _, _, err := c.FetchTraced(pt)
+	return reply.Data, err
+}
+
+// FetchTraced requests one far-BE frame and returns the full reply with
+// its server-side trace context, plus the client-side wall-clock stamps
+// (unix milliseconds) bracketing the round trip: sentMs just before the
+// request hit the socket (the NTP t0) and doneMs just after the reply was
+// decoded (t3). Not safe for concurrent use — like Fetch, it assumes the
+// connection carries one request at a time.
+func (c *Client) FetchTraced(pt geom.GridPoint) (reply transport.FrameReply, sentMs, doneMs float64, err error) {
+	c.reqID++
+	sentMs = wallMs()
+	req := transport.EncodeFrameRequest(transport.FrameRequest{
+		Player: c.Player,
+		Point:  pt,
+		ReqID:  c.reqID,
+		SentMs: sentMs,
+	})
+	if err = c.conn.Send(transport.Message{Type: transport.MsgFrameRequest, Payload: req}); err != nil {
+		return transport.FrameReply{}, 0, 0, err
 	}
 	m, err := c.conn.Recv()
 	if err != nil {
-		return nil, err
+		return transport.FrameReply{}, 0, 0, err
 	}
 	if m.Type == transport.MsgError {
-		return nil, fmt.Errorf("server error: %s", m.Payload)
+		return transport.FrameReply{}, 0, 0, fmt.Errorf("server error: %s", m.Payload)
 	}
-	reply, err := transport.DecodeFrameReply(m.Payload)
+	reply, err = transport.DecodeFrameReply(m.Payload)
 	if err != nil {
-		return nil, err
+		return transport.FrameReply{}, 0, 0, err
 	}
-	return reply.Data, nil
+	doneMs = wallMs()
+	return reply, sentMs, doneMs, nil
 }
 
 // SyncFI uploads this player's FI state and returns the other players'.

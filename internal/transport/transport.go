@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"coterie/internal/geom"
 	"coterie/internal/obs"
@@ -111,24 +112,43 @@ func DecodeHello(b []byte) (Hello, error) {
 	return Hello{Player: b[0], Game: string(b[2 : 2+n])}, nil
 }
 
-// FrameRequest asks for the encoded far-BE panorama of a grid point.
+// frameRequestLen and frameReplyHdrLen are the fixed wire sizes of the
+// v2 frame messages: the v1 point fields plus the trace context (request
+// id and cross-node timestamps). Both are fixed-size headers so encoding
+// stays one buffer allocation and decoding is bounds-checked up front.
+const (
+	frameRequestLen  = 1 + 4 + 4 + 4 + 8           // player, point, req id, sent ms
+	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 // point, req id, 3 stamps, 3 stage spans
+)
+
+// FrameRequest asks for the encoded far-BE panorama of a grid point. The
+// request carries a per-connection request id and the client's send
+// timestamp (client clock, wall milliseconds) so the reply can close the
+// cross-node trace: the server echoes both, letting the client match the
+// reply to the request and estimate the clock offset NTP-style.
 type FrameRequest struct {
 	Player uint8
 	Point  geom.GridPoint
+	// ReqID matches replies to requests (monotonic per connection).
+	ReqID uint32
+	// SentMs is the client's wall-clock send time in milliseconds.
+	SentMs float64
 }
 
 // EncodeFrameRequest serialises a FrameRequest.
 func EncodeFrameRequest(r FrameRequest) []byte {
-	b := make([]byte, 9)
+	b := make([]byte, frameRequestLen)
 	b[0] = r.Player
 	binary.BigEndian.PutUint32(b[1:5], uint32(int32(r.Point.I)))
 	binary.BigEndian.PutUint32(b[5:9], uint32(int32(r.Point.J)))
+	binary.BigEndian.PutUint32(b[9:13], r.ReqID)
+	binary.BigEndian.PutUint64(b[13:21], math.Float64bits(r.SentMs))
 	return b
 }
 
 // DecodeFrameRequest parses a FrameRequest payload.
 func DecodeFrameRequest(b []byte) (FrameRequest, error) {
-	if len(b) != 9 {
+	if len(b) != frameRequestLen {
 		return FrameRequest{}, fmt.Errorf("transport: frame request length %d", len(b))
 	}
 	return FrameRequest{
@@ -137,26 +157,54 @@ func DecodeFrameRequest(b []byte) (FrameRequest, error) {
 			I: int(int32(binary.BigEndian.Uint32(b[1:5]))),
 			J: int(int32(binary.BigEndian.Uint32(b[5:9]))),
 		},
+		ReqID:  binary.BigEndian.Uint32(b[9:13]),
+		SentMs: math.Float64frombits(binary.BigEndian.Uint64(b[13:21])),
 	}, nil
 }
 
-// FrameReply carries the frame for a grid point.
+// FrameReply carries the frame for a grid point plus the server-side leg
+// of the trace context: when the request was read and the reply written
+// (server clock, wall milliseconds — the NTP t1/t2 stamps), and how the
+// server-side span decomposes into queue wait, singleflight render, and
+// encode. The client derives network transit as its measured RTT minus
+// the server-side stages.
 type FrameReply struct {
 	Point geom.GridPoint
-	Data  []byte
+	// ReqID and ClientSentMs echo the request's trace context.
+	ReqID        uint32
+	ClientSentMs float64
+	// RecvMs and SendMs bracket the server-side span (server clock).
+	RecvMs float64
+	SendMs float64
+	// QueueMs is the wait before stage work began: connection queueing
+	// plus singleflight waiting on another request's render of the same
+	// point. RenderMs and EncodeMs are the render/encode spans, zero when
+	// the frame store already held the frame.
+	QueueMs  float64
+	RenderMs float64
+	EncodeMs float64
+	Data     []byte
 }
 
-// EncodeFrameReply serialises a FrameReply.
+// EncodeFrameReply serialises a FrameReply (one buffer allocation; the
+// trace context rides in the fixed header before the frame bytes).
 func EncodeFrameReply(r FrameReply) []byte {
-	b := make([]byte, 8, 8+len(r.Data))
+	b := make([]byte, frameReplyHdrLen, frameReplyHdrLen+len(r.Data))
 	binary.BigEndian.PutUint32(b[0:4], uint32(int32(r.Point.I)))
 	binary.BigEndian.PutUint32(b[4:8], uint32(int32(r.Point.J)))
+	binary.BigEndian.PutUint32(b[8:12], r.ReqID)
+	binary.BigEndian.PutUint64(b[12:20], math.Float64bits(r.ClientSentMs))
+	binary.BigEndian.PutUint64(b[20:28], math.Float64bits(r.RecvMs))
+	binary.BigEndian.PutUint64(b[28:36], math.Float64bits(r.SendMs))
+	binary.BigEndian.PutUint64(b[36:44], math.Float64bits(r.QueueMs))
+	binary.BigEndian.PutUint64(b[44:52], math.Float64bits(r.RenderMs))
+	binary.BigEndian.PutUint64(b[52:60], math.Float64bits(r.EncodeMs))
 	return append(b, r.Data...)
 }
 
 // DecodeFrameReply parses a FrameReply payload. The Data slice aliases b.
 func DecodeFrameReply(b []byte) (FrameReply, error) {
-	if len(b) < 8 {
+	if len(b) < frameReplyHdrLen {
 		return FrameReply{}, errors.New("transport: short frame reply")
 	}
 	return FrameReply{
@@ -164,7 +212,14 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 			I: int(int32(binary.BigEndian.Uint32(b[0:4]))),
 			J: int(int32(binary.BigEndian.Uint32(b[4:8]))),
 		},
-		Data: b[8:],
+		ReqID:        binary.BigEndian.Uint32(b[8:12]),
+		ClientSentMs: math.Float64frombits(binary.BigEndian.Uint64(b[12:20])),
+		RecvMs:       math.Float64frombits(binary.BigEndian.Uint64(b[20:28])),
+		SendMs:       math.Float64frombits(binary.BigEndian.Uint64(b[28:36])),
+		QueueMs:      math.Float64frombits(binary.BigEndian.Uint64(b[36:44])),
+		RenderMs:     math.Float64frombits(binary.BigEndian.Uint64(b[44:52])),
+		EncodeMs:     math.Float64frombits(binary.BigEndian.Uint64(b[52:60])),
+		Data:         b[frameReplyHdrLen:],
 	}, nil
 }
 

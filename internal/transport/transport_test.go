@@ -107,30 +107,106 @@ func TestHelloRoundTrip(t *testing.T) {
 }
 
 func TestFrameRequestRoundTrip(t *testing.T) {
-	f := func(player uint8, i, j int32) bool {
-		r := FrameRequest{Player: player, Point: geom.GridPoint{I: int(i), J: int(j)}}
+	f := func(player uint8, i, j int32, reqID uint32, sentMs float64) bool {
+		r := FrameRequest{
+			Player: player,
+			Point:  geom.GridPoint{I: int(i), J: int(j)},
+			ReqID:  reqID,
+			SentMs: sentMs,
+		}
 		got, err := DecodeFrameRequest(EncodeFrameRequest(r))
 		return err == nil && got == r
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
-	if _, err := DecodeFrameRequest([]byte{1, 2}); err == nil {
-		t.Fatal("short request accepted")
+}
+
+func TestFrameRequestRejectsTruncated(t *testing.T) {
+	full := EncodeFrameRequest(FrameRequest{Player: 1, ReqID: 7, SentMs: 123.5})
+	for n := 0; n < len(full); n++ {
+		if _, err := DecodeFrameRequest(full[:n]); err == nil {
+			t.Fatalf("truncated request (%d of %d bytes) accepted", n, len(full))
+		}
+	}
+	// Trailing garbage must be rejected too: the request is fixed-size.
+	if _, err := DecodeFrameRequest(append(append([]byte(nil), full...), 0)); err == nil {
+		t.Fatal("oversized request accepted")
 	}
 }
 
 func TestFrameReplyRoundTrip(t *testing.T) {
-	r := FrameReply{Point: geom.GridPoint{I: -5, J: 1 << 20}, Data: []byte{9, 8, 7}}
+	r := FrameReply{
+		Point:        geom.GridPoint{I: -5, J: 1 << 20},
+		ReqID:        42,
+		ClientSentMs: 1000.25,
+		RecvMs:       2000.5,
+		SendMs:       2024.75,
+		QueueMs:      3.5,
+		RenderMs:     12.25,
+		EncodeMs:     9,
+		Data:         []byte{9, 8, 7},
+	}
 	got, err := DecodeFrameReply(EncodeFrameReply(r))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Point != r.Point || !bytes.Equal(got.Data, r.Data) {
-		t.Fatalf("got %+v", got)
+	if got.Point != r.Point || got.ReqID != r.ReqID ||
+		got.ClientSentMs != r.ClientSentMs || got.RecvMs != r.RecvMs || got.SendMs != r.SendMs ||
+		got.QueueMs != r.QueueMs || got.RenderMs != r.RenderMs || got.EncodeMs != r.EncodeMs ||
+		!bytes.Equal(got.Data, r.Data) {
+		t.Fatalf("got %+v want %+v", got, r)
 	}
-	if _, err := DecodeFrameReply([]byte{1}); err == nil {
-		t.Fatal("short reply accepted")
+}
+
+func TestFrameReplyRejectsTruncatedHeader(t *testing.T) {
+	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
+	for n := 0; n < frameReplyHdrLen; n++ {
+		if _, err := DecodeFrameReply(full[:n]); err == nil {
+			t.Fatalf("truncated reply header (%d of %d bytes) accepted", n, frameReplyHdrLen)
+		}
+	}
+	// A header with no data is a valid (empty) frame.
+	got, err := DecodeFrameReply(full[:frameReplyHdrLen])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Data) != 0 {
+		t.Fatalf("expected empty data, got %d bytes", len(got.Data))
+	}
+}
+
+func TestFrameCodecAllocationFree(t *testing.T) {
+	// The frame hot path budgets one buffer allocation per encode and zero
+	// per decode (Data aliases the input); the v2 trace context must not
+	// add any.
+	req := FrameRequest{Player: 2, Point: geom.GridPoint{I: 4, J: 5}, ReqID: 9, SentMs: 77.5}
+	if allocs := testing.AllocsPerRun(100, func() {
+		EncodeFrameRequest(req)
+	}); allocs > 1 {
+		t.Errorf("EncodeFrameRequest allocates %.0f times per op, budget 1", allocs)
+	}
+	reqBuf := EncodeFrameRequest(req)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeFrameRequest(reqBuf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("DecodeFrameRequest allocates %.0f times per op, budget 0", allocs)
+	}
+	reply := FrameReply{Point: geom.GridPoint{I: 4, J: 5}, ReqID: 9, Data: make([]byte, 4096)}
+	if allocs := testing.AllocsPerRun(100, func() {
+		EncodeFrameReply(reply)
+	}); allocs > 1 {
+		t.Errorf("EncodeFrameReply allocates %.0f times per op, budget 1", allocs)
+	}
+	replyBuf := EncodeFrameReply(reply)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := DecodeFrameReply(replyBuf); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("DecodeFrameReply allocates %.0f times per op, budget 0", allocs)
 	}
 }
 

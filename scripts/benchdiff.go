@@ -1,0 +1,128 @@
+// Benchdiff is the bench regression gate: it compares the micro-benchmark
+// results of two benchtab JSON reports (BENCH_*.json) and fails when any
+// benchmark regressed beyond a tolerance — slower by more than the ns/op
+// threshold, or allocating more per op at all (allocation counts are
+// deterministic, so any increase is a real regression).
+//
+//	go run ./scripts BENCH_1.json BENCH_2.json
+//	go run ./scripts -tolerance 0.15 old.json new.json
+//
+// Experiment wall times are reported for context but never gate: they are
+// too machine-dependent. Benchmarks present in only one report are listed
+// but do not fail the gate (the set grows as the repo does).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// microResult mirrors the benchtab report's micro entry.
+type microResult struct {
+	Name      string  `json:"name"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	AllocsRaw float64 `json:"allocs_per_op"`
+	BytesRaw  float64 `json:"bytes_per_op"`
+}
+
+// report mirrors the slice of the benchtab JSON shape the gate needs.
+type report struct {
+	Generated   string `json:"generated"`
+	Experiments []struct {
+		Name    string  `json:"name"`
+		Seconds float64 `json:"seconds"`
+	} `json:"experiments"`
+	Micro []microResult `json:"micro"`
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = 25% slower)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if diff(old, cur, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// diff prints the comparison and reports whether any benchmark regressed.
+func diff(old, cur *report, tolerance float64) (failed bool) {
+	oldBy := make(map[string]microResult, len(old.Micro))
+	for _, m := range old.Micro {
+		oldBy[m.Name] = m
+	}
+	names := make([]string, 0, len(cur.Micro))
+	curBy := make(map[string]microResult, len(cur.Micro))
+	for _, m := range cur.Micro {
+		names = append(names, m.Name)
+		curBy[m.Name] = m
+	}
+	sort.Strings(names)
+
+	fmt.Printf("benchdiff: %s -> %s (tolerance %.0f%%)\n", old.Generated, cur.Generated, tolerance*100)
+	fmt.Printf("%-34s %12s %12s %8s %8s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs", "verdict")
+	for _, name := range names {
+		now := curBy[name]
+		was, ok := oldBy[name]
+		if !ok {
+			fmt.Printf("%-34s %12s %12.0f %8s %8.0f %8s\n", name, "-", now.NsPerOp, "-", now.AllocsRaw, "new")
+			continue
+		}
+		delta := 0.0
+		if was.NsPerOp > 0 {
+			delta = (now.NsPerOp - was.NsPerOp) / was.NsPerOp
+		}
+		verdict := "ok"
+		switch {
+		case now.AllocsRaw > was.AllocsRaw:
+			verdict = "ALLOCS"
+			failed = true
+		case delta > tolerance:
+			verdict = "SLOWER"
+			failed = true
+		}
+		fmt.Printf("%-34s %12.0f %12.0f %+7.1f%% %8.0f %8s\n",
+			name, was.NsPerOp, now.NsPerOp, delta*100, now.AllocsRaw, verdict)
+	}
+	for name := range oldBy {
+		if _, ok := curBy[name]; !ok {
+			fmt.Printf("%-34s dropped from new report\n", name)
+		}
+	}
+	for _, e := range cur.Experiments {
+		fmt.Printf("experiment %-24s %8.1f s (informational)\n", e.Name, e.Seconds)
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL — regression beyond tolerance")
+	} else {
+		fmt.Println("benchdiff: ok")
+	}
+	return failed
+}

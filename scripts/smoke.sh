@@ -3,7 +3,9 @@
 # small game on a random localhost port, replay a 2-second movement trace
 # over real TCP/UDP, and check the client prints a session report. While
 # the session runs, the server's admin endpoint is scraped to assert the
-# observability pipeline reports real traffic (non-zero frames served);
+# observability pipeline reports real traffic (non-zero frames served),
+# and the client's admin endpoint is scraped for /qoe to assert the QoE
+# monitor publishes a sane window FPS and missed-vsync ratio mid-session;
 # the client's end-of-session metrics snapshot must show cache hits. This
 # is the out-of-process complement to the in-process loopback e2e test in
 # internal/server (which compares the live runtime against the simulator).
@@ -41,8 +43,10 @@ go build -o "$bin/coterie-client" ./cmd/coterie-client
 
 port=$((20000 + RANDOM % 20000))
 admin_port=$((port + 1))
+client_admin_port=$((port + 2))
 addr="127.0.0.1:$port"
 admin_addr="127.0.0.1:$admin_port"
+client_admin_addr="127.0.0.1:$client_admin_port"
 
 # Small panoramas keep the offline preprocessing and per-frame renders
 # fast; the protocol and pipeline are the same at any resolution.
@@ -67,18 +71,30 @@ done
 echo "smoke: running 2-second live session..."
 "$bin/coterie-client" -game pool -addr "$addr" -seconds 2 -speed 2 \
     -width 64 -height 32 -metrics-json "$bin/metrics.json" \
+    -admin "$client_admin_addr" \
     >"$bin/client.log" 2>&1 &
 client_pid=$!
 
-# Scrape the server's /metrics while the session is live; the prefetch
-# path must push server.frames_served above zero well before the session
-# ends.
-echo "smoke: scraping $admin_addr/metrics mid-session..."
+# Scrape both admin endpoints while the session is live: the server's
+# /metrics must show real traffic (the prefetch path pushes
+# server.frames_served above zero well before the session ends), and the
+# client's /qoe must publish a windowed QoE summary once at least two
+# frames have displayed.
+echo "smoke: scraping $admin_addr/metrics and $client_admin_addr/qoe mid-session..."
 served_ok=
+qoe_ok=
 while kill -0 "$client_pid" 2>/dev/null; do
-    if http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" 2>/dev/null &&
+    if [ -z "$served_ok" ] &&
+        http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" 2>/dev/null &&
         grep -Eq '"server\.frames_served": *[1-9]' "$bin/metrics.scrape"; then
         served_ok=1
+    fi
+    if [ -z "$qoe_ok" ] &&
+        http_get 127.0.0.1 "$client_admin_port" /qoe >"$bin/qoe.scrape" 2>/dev/null &&
+        grep -Eq '"spans": *([2-9]|[0-9]{2,})' "$bin/qoe.scrape"; then
+        qoe_ok=1
+    fi
+    if [ -n "$served_ok" ] && [ -n "$qoe_ok" ]; then
         break
     fi
     sleep 0.2
@@ -98,6 +114,27 @@ fi
 wait "$client_pid"
 client_pid=
 cat "$bin/client.log"
+
+# QoE fields must be present and sane. Prefer the mid-session /qoe scrape;
+# a session fast enough to race past the scrape loop falls back to the qoe
+# section of the end-of-session metrics snapshot (same ComputeQoE path).
+qoe_src="$bin/qoe.scrape"
+if [ -z "$qoe_ok" ]; then
+    echo "smoke: /qoe scrape raced past the session; checking metrics.json qoe section"
+    qoe_src="$bin/metrics.json"
+fi
+awk '
+    /"window_fps":/         { v = $2; gsub(/[",]/, "", v); fps = v }
+    /"missed_vsync_ratio":/ { v = $2; gsub(/[",]/, "", v); missed = v }
+    END {
+        if (fps == "" || missed == "") { print "smoke: qoe fields missing"; exit 1 }
+        if (fps + 0 <= 0 || fps + 0 > 1000) { print "smoke: window_fps insane: " fps; exit 1 }
+        if (missed + 0 < 0 || missed + 0 > 1) { print "smoke: missed_vsync_ratio insane: " missed; exit 1 }
+    }' "$qoe_src" || {
+    echo "smoke: QoE snapshot failed sanity check ($qoe_src)" >&2
+    cat "$qoe_src" >&2
+    exit 1
+}
 
 grep -q "^pipeline: " "$bin/client.log" || {
     echo "smoke: client report missing" >&2
