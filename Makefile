@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-diff smoke
+.PHONY: check vet build test race bench bench-diff smoke loadtest
 
 check: vet build race
 
@@ -24,7 +24,8 @@ test:
 race:
 	$(GO) test -race ./internal/eval/... ./internal/ssim/... ./internal/cutoff/... \
 		./internal/runtime/... ./internal/server/... ./internal/transport/... \
-		./internal/cache/... ./internal/prefetch/... ./internal/obs/...
+		./internal/cache/... ./internal/prefetch/... ./internal/obs/... \
+		./internal/par/... ./internal/render/... ./internal/loadgen/...
 
 # End-to-end smoke: build both binaries, run a short live session over a
 # real socket on localhost, and check the client printed a report.
@@ -34,6 +35,11 @@ smoke:
 # Hot-path micro-benchmarks (ssim comparer, render LUT, codec, parallel helper).
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./internal/ssim/... ./internal/render/... ./internal/codec/...
+
+# Multi-player load harness against an in-process server: throughput,
+# latency percentiles, and the frame-store hit mix at a glance.
+loadtest:
+	$(GO) run ./cmd/loadgen -game pool -players 16 -duration 5s
 
 # Bench regression gate: compare two benchtab JSON reports' micro results.
 # Usage: make bench-diff BENCH_OLD=BENCH_1.json BENCH_NEW=BENCH_2.json

@@ -28,6 +28,9 @@ type benchReport struct {
 	Quick       bool         `json:"quick"`
 	Experiments []expTiming  `json:"experiments"`
 	Micro       []microBench `json:"micro"`
+	// ServerThroughput is the multi-player server scaling bench:
+	// loopback-TCP fetch throughput at increasing player counts.
+	ServerThroughput []serverThroughput `json:"server_throughput,omitempty"`
 }
 
 type expTiming struct {
@@ -104,13 +107,13 @@ func runMicroBenches() ([]microBench, error) {
 		measure("render.Panorama/lut", func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
-				lut.Panorama(eye, 0, math.Inf(1), nil)
+				lut.ReleaseGray(lut.Panorama(eye, 0, math.Inf(1), nil))
 			}
 		}),
 		measure("render.Panorama/no-lut", func(bb *testing.B) {
 			bb.ReportAllocs()
 			for i := 0; i < bb.N; i++ {
-				noLUT.Panorama(eye, 0, math.Inf(1), nil)
+				noLUT.ReleaseGray(noLUT.Panorama(eye, 0, math.Inf(1), nil))
 			}
 		}),
 		measure("codec.Encode/256x128", func(bb *testing.B) {
@@ -166,13 +169,18 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 	if err != nil {
 		return err
 	}
+	throughput, err := runServerThroughput(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
-		Parallel:    parallel,
-		Quick:       quick,
-		Experiments: timings,
-		Micro:       micro,
+		Generated:        time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		Parallel:         parallel,
+		Quick:            quick,
+		Experiments:      timings,
+		Micro:            micro,
+		ServerThroughput: throughput,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

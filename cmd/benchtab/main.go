@@ -9,6 +9,7 @@
 //	benchtab -exp all -quick            # reduced sampling (tens of seconds)
 //	benchtab -parallel 4                # cap experiment fan-out at 4 workers
 //	benchtab -bench-json BENCH.json     # record wall-clock + micro-bench JSON
+//	benchtab -exp none -bench-json B.json  # benchmarks only, no experiments
 //
 // Experiments: table1 fig1 fig2 fig3 fig5 fig6 table3 fig7 fig8 table5
 // table6 table7 fig11 table8 table9 fig12 table10 ablations.
@@ -57,11 +58,15 @@ func main() {
 	lab := eval.NewLab(opts)
 
 	want := map[string]bool{}
-	if *expFlag == "all" {
+	switch *expFlag {
+	case "all":
 		for _, e := range order {
 			want[e] = true
 		}
-	} else {
+	case "none", "":
+		// Benchmarks only: -exp none -bench-json FILE records the micro
+		// and server-throughput benches without rerunning experiments.
+	default:
 		for _, e := range strings.Split(*expFlag, ",") {
 			want[strings.TrimSpace(e)] = true
 		}

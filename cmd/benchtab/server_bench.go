@@ -1,0 +1,85 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/games"
+	"coterie/internal/loadgen"
+	"coterie/internal/render"
+	"coterie/internal/server"
+)
+
+// serverThroughput is one row of the server scaling bench: synthetic
+// players hammering one in-process frame server over loopback TCP.
+type serverThroughput struct {
+	Players      int     `json:"players"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	HitRate      float64 `json:"hit_rate"`
+	Evictions    int64   `json:"evictions"`
+}
+
+// serverThroughputPlayers are the fan-out points of the scaling bench.
+var serverThroughputPlayers = []int{1, 4, 16, 64}
+
+// runServerThroughput hosts a pool-game server in-process and measures
+// end-to-end fetch throughput at increasing player counts. Players walk
+// (the realistic mixed hit/render stream) under a store budget small
+// enough that 64 walkers force evictions, so the bench covers the
+// store's full hit/miss/evict cycle — not just the warm path.
+func runServerThroughput(quick bool) ([]serverThroughput, error) {
+	spec, err := games.ByName("pool")
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg:   render.Config{W: 128, H: 64},
+		SizeSamples: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	srv := server.New(env)
+	srv.SetStoreBudget(4 << 20)
+	go srv.Serve(ln)
+
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	var rows []serverThroughput
+	for _, players := range serverThroughputPlayers {
+		rep, err := loadgen.Run(loadgen.Config{
+			Addr: ln.Addr().String(), Game: "pool",
+			Players: players, Duration: dur, Seed: 1, Server: srv,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server-throughput %dp: %w", players, err)
+		}
+		if rep.Errors > 0 {
+			return nil, fmt.Errorf("server-throughput %dp: %d request errors", players, rep.Errors)
+		}
+		rows = append(rows, serverThroughput{
+			Players:      players,
+			FramesPerSec: rep.FramesPerSec,
+			P50Ms:        rep.P50Ms,
+			P95Ms:        rep.P95Ms,
+			P99Ms:        rep.P99Ms,
+			HitRate:      rep.HitRate,
+			Evictions:    rep.Evictions,
+		})
+		fmt.Printf("[server-throughput: %2d players  %8.0f frames/sec  p99 %6.2f ms  hit %4.1f%%]\n",
+			players, rep.FramesPerSec, rep.P99Ms, 100*rep.HitRate)
+	}
+	return rows, nil
+}

@@ -41,6 +41,8 @@ func main() {
 	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /trace, expvar and pprof (empty = disabled)")
 	width := flag.Int("width", 256, "panorama width in pixels")
 	height := flag.Int("height", 128, "panorama height in pixels")
+	storeBudget := flag.Int64("store-budget", 0, "frame store byte budget with LRU eviction (0 = unbounded)")
+	renderWorkers := flag.Int("render-workers", 0, "tile-parallel render workers per frame (0 = GOMAXPROCS)")
 	prerender := flag.Float64("prerender", 0, "warm up frames within this radius (m) of the spawn before serving")
 	stride := flag.Int("prerender-stride", 16, "grid stride for prerendering (1 = every point)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown wait for in-flight sessions")
@@ -53,7 +55,7 @@ func main() {
 	log.Printf("preparing %s (offline preprocessing: adaptive cutoff + thresholds)...", spec.FullName)
 	start := time.Now()
 	env, err := core.PrepareEnv(spec, core.EnvOptions{
-		RenderCfg: render.Config{W: *width, H: *height},
+		RenderCfg: render.Config{W: *width, H: *height, Parallel: *renderWorkers},
 	})
 	if err != nil {
 		log.Fatalf("coterie-server: %v", err)
@@ -68,6 +70,10 @@ func main() {
 	}
 	srv := server.New(env)
 	srv.DrainTimeout = *drain
+	if *storeBudget > 0 {
+		srv.SetStoreBudget(*storeBudget)
+		log.Printf("frame store bounded at %.1f MB (LRU eviction)", float64(*storeBudget)/1e6)
+	}
 
 	// The metrics registry always exists (the instruments are cheap); the
 	// admin listener is what -admin opts into.

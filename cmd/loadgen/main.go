@@ -1,0 +1,104 @@
+// Loadgen drives N concurrent synthetic players against a Coterie frame
+// server and reports throughput, fetch-latency percentiles, and the
+// frame-store hit mix. Point it at a live server, or let it host one
+// in-process (the default) to measure the server hot path without network
+// noise:
+//
+//	loadgen -game pool -players 16 -duration 5s
+//	loadgen -addr host:7368 -game viking -players 64 -rate 30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/games"
+	"coterie/internal/loadgen"
+	"coterie/internal/render"
+	"coterie/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "", "frame server address; empty hosts one in-process")
+	game := flag.String("game", "pool", "game to load (must match the server's)")
+	players := flag.Int("players", 4, "concurrent synthetic players")
+	rate := flag.Float64("rate", 0, "per-player request rate in frames/sec (0 = unthrottled)")
+	duration := flag.Duration("duration", 2*time.Second, "run length")
+	pattern := flag.String("pattern", loadgen.PatternWalk, "movement: walk, static or scatter")
+	stepM := flag.Float64("step", 0, "walk step per request in metres (0 = a few grid cells)")
+	seed := flag.Int64("seed", 1, "movement RNG seed")
+	width := flag.Int("width", 256, "in-process server: panorama width")
+	height := flag.Int("height", 128, "in-process server: panorama height")
+	budget := flag.Int64("store-budget", 0, "in-process server: frame store byte budget (0 = unbounded)")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Addr: *addr, Game: *game, Players: *players, Rate: *rate,
+		Duration: *duration, Pattern: *pattern, StepM: *stepM, Seed: *seed,
+	}
+	if *addr == "" {
+		srv, hosted, stop, err := hostServer(*game, *width, *height, *budget)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer stop()
+		cfg.Addr, cfg.Server = hosted, srv
+	}
+
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("loadgen: %d players on %q for %v (%s)\n",
+		rep.Players, *game, rep.Duration.Round(time.Millisecond), *pattern)
+	fmt.Printf("  throughput  %.1f frames/sec (%d frames, %d errors, %.1f MB)\n",
+		rep.FramesPerSec, rep.Frames, rep.Errors, float64(rep.Bytes)/1e6)
+	fmt.Printf("  latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
+		rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	fmt.Printf("  store       %.1f%% hits (%d hits, %d joins, %d renders)\n",
+		100*rep.HitRate, rep.Hits, rep.Joins, rep.Renders)
+	if rep.StoreBytes >= 0 {
+		fmt.Printf("  residency   %d bytes, %d evictions\n", rep.StoreBytes, rep.Evictions)
+	}
+}
+
+// hostServer prepares the game environment and serves it on a loopback
+// port, returning the server, its address, and a stop function.
+func hostServer(game string, w, h int, budget int64) (*server.Server, string, func(), error) {
+	spec, err := games.ByName(game)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	log.Printf("preparing %s in-process...", spec.FullName)
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg: render.Config{W: w, H: h},
+	})
+	if err != nil {
+		return nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", nil, err
+	}
+	srv := server.New(env)
+	if budget > 0 {
+		srv.SetStoreBudget(budget)
+	}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), func() { ln.Close() }, nil
+}

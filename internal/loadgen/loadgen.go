@@ -1,0 +1,257 @@
+// Package loadgen drives synthetic multiplayer load against a Coterie
+// frame server. Each simulated player holds its own TCP session and walks
+// the game world issuing frame requests, mimicking the request stream a
+// headset's prefetcher produces; the harness reports throughput, fetch
+// latency percentiles, and the cache-hit mix. It works against any server
+// reachable by address; when handed the in-process *server.Server it also
+// reports frame-store residency and evictions.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"coterie/internal/games"
+	"coterie/internal/geom"
+	"coterie/internal/server"
+)
+
+// Walk patterns. A walking player revisits grid cells and so exercises
+// the frame store's hit path; a scattering player teleports uniformly and
+// defeats it, pinning worst-case render throughput.
+const (
+	PatternWalk    = "walk"    // random walk from spawn, grid-scale steps
+	PatternStatic  = "static"  // stand at spawn: all hits after the first
+	PatternScatter = "scatter" // uniform random teleports: mostly misses
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Addr is the frame server's TCP address.
+	Addr string
+	// Game must match the game the server hosts.
+	Game string
+	// Players is the number of concurrent synthetic players (default 1).
+	Players int
+	// Rate is each player's request rate in frames/sec; <= 0 means
+	// unthrottled (each player requests as fast as the server replies).
+	Rate float64
+	// Duration bounds the run (default 2s).
+	Duration time.Duration
+	// Pattern is the movement model (PatternWalk by default).
+	Pattern string
+	// StepM is the walk step per request in metres; 0 derives a step of
+	// a few grid cells so consecutive requests hit nearby points.
+	StepM float64
+	// Seed makes player movement reproducible.
+	Seed int64
+	// Server, when the target runs in-process, lets the report include
+	// frame-store residency and evictions; nil leaves them at -1.
+	Server *server.Server
+}
+
+// Report summarises a load run.
+type Report struct {
+	Players  int           `json:"players"`
+	Duration time.Duration `json:"duration"`
+
+	Frames int64 `json:"frames"` // successful fetches
+	Errors int64 `json:"errors"`
+	Bytes  int64 `json:"bytes"`
+
+	// Request mix, classified from each reply's server-side stages:
+	// a reply that rendered is a store miss, one that only queued joined
+	// another request's render, and one with neither hit the store.
+	Hits    int64 `json:"hits"`
+	Joins   int64 `json:"joins"`
+	Renders int64 `json:"renders"`
+
+	FramesPerSec float64 `json:"frames_per_sec"`
+	HitRate      float64 `json:"hit_rate"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+
+	// Frame-store state after the run; -1 when the server is remote.
+	StoreBytes int64 `json:"store_bytes"`
+	Evictions  int64 `json:"evictions"`
+}
+
+// playerStats is one player's tally, merged after the run.
+type playerStats struct {
+	frames, errors, bytes int64
+	hits, joins, renders  int64
+	latencies             []float64 // ms per successful fetch
+	err                   error
+}
+
+// Run executes the configured load and reports. It returns an error only
+// when the run could not start (unknown game, no player ever connected);
+// per-request failures land in Report.Errors.
+func Run(cfg Config) (Report, error) {
+	if cfg.Players <= 0 {
+		cfg.Players = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Pattern == "" {
+		cfg.Pattern = PatternWalk
+	}
+	switch cfg.Pattern {
+	case PatternWalk, PatternStatic, PatternScatter:
+	default:
+		return Report{}, fmt.Errorf("loadgen: unknown pattern %q", cfg.Pattern)
+	}
+	g, err := games.BuildByName(cfg.Game)
+	if err != nil {
+		return Report{}, fmt.Errorf("loadgen: %w", err)
+	}
+	step := cfg.StepM
+	if step <= 0 {
+		step = 3 * g.Scene.Grid.Step
+	}
+
+	stats := make([]playerStats, cfg.Players)
+	deadline := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < cfg.Players; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			stats[p] = runPlayer(cfg, g, step, p, deadline)
+		}(p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep Report
+	rep.Players = cfg.Players
+	rep.Duration = elapsed
+	rep.StoreBytes, rep.Evictions = -1, -1
+	var all []float64
+	connected := false
+	var firstErr error
+	for i := range stats {
+		st := &stats[i]
+		if st.err != nil {
+			if firstErr == nil {
+				firstErr = st.err
+			}
+			continue
+		}
+		connected = true
+		rep.Frames += st.frames
+		rep.Errors += st.errors
+		rep.Bytes += st.bytes
+		rep.Hits += st.hits
+		rep.Joins += st.joins
+		rep.Renders += st.renders
+		all = append(all, st.latencies...)
+	}
+	if !connected {
+		return rep, fmt.Errorf("loadgen: no player connected: %w", firstErr)
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		rep.FramesPerSec = float64(rep.Frames) / secs
+	}
+	if rep.Frames > 0 {
+		rep.HitRate = float64(rep.Hits) / float64(rep.Frames)
+	}
+	sort.Float64s(all)
+	rep.P50Ms = percentile(all, 0.50)
+	rep.P95Ms = percentile(all, 0.95)
+	rep.P99Ms = percentile(all, 0.99)
+	if cfg.Server != nil {
+		rep.StoreBytes, rep.Evictions, _ = cfg.Server.StoreStats()
+	}
+	return rep, nil
+}
+
+// runPlayer is one synthetic player's session: connect, walk, fetch.
+func runPlayer(cfg Config, g *games.Game, step float64, p int, deadline time.Time) playerStats {
+	var st playerStats
+	cl, err := server.Dial(cfg.Addr, cfg.Game, uint8(p))
+	if err != nil {
+		st.err = err
+		return st
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(p)))
+	bounds := g.Scene.Grid.Bounds
+	// Spread spawn points a little so players don't serialise on one
+	// point's singleflight from the first request.
+	pos := bounds.ClampPoint(geom.V2(
+		g.Spawn.X+(rng.Float64()-0.5)*4*step,
+		g.Spawn.Z+(rng.Float64()-0.5)*4*step,
+	))
+
+	var interval time.Duration
+	if cfg.Rate > 0 {
+		interval = time.Duration(float64(time.Second) / cfg.Rate)
+	}
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		reply, sentMs, doneMs, err := cl.FetchTraced(g.Scene.Grid.Snap(pos))
+		if err != nil {
+			st.errors++
+			// A transport error kills the session; a server-side reject
+			// (out-of-grid point, impossible here after clamping) would
+			// arrive as a decoded error and leave the conn usable, but
+			// FetchTraced folds both into err — reconnect is overkill for
+			// a bounded run, so stop this player.
+			return st
+		}
+		st.frames++
+		st.bytes += int64(len(reply.Data))
+		st.latencies = append(st.latencies, doneMs-sentMs)
+		switch {
+		case reply.RenderMs > 0:
+			st.renders++
+		case reply.QueueMs > 0:
+			st.joins++
+		default:
+			st.hits++
+		}
+
+		switch cfg.Pattern {
+		case PatternStatic:
+			// stay put
+		case PatternScatter:
+			pos = geom.V2(
+				bounds.MinX+rng.Float64()*(bounds.MaxX-bounds.MinX),
+				bounds.MinZ+rng.Float64()*(bounds.MaxZ-bounds.MinZ),
+			)
+		default: // PatternWalk
+			theta := rng.Float64() * 2 * math.Pi
+			pos = bounds.ClampPoint(geom.V2(
+				pos.X+step*math.Cos(theta),
+				pos.Z+step*math.Sin(theta),
+			))
+		}
+
+		if interval > 0 {
+			next = next.Add(interval)
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return st
+}
+
+// percentile reads the q-quantile from ascending samples by
+// nearest-rank interpolation; 0 for an empty set.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

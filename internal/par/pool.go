@@ -1,0 +1,178 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Job is one fan-out unit for a Pool: Run is called once for every index
+// in [0, n), from whichever worker claims the index. Implementations must
+// tolerate concurrent Run calls for distinct indices.
+//
+// Job is an interface rather than a closure so hot-path callers can pool
+// the job value: submitting a *T through an interface does not allocate,
+// whereas a fresh closure per call does.
+type Job interface {
+	Run(i int)
+}
+
+// Pool is a reusable fixed-size worker pool for latency-sensitive fan-out
+// (the per-frame render path), where For's spawn-per-call goroutines and
+// closure allocations are measurable. Workers start lazily on the first
+// parallel Run and persist until Close; Run itself is allocation-free at
+// steady state.
+//
+// Run may be called from many goroutines at once: concurrent calls share
+// the same workers, which bounds the process's render parallelism to the
+// pool size no matter how many sessions render simultaneously. When every
+// worker is busy the submitting goroutine simply executes its whole call
+// inline — submission never blocks and never deadlocks.
+type Pool struct {
+	workers int
+	tickets chan *poolCall
+	closed  chan struct{}
+
+	startOnce sync.Once
+	closeOnce sync.Once
+
+	// free is an explicit freelist (not sync.Pool) so steady-state Run stays
+	// allocation-free even across GC cycles — the render allocation-budget
+	// test depends on that determinism.
+	mu   sync.Mutex
+	free []*poolCall
+}
+
+// poolCall is the shared state of one Run: workers and the caller claim
+// indices from next until n is exhausted.
+type poolCall struct {
+	job  Job
+	n    int64
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// drain claims and runs indices until the call is exhausted.
+func (c *poolCall) drain() {
+	for {
+		i := c.next.Add(1) - 1
+		if i >= c.n {
+			return
+		}
+		c.job.Run(int(i))
+	}
+}
+
+// NewPool creates a pool with the given number of workers (resolved via
+// Workers; n <= 0 means GOMAXPROCS). A pool of one worker runs everything
+// inline and owns no goroutines. A nil *Pool is valid and also runs inline.
+func NewPool(workers int) *Pool {
+	w := Workers(workers)
+	p := &Pool{workers: w}
+	if w > 1 {
+		// Capacity bounds stale tickets under heavy concurrent Run load;
+		// submission falls back to inline work when full.
+		p.tickets = make(chan *poolCall, w*4)
+		p.closed = make(chan struct{})
+	}
+	return p
+}
+
+// Size returns the worker count the pool resolves work across (1 for a nil
+// pool).
+func (p *Pool) Size() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Run executes job.Run(i) for every i in [0, n) and returns when all calls
+// have finished. The caller's goroutine participates, so a Run on a busy
+// pool degrades to inline execution rather than queueing behind other
+// calls. With one worker (or a nil pool) the calls run inline in index
+// order — the deterministic sequential path.
+func (p *Pool) Run(n int, job Job) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			job.Run(i)
+		}
+		return
+	}
+	p.startOnce.Do(p.start)
+
+	c := p.getCall()
+	c.job = job
+	c.n = int64(n)
+	c.next.Store(0)
+
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	for i := 0; i < helpers; i++ {
+		c.wg.Add(1)
+		select {
+		case p.tickets <- c:
+		default:
+			// Every worker is busy and the queue is full; absorb the
+			// helper's share inline below.
+			c.wg.Done()
+		}
+	}
+	c.drain()
+	c.wg.Wait()
+
+	c.job = nil
+	p.putCall(c)
+}
+
+// Close stops the pool's workers. It must not be called concurrently with
+// Run; after Close, Run executes everything inline. Close on a nil or
+// never-started pool is a no-op.
+func (p *Pool) Close() {
+	if p == nil || p.closed == nil {
+		return
+	}
+	p.closeOnce.Do(func() {
+		p.workers = 1 // subsequent Runs go inline
+		close(p.closed)
+	})
+}
+
+func (p *Pool) start() {
+	for i := 0; i < p.workers-1; i++ {
+		go p.worker()
+	}
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case c := <-p.tickets:
+			c.drain()
+			c.wg.Done()
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+func (p *Pool) getCall() *poolCall {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n := len(p.free); n > 0 {
+		c := p.free[n-1]
+		p.free = p.free[:n-1]
+		return c
+	}
+	return &poolCall{}
+}
+
+func (p *Pool) putCall(c *poolCall) {
+	p.mu.Lock()
+	p.free = append(p.free, c)
+	p.mu.Unlock()
+}

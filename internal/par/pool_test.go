@@ -1,0 +1,115 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// fillJob writes i*i into slot i — the determinism contract: output
+// identical for any worker count.
+type fillJob struct {
+	out []int64
+}
+
+func (j *fillJob) Run(i int) { j.out[i] = int64(i) * int64(i) }
+
+// countJob counts invocations per index, to catch double execution.
+type countJob struct {
+	counts []atomic.Int64
+}
+
+func (j *countJob) Run(i int) { j.counts[i].Add(1) }
+
+func TestPoolMatchesInline(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 3, 17, 128} {
+			p := NewPool(workers)
+			got := &fillJob{out: make([]int64, n)}
+			p.Run(n, got)
+			for i := 0; i < n; i++ {
+				if got.out[i] != int64(i)*int64(i) {
+					t.Fatalf("workers=%d n=%d: slot %d = %d", workers, n, i, got.out[i])
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestPoolRunsEachIndexOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 257
+	for round := 0; round < 20; round++ {
+		j := &countJob{counts: make([]atomic.Int64, n)}
+		p.Run(n, j)
+		for i := range j.counts {
+			if c := j.counts[i].Load(); c != 1 {
+				t.Fatalf("round %d: index %d ran %d times", round, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolConcurrentRuns(t *testing.T) {
+	// Many goroutines share one pool; every call must complete with every
+	// index executed exactly once, even when submissions outnumber workers
+	// and callers fall back to inline execution.
+	p := NewPool(3)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 10; round++ {
+				j := &countJob{counts: make([]atomic.Int64, 64)}
+				p.Run(64, j)
+				for i := range j.counts {
+					if c := j.counts[i].Load(); c != 1 {
+						t.Errorf("index %d ran %d times", i, c)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestPoolNilAndClosed(t *testing.T) {
+	var p *Pool
+	j := &fillJob{out: make([]int64, 8)}
+	p.Run(8, j) // nil pool runs inline
+	if j.out[7] != 49 {
+		t.Fatal("nil pool did not run inline")
+	}
+	p.Close() // no-op
+
+	q := NewPool(4)
+	q.Run(8, &fillJob{out: make([]int64, 8)})
+	q.Close()
+	q.Close() // idempotent
+	after := &fillJob{out: make([]int64, 8)}
+	q.Run(8, after) // post-Close falls back to inline
+	if after.out[5] != 25 {
+		t.Fatal("closed pool did not run inline")
+	}
+}
+
+func TestPoolRunAllocationFree(t *testing.T) {
+	// The render hot path depends on Run being allocation-free at steady
+	// state: the call state is freelisted and jobs are submitted through an
+	// interface, so only the first Run (worker spawn, freelist growth) may
+	// allocate.
+	p := NewPool(4)
+	defer p.Close()
+	j := &countJob{counts: make([]atomic.Int64, 32)}
+	p.Run(32, j) // warm: spawn workers, seed freelist
+	if allocs := testing.AllocsPerRun(50, func() {
+		p.Run(32, j)
+	}); allocs > 0 {
+		t.Errorf("Pool.Run allocates %.1f times per op, budget 0", allocs)
+	}
+}

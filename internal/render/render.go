@@ -12,11 +12,11 @@ package render
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"coterie/internal/geom"
 	"coterie/internal/img"
+	"coterie/internal/par"
 	"coterie/internal/world"
 )
 
@@ -35,8 +35,14 @@ type Config struct {
 func DefaultConfig() Config { return Config{W: 256, H: 128} }
 
 // Renderer renders frames of one scene. It is safe for concurrent use: all
-// per-call scratch state is allocated per worker, and the direction LUT is
-// read-only after New.
+// per-call scratch state is checked out of internal freelists, and the
+// direction LUT is read-only after New.
+//
+// The render hot path is allocation-free at steady state when callers
+// return finished frames with ReleaseGray/ReleaseFrame: output buffers,
+// masks, scene queries and the fan-out job state are all pooled on the
+// renderer. Callers that never release simply allocate a fresh frame per
+// call, exactly as before.
 type Renderer struct {
 	Scene *world.Scene
 	Cfg   Config
@@ -49,6 +55,23 @@ type Renderer struct {
 	// computing the same values inline.
 	dirs    []geom.Vec3
 	pitches []float64
+
+	// pool fans row bands across persistent workers (tile-parallel
+	// rendering: bands write disjoint rows, so output is deterministic for
+	// any worker count). It is created lazily on the first render that
+	// resolves to more than one worker, so a bare-literal Renderer and a
+	// sequential config never own goroutines.
+	poolOnce sync.Once
+	pool     *par.Pool
+
+	// Freelists for the per-call state. Explicit mutex-guarded freelists
+	// (not sync.Pool) keep the steady state deterministic across GC cycles,
+	// which the allocation-budget test relies on.
+	mu        sync.Mutex
+	freeGrays []*img.Gray
+	freeMasks [][]bool
+	freeJobs  []*renderJob
+	freeQs    []*world.Query
 }
 
 // maxLUTPixels caps the direction table's memory (24 B/pixel); beyond ~2M
@@ -122,6 +145,9 @@ var sunDir = geom.V3(0.4, 0.8, 0.45).Norm()
 //
 // tMin=0, tMax=+Inf is a whole-BE frame (what Furion prefetches);
 // tMin=cutoff, tMax=+Inf is a far-BE frame (what Coterie prefetches).
+//
+// Callers done with the frame may hand it back via ReleaseGray to keep the
+// render path allocation-free; keeping it indefinitely is also fine.
 func (r *Renderer) Panorama(eye geom.Vec3, tMin, tMax float64, dynamics []world.Object) *img.Gray {
 	f := r.render(eye, tMin, tMax, dynamics, false)
 	return f.Gray
@@ -129,7 +155,8 @@ func (r *Renderer) Panorama(eye geom.Vec3, tMin, tMax float64, dynamics []world.
 
 // NearFrame renders the near-BE frame: hits with t < cutoff, with a
 // transparency mask for merging. This is the part Coterie renders on the
-// mobile GPU together with FI.
+// mobile GPU together with FI. Callers done with the frame may hand it
+// back via ReleaseFrame.
 func (r *Renderer) NearFrame(eye geom.Vec3, cutoff float64, dynamics []world.Object) Frame {
 	return r.render(eye, 0, cutoff, dynamics, true)
 }
@@ -140,89 +167,218 @@ func (r *Renderer) GroundTruth(eye geom.Vec3, dynamics []world.Object) *img.Gray
 	return r.Panorama(eye, 0, math.Inf(1), dynamics)
 }
 
+// bandsPerWorker oversubscribes row bands relative to workers so the
+// atomic work counter can balance uneven band costs (a band full of near
+// geometry ray-casts against more of the scene than a sky band).
+const bandsPerWorker = 4
+
+// renderJob is the pooled fan-out state of one render call: Run(b) renders
+// band b's rows into disjoint slices of the shared output, so bands never
+// contend and the frame is byte-identical for any worker count.
+type renderJob struct {
+	r        *Renderer
+	eye      geom.Vec3
+	tMin     float64
+	tMax     float64
+	dynamics []world.Object
+	out      *img.Gray
+	mask     []bool
+	pixAngle float64
+	bands    int
+}
+
+// Run implements par.Job: render the rows of band b.
+func (j *renderJob) Run(b int) {
+	h := j.r.Cfg.H
+	y0 := b * h / j.bands
+	y1 := (b + 1) * h / j.bands
+	q := j.r.getQuery()
+	for y := y0; y < y1; y++ {
+		j.renderRow(q, y)
+	}
+	j.r.putQuery(q)
+}
+
+// renderRow ray-casts one output row.
+func (j *renderJob) renderRow(q *world.Query, y int) {
+	r, w := j.r, j.r.Cfg.W
+	pitch := r.pitchAt(y)
+	rowDirs := r.rowDirs(y)
+	var cp, sp float64
+	if rowDirs == nil {
+		cp, sp = math.Cos(pitch), math.Sin(pitch)
+	}
+	for x := 0; x < w; x++ {
+		var dir geom.Vec3
+		if rowDirs != nil {
+			dir = rowDirs[x]
+		} else {
+			yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+			dir = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+		}
+		ray := geom.Ray{Origin: j.eye, Direction: dir}
+
+		hit, ok := r.Scene.Intersect(q, ray, j.tMin, j.tMax)
+		// Dynamics are few; test them brute force.
+		for di := range j.dynamics {
+			limit := j.tMax
+			if ok {
+				limit = hit.T
+			}
+			if t, dok := j.dynamics[di].IntersectFrom(ray, j.tMin); dok && t < limit {
+				hit = world.Hit{T: t, Object: &j.dynamics[di], Point: ray.At(t)}
+				ok = true
+			}
+		}
+
+		idx := y*w + x
+		if !ok {
+			j.out.Pix[idx] = skyShade(pitch)
+			continue
+		}
+		if j.mask != nil {
+			j.mask[idx] = true
+		}
+		j.out.Pix[idx] = shade(hit, dir, j.pixAngle)
+	}
+}
+
 func (r *Renderer) render(eye geom.Vec3, tMin, tMax float64, dynamics []world.Object, masked bool) Frame {
 	w, h := r.Cfg.W, r.Cfg.H
-	out := img.NewGray(w, h)
+	out := r.getGray()
 	var mask []bool
 	if masked {
-		mask = make([]bool, w*h)
+		mask = r.getMask()
 	}
 
-	workers := r.Cfg.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := par.Workers(r.Cfg.Parallel)
 	if workers > h {
 		workers = h
 	}
-	if workers < 1 {
-		workers = 1
+	bands := workers * bandsPerWorker
+	if bands > h {
+		bands = h
 	}
 
-	// pixAngle is the angular width of one pixel; surface patterns are
-	// area-filtered against it (see shade).
-	pixAngle := 2 * math.Pi / float64(w)
-
-	var wg sync.WaitGroup
-	rowsPer := (h + workers - 1) / workers
-	for wi := 0; wi < workers; wi++ {
-		y0 := wi * rowsPer
-		y1 := y0 + rowsPer
-		if y1 > h {
-			y1 = h
-		}
-		if y0 >= y1 {
-			break
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			q := r.Scene.NewQuery()
-			for y := y0; y < y1; y++ {
-				pitch := r.pitchAt(y)
-				rowDirs := r.rowDirs(y)
-				var cp, sp float64
-				if rowDirs == nil {
-					cp, sp = math.Cos(pitch), math.Sin(pitch)
-				}
-				for x := 0; x < w; x++ {
-					var dir geom.Vec3
-					if rowDirs != nil {
-						dir = rowDirs[x]
-					} else {
-						yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
-						dir = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
-					}
-					ray := geom.Ray{Origin: eye, Direction: dir}
-
-					hit, ok := r.Scene.Intersect(q, ray, tMin, tMax)
-					// Dynamics are few; test them brute force.
-					for di := range dynamics {
-						limit := tMax
-						if ok {
-							limit = hit.T
-						}
-						if t, dok := dynamics[di].IntersectFrom(ray, tMin); dok && t < limit {
-							hit = world.Hit{T: t, Object: &dynamics[di], Point: ray.At(t)}
-							ok = true
-						}
-					}
-
-					idx := y*w + x
-					if !ok {
-						out.Pix[idx] = skyShade(pitch)
-						continue
-					}
-					if mask != nil {
-						mask[idx] = true
-					}
-					out.Pix[idx] = shade(hit, dir, pixAngle)
-				}
-			}
-		}(y0, y1)
+	j := r.getJob()
+	*j = renderJob{
+		r: r, eye: eye, tMin: tMin, tMax: tMax, dynamics: dynamics,
+		out: out, mask: mask,
+		// pixAngle is the angular width of one pixel; surface patterns are
+		// area-filtered against it (see shade).
+		pixAngle: 2 * math.Pi / float64(w),
+		bands:    bands,
 	}
-	wg.Wait()
+	r.renderPool(workers).Run(bands, j)
+	*j = renderJob{} // drop references before pooling
+	r.putJob(j)
 	return Frame{Gray: out, Mask: mask}
+}
+
+// renderPool returns the renderer's worker pool, creating it on first use
+// when the configured parallelism exceeds one worker. A nil pool runs
+// inline, so sequential renderers never own goroutines.
+func (r *Renderer) renderPool(workers int) *par.Pool {
+	if workers <= 1 {
+		return nil
+	}
+	r.poolOnce.Do(func() { r.pool = par.NewPool(workers) })
+	return r.pool
+}
+
+// Close stops the renderer's worker pool, if one was started. The renderer
+// remains usable afterwards — renders simply run sequentially. Close must
+// not race in-flight renders.
+func (r *Renderer) Close() {
+	r.pool.Close()
+}
+
+// getGray checks an output buffer out of the freelist, or allocates one.
+// Every pixel of a render is written (sky or shade), so reused buffers
+// need no clearing.
+func (r *Renderer) getGray() *img.Gray {
+	r.mu.Lock()
+	if n := len(r.freeGrays); n > 0 {
+		g := r.freeGrays[n-1]
+		r.freeGrays = r.freeGrays[:n-1]
+		r.mu.Unlock()
+		return g
+	}
+	r.mu.Unlock()
+	return img.NewGray(r.Cfg.W, r.Cfg.H)
+}
+
+// ReleaseGray returns a frame obtained from Panorama or GroundTruth to the
+// renderer's buffer pool. The caller must not touch the frame afterwards.
+// Frames of a different resolution (or nil) are ignored, so callers may
+// release unconditionally.
+func (r *Renderer) ReleaseGray(g *img.Gray) {
+	if g == nil || g.W != r.Cfg.W || g.H != r.Cfg.H {
+		return
+	}
+	r.mu.Lock()
+	r.freeGrays = append(r.freeGrays, g)
+	r.mu.Unlock()
+}
+
+// getMask checks a mask out of the freelist (cleared) or allocates one.
+func (r *Renderer) getMask() []bool {
+	r.mu.Lock()
+	if n := len(r.freeMasks); n > 0 {
+		m := r.freeMasks[n-1]
+		r.freeMasks = r.freeMasks[:n-1]
+		r.mu.Unlock()
+		clear(m)
+		return m
+	}
+	r.mu.Unlock()
+	return make([]bool, r.Cfg.W*r.Cfg.H)
+}
+
+// ReleaseFrame returns a NearFrame result (gray plane and mask) to the
+// renderer's buffer pools. The caller must not touch the frame afterwards.
+func (r *Renderer) ReleaseFrame(f Frame) {
+	r.ReleaseGray(f.Gray)
+	if len(f.Mask) != r.Cfg.W*r.Cfg.H {
+		return
+	}
+	r.mu.Lock()
+	r.freeMasks = append(r.freeMasks, f.Mask)
+	r.mu.Unlock()
+}
+
+func (r *Renderer) getJob() *renderJob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.freeJobs); n > 0 {
+		j := r.freeJobs[n-1]
+		r.freeJobs = r.freeJobs[:n-1]
+		return j
+	}
+	return &renderJob{}
+}
+
+func (r *Renderer) putJob(j *renderJob) {
+	r.mu.Lock()
+	r.freeJobs = append(r.freeJobs, j)
+	r.mu.Unlock()
+}
+
+func (r *Renderer) getQuery() *world.Query {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.freeQs); n > 0 {
+		q := r.freeQs[n-1]
+		r.freeQs = r.freeQs[:n-1]
+		return q
+	}
+	return r.Scene.NewQuery()
+}
+
+func (r *Renderer) putQuery(q *world.Query) {
+	r.mu.Lock()
+	r.freeQs = append(r.freeQs, q)
+	r.mu.Unlock()
 }
 
 // Merge composites a near-BE frame over a far-BE frame: masked (hit) pixels

@@ -15,7 +15,21 @@ func BenchmarkPanoramaWhole(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Panorama(eye, 0, math.Inf(1), nil)
+		r.ReleaseGray(r.Panorama(eye, 0, math.Inf(1), nil))
+	}
+}
+
+// BenchmarkPanoramaParallel is the tile-parallel variant: bands fan out
+// across the renderer-owned worker pool. On a multi-core box this is the
+// headline scaling number; on one core it measures pool overhead.
+func BenchmarkPanoramaParallel(b *testing.B) {
+	r := New(denseScene(99, 300), Config{W: 256, H: 128, Parallel: 0})
+	defer r.Close()
+	eye := r.Scene.EyeAt(r.Scene.Bounds.Center())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.ReleaseGray(r.Panorama(eye, 0, math.Inf(1), nil))
 	}
 }
 
@@ -25,7 +39,7 @@ func BenchmarkPanoramaFar(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Panorama(eye, 8, math.Inf(1), nil)
+		r.ReleaseGray(r.Panorama(eye, 8, math.Inf(1), nil))
 	}
 }
 
@@ -35,7 +49,7 @@ func BenchmarkNearFrame(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.NearFrame(eye, 8, nil)
+		r.ReleaseFrame(r.NearFrame(eye, 8, nil))
 	}
 }
 
@@ -49,7 +63,7 @@ func BenchmarkPanoramaLUT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Panorama(eye, 0, math.Inf(1), nil)
+		r.ReleaseGray(r.Panorama(eye, 0, math.Inf(1), nil))
 	}
 }
 
@@ -60,7 +74,7 @@ func BenchmarkPanoramaNoLUT(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.Panorama(eye, 0, math.Inf(1), nil)
+		r.ReleaseGray(r.Panorama(eye, 0, math.Inf(1), nil))
 	}
 }
 

@@ -2,18 +2,77 @@ package render
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"coterie/internal/geom"
 	"coterie/internal/img"
+	"coterie/internal/par"
 	"coterie/internal/world"
 )
 
 // Colour rendering. The experiments run on luma frames (SSIM and the codec
 // operate on luminance); the RGB path exists for inspection — screenshots,
 // the examples' PPM output — and shares the luma path's geometry, shading
-// structure and distance-window semantics.
+// structure, distance-window semantics and tile-parallel fan-out. It is a
+// cold path, so its output is not pooled.
+
+// rgbJob is the fan-out state of one colour render; Run(b) renders band
+// b's rows, mirroring renderJob.
+type rgbJob struct {
+	r        *Renderer
+	eye      geom.Vec3
+	tMin     float64
+	tMax     float64
+	dynamics []world.Object
+	out      *img.RGB
+	pixAngle float64
+	bands    int
+}
+
+// Run implements par.Job.
+func (j *rgbJob) Run(b int) {
+	r, w, h := j.r, j.r.Cfg.W, j.r.Cfg.H
+	y0 := b * h / j.bands
+	y1 := (b + 1) * h / j.bands
+	q := r.getQuery()
+	defer r.putQuery(q)
+	for y := y0; y < y1; y++ {
+		pitch := r.pitchAt(y)
+		rowDirs := r.rowDirs(y)
+		var cp, sp float64
+		if rowDirs == nil {
+			cp, sp = math.Cos(pitch), math.Sin(pitch)
+		}
+		for x := 0; x < w; x++ {
+			var dir geom.Vec3
+			if rowDirs != nil {
+				dir = rowDirs[x]
+			} else {
+				yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
+				dir = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
+			}
+			ray := geom.Ray{Origin: j.eye, Direction: dir}
+
+			hit, ok := r.Scene.Intersect(q, ray, j.tMin, j.tMax)
+			for di := range j.dynamics {
+				limit := j.tMax
+				if ok {
+					limit = hit.T
+				}
+				if t, dok := j.dynamics[di].IntersectFrom(ray, j.tMin); dok && t < limit {
+					hit = world.Hit{T: t, Object: &j.dynamics[di], Point: ray.At(t)}
+					ok = true
+				}
+			}
+			if !ok {
+				sr, sg, sb := skyRGB(pitch)
+				j.out.Set(x, y, sr, sg, sb)
+				continue
+			}
+			cr, cg, cb := shadeRGB(hit, dir, j.pixAngle)
+			j.out.Set(x, y, cr, cg, cb)
+		}
+	}
+}
 
 // PanoramaRGB renders an opaque 360-degree colour frame with hits
 // restricted to [tMin, tMax); pixels without a hit show the sky.
@@ -21,73 +80,19 @@ func (r *Renderer) PanoramaRGB(eye geom.Vec3, tMin, tMax float64, dynamics []wor
 	w, h := r.Cfg.W, r.Cfg.H
 	out := img.NewRGB(w, h)
 
-	workers := r.Cfg.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
+	workers := par.Workers(r.Cfg.Parallel)
 	if workers > h {
 		workers = h
 	}
-	if workers < 1 {
-		workers = 1
+	bands := workers * bandsPerWorker
+	if bands > h {
+		bands = h
 	}
-	pixAngle := 2 * math.Pi / float64(w)
-
-	var wg sync.WaitGroup
-	rowsPer := (h + workers - 1) / workers
-	for wi := 0; wi < workers; wi++ {
-		y0 := wi * rowsPer
-		y1 := y0 + rowsPer
-		if y1 > h {
-			y1 = h
-		}
-		if y0 >= y1 {
-			break
-		}
-		wg.Add(1)
-		go func(y0, y1 int) {
-			defer wg.Done()
-			q := r.Scene.NewQuery()
-			for y := y0; y < y1; y++ {
-				pitch := r.pitchAt(y)
-				rowDirs := r.rowDirs(y)
-				var cp, sp float64
-				if rowDirs == nil {
-					cp, sp = math.Cos(pitch), math.Sin(pitch)
-				}
-				for x := 0; x < w; x++ {
-					var dir geom.Vec3
-					if rowDirs != nil {
-						dir = rowDirs[x]
-					} else {
-						yaw := -math.Pi + 2*math.Pi*(float64(x)+0.5)/float64(w)
-						dir = geom.V3(cp*math.Sin(yaw), sp, cp*math.Cos(yaw))
-					}
-					ray := geom.Ray{Origin: eye, Direction: dir}
-
-					hit, ok := r.Scene.Intersect(q, ray, tMin, tMax)
-					for di := range dynamics {
-						limit := tMax
-						if ok {
-							limit = hit.T
-						}
-						if t, dok := dynamics[di].IntersectFrom(ray, tMin); dok && t < limit {
-							hit = world.Hit{T: t, Object: &dynamics[di], Point: ray.At(t)}
-							ok = true
-						}
-					}
-					if !ok {
-						sr, sg, sb := skyRGB(pitch)
-						out.Set(x, y, sr, sg, sb)
-						continue
-					}
-					cr, cg, cb := shadeRGB(hit, dir, pixAngle)
-					out.Set(x, y, cr, cg, cb)
-				}
-			}
-		}(y0, y1)
+	j := &rgbJob{
+		r: r, eye: eye, tMin: tMin, tMax: tMax, dynamics: dynamics,
+		out: out, pixAngle: 2 * math.Pi / float64(w), bands: bands,
 	}
-	wg.Wait()
+	r.renderPool(workers).Run(bands, j)
 	return out
 }
 

@@ -404,7 +404,7 @@ func TestConcurrentFrameForSingleflight(t *testing.T) {
 	srv := New(poolEnv(t))
 	pt := srv.env.Game.Scene.Grid.Snap(srv.env.Game.Spawn)
 
-	const n = 16
+	const n = 64
 	var (
 		start   = make(chan struct{})
 		wg      sync.WaitGroup
@@ -569,5 +569,83 @@ func TestSessionStatsRecorded(t *testing.T) {
 	}
 	if active, _ := srv.Sessions(); active != 0 {
 		t.Errorf("%d sessions still active", active)
+	}
+}
+
+// TestLoopbackStoreMetrics is the e2e check of the sharded store's
+// instruments: an instrumented live server under a tight byte budget
+// serves real TCP fetches, and a /metrics scrape of its registry must
+// expose the store's residency (server.store_bytes), its evictions
+// (server.evictions), and its shard lock-wait histogram
+// (server.store_shard_lock_wait_ms) with values consistent with the
+// store's own accounting.
+func TestLoopbackStoreMetrics(t *testing.T) {
+	env := poolEnv(t)
+	reg := obs.NewRegistry()
+	srv := New(env)
+	srv.Instrument(reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go srv.Serve(ln)
+
+	cl, err := Dial(ln.Addr().String(), "pool", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Budget two frames, then fetch a row of distinct points so the store
+	// must evict, and re-fetch the last point so the hit path (LRU touch
+	// under the shard lock) runs too.
+	spawn := env.Game.Scene.Grid.Snap(env.Game.Spawn)
+	first, err := cl.Fetch(spawn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetStoreBudget(int64(2*len(first) + len(first)/2))
+	last := spawn
+	for i := 1; i <= 6; i++ {
+		last = geom.GridPoint{I: spawn.I + i, J: spawn.J}
+		if _, err := cl.Fetch(last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := cl.Fetch(last); err != nil {
+		t.Fatal(err)
+	}
+
+	s := httptest.NewServer(obs.AdminMux(reg))
+	defer s.Close()
+	res, err := s.Client().Get(s.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var snap obs.Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+
+	bytes, evictions, frames := srv.StoreStats()
+	if g, ok := snap.Gauges["server.store_bytes"]; !ok || g != bytes || g <= 0 {
+		t.Errorf("store_bytes gauge = %d (present %v), store reports %d", g, ok, bytes)
+	}
+	if c, ok := snap.Counters["server.evictions"]; !ok || c != evictions || c == 0 {
+		t.Errorf("evictions counter = %d (present %v), store reports %d", c, ok, evictions)
+	}
+	if h, ok := snap.Histograms["server.store_shard_lock_wait_ms"]; !ok || h.Count == 0 {
+		t.Errorf("lock-wait histogram count = %d (present %v), want observations", h.Count, ok)
+	}
+	if bytes > srv.store.Budget() {
+		t.Errorf("store %d bytes exceeds budget %d", bytes, srv.store.Budget())
+	}
+	if frames == 0 {
+		t.Error("store empty after fetches")
+	}
+	if snap.Counters["server.frame_store_hits"] == 0 {
+		t.Error("re-fetch of a resident point did not count as a store hit")
 	}
 }

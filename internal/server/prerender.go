@@ -2,18 +2,19 @@ package server
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 	"sync/atomic"
 
 	"coterie/internal/geom"
+	"coterie/internal/par"
 )
 
 // The paper's server pre-renders and pre-encodes panoramic far-BE frames
 // for all reachable grid points offline (§5.1). Rendering every point of a
 // 24M-point world is unnecessary here (frames are memoised on demand), but
 // warming a region ahead of a session removes first-request latency; this
-// file provides that warm-up with a bounded worker pool.
+// file provides that warm-up. Warmed frames land in the shared sharded
+// store, so they obey its byte budget: warming more than the budget holds
+// simply cycles the LRU, and store_bytes never exceeds the budget.
 
 // PrerenderStats summarises a warm-up pass.
 type PrerenderStats struct {
@@ -29,50 +30,35 @@ func (s *Server) PrerenderRegion(region geom.Rect, strideSteps, workers int) (Pr
 	if strideSteps < 1 {
 		strideSteps = 1
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
 	grid := s.env.Game.Scene.Grid
 	lo := grid.Snap(geom.V2(region.MinX, region.MinZ))
 	hi := grid.Snap(geom.V2(region.MaxX, region.MaxZ))
 	if hi.I < lo.I || hi.J < lo.J {
 		return PrerenderStats{}, fmt.Errorf("server: empty prerender region %+v", region)
 	}
+	cols := (hi.I-lo.I)/strideSteps + 1
+	rows := (hi.J-lo.J)/strideSteps + 1
 
-	pts := make(chan geom.GridPoint, workers*2)
-	var rendered, points int64
-	var bytes int64
-	var firstErr error
-	var errOnce sync.Once
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for pt := range pts {
-				data, fresh, err := s.frameFor(pt)
-				if err != nil {
-					errOnce.Do(func() { firstErr = err })
-					continue
-				}
-				atomic.AddInt64(&points, 1)
-				if fresh {
-					atomic.AddInt64(&rendered, 1)
-					atomic.AddInt64(&bytes, int64(len(data)))
-				}
-			}
-		}()
-	}
-	for j := lo.J; j <= hi.J; j += strideSteps {
-		for i := lo.I; i <= hi.I; i += strideSteps {
-			pts <- geom.GridPoint{I: i, J: j}
+	var rendered, points, bytes atomic.Int64
+	err := par.ForErr(workers, cols*rows, func(k int) error {
+		pt := geom.GridPoint{
+			I: lo.I + (k%cols)*strideSteps,
+			J: lo.J + (k/cols)*strideSteps,
 		}
-	}
-	close(pts)
-	wg.Wait()
+		data, fresh, err := s.frameFor(pt)
+		if err != nil {
+			return err
+		}
+		points.Add(1)
+		if fresh {
+			rendered.Add(1)
+			bytes.Add(int64(len(data)))
+		}
+		return nil
+	})
 	return PrerenderStats{
-		Points:   int(points),
-		Rendered: int(rendered),
-		Bytes:    bytes,
-	}, firstErr
+		Points:   int(points.Load()),
+		Rendered: int(rendered.Load()),
+		Bytes:    bytes.Load(),
+	}, err
 }

@@ -15,6 +15,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"coterie/internal/codec"
@@ -41,16 +42,17 @@ type Server struct {
 	// nil means slog.Default(). Set before Serve.
 	Logger *slog.Logger
 
-	mu     sync.Mutex
-	frames map[geom.GridPoint][]byte
-	// calls tracks in-flight renders so concurrent requests for one grid
-	// point share a single render (singleflight).
-	calls map[geom.GridPoint]*frameCall
-	hub   *fisync.Hub
+	// store caches encoded far-BE frames: sharded for concurrent
+	// sessions, byte-bounded with LRU eviction, and singleflight per grid
+	// point. Budget via SetStoreBudget.
+	store *frameStore
+
+	mu  sync.Mutex // guards hub
+	hub *fisync.Hub
 
 	// Stats
-	served   int64
-	rendered int64
+	served   atomic.Int64
+	rendered atomic.Int64
 
 	sessMu   sync.Mutex
 	sessions map[net.Conn]struct{}
@@ -80,6 +82,17 @@ type serverObs struct {
 	udpBytesOut    *obs.Counter
 }
 
+// SetStoreBudget bounds the frame store to the given number of encoded
+// bytes (<= 0 means unbounded), evicting least-recently-used frames
+// immediately and on every insert thereafter. Safe to call at any time.
+func (s *Server) SetStoreBudget(n int64) { s.store.SetBudget(n) }
+
+// StoreStats reports the frame store's resident bytes, cumulative
+// evictions, and cached frame count.
+func (s *Server) StoreStats() (bytes, evictions int64, frames int) {
+	return s.store.Bytes(), s.store.Evictions(), s.store.Len()
+}
+
 // Instrument mirrors the server's activity into a registry under the
 // "server." namespace and attaches per-message-type transport metrics to
 // subsequently accepted sessions. Call before Serve; Instrument(nil) is a
@@ -104,6 +117,11 @@ func (s *Server) Instrument(r *obs.Registry) {
 		udpBytesIn:     r.Counter("server.udp.bytes_in"),
 		udpBytesOut:    r.Counter("server.udp.bytes_out"),
 	}
+	s.store.instrument(
+		r.Gauge("server.store_bytes"),
+		r.Counter("server.evictions"),
+		r.Histogram("server.store_shard_lock_wait_ms"),
+	)
 	s.tm = transport.NewMetrics(r, "server.transport")
 }
 
@@ -118,13 +136,6 @@ func (s *Server) logger() *slog.Logger {
 
 // maxSessionHistory bounds the retained per-session stats.
 const maxSessionHistory = 256
-
-// frameCall is one in-flight render shared by concurrent requesters.
-type frameCall struct {
-	done chan struct{}
-	data []byte
-	err  error
-}
 
 // frameStages decomposes one server-side frame lookup for the reply's
 // trace context: how long the request waited on another request's
@@ -154,8 +165,7 @@ type SessionStats struct {
 func New(env *core.Env) *Server {
 	return &Server{
 		env:      env,
-		frames:   make(map[geom.GridPoint][]byte),
-		calls:    make(map[geom.GridPoint]*frameCall),
+		store:    newFrameStore(0),
 		hub:      fisync.NewHub(),
 		sessions: make(map[net.Conn]struct{}),
 	}
@@ -184,37 +194,28 @@ func (s *Server) frameForStaged(pt geom.GridPoint) ([]byte, bool, frameStages, e
 	if !s.env.Game.Scene.Grid.In(pt) {
 		return nil, false, stg, fmt.Errorf("server: grid point %v outside world", pt)
 	}
-	s.mu.Lock()
-	if data, ok := s.frames[pt]; ok {
-		s.mu.Unlock()
+	data, ok, c, leader := s.store.lookup(pt)
+	if ok {
 		s.obs.frameStoreHits.Inc()
 		return data, false, stg, nil
 	}
-	if c, ok := s.calls[pt]; ok {
-		s.mu.Unlock()
+	if !leader {
 		s.obs.renderShared.Inc()
 		waitStart := time.Now()
 		<-c.done
 		stg.QueueMs = float64(time.Since(waitStart)) / float64(time.Millisecond)
 		return c.data, false, stg, c.err
 	}
-	c := &frameCall{done: make(chan struct{})}
-	s.calls[pt] = c
-	s.mu.Unlock()
 
-	c.data, stg.RenderMs, stg.EncodeMs, c.err = s.render(pt)
+	var err error
+	data, stg.RenderMs, stg.EncodeMs, err = s.render(pt)
 	s.obs.renderMs.Observe(stg.RenderMs + stg.EncodeMs)
-
-	s.mu.Lock()
-	delete(s.calls, pt)
-	if c.err == nil {
-		s.frames[pt] = c.data
-		s.rendered++
+	if err == nil {
+		s.rendered.Add(1)
 		s.obs.framesRendered.Inc()
 	}
-	s.mu.Unlock()
-	close(c.done)
-	return c.data, c.err == nil, stg, c.err
+	s.store.complete(pt, c, data, err)
+	return data, err == nil, stg, err
 }
 
 // render produces the encoded far-BE panorama for an in-grid point,
@@ -229,6 +230,7 @@ func (s *Server) render(pt geom.GridPoint) (data []byte, renderMs, encodeMs floa
 	pano := s.env.Renderer.Panorama(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil)
 	encodeStart := time.Now()
 	data = codec.Encode(pano, s.env.CRF)
+	s.env.Renderer.ReleaseGray(pano) // encoded copy taken; recycle the raster
 	end := time.Now()
 	renderMs = float64(encodeStart.Sub(renderStart)) / float64(time.Millisecond)
 	encodeMs = float64(end.Sub(encodeStart)) / float64(time.Millisecond)
@@ -242,9 +244,7 @@ func wallMs() float64 { return float64(time.Now().UnixNano()) / 1e6 }
 
 // Stats returns (frames served, frames rendered).
 func (s *Server) Stats() (served, rendered int64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.served, s.rendered
+	return s.served.Load(), s.rendered.Load()
 }
 
 // Sessions returns the number of open sessions and a copy of the
@@ -421,9 +421,7 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 				}
 				continue
 			}
-			s.mu.Lock()
-			s.served++
-			s.mu.Unlock()
+			s.served.Add(1)
 			s.obs.framesServed.Inc()
 			s.obs.bytesSent.Add(int64(len(data)))
 			st.FramesServed++

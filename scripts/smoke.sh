@@ -9,6 +9,9 @@
 # the client's end-of-session metrics snapshot must show cache hits. This
 # is the out-of-process complement to the in-process loopback e2e test in
 # internal/server (which compares the live runtime against the simulator).
+# After the session, the multi-player load harness (cmd/loadgen) runs
+# against the same server and must report non-zero throughput, a sane p99
+# fetch latency, and zero request errors.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -40,6 +43,7 @@ http_get() {
 echo "smoke: building binaries..."
 go build -o "$bin/coterie-server" ./cmd/coterie-server
 go build -o "$bin/coterie-client" ./cmd/coterie-client
+go build -o "$bin/loadgen" ./cmd/loadgen
 
 port=$((20000 + RANDOM % 20000))
 admin_port=$((port + 1))
@@ -145,6 +149,32 @@ grep -q "^pipeline: " "$bin/client.log" || {
 grep -Eq '"cache\.hits": *[1-9]' "$bin/metrics.json" || {
     echo "smoke: client metrics snapshot shows no cache hits" >&2
     cat "$bin/metrics.json" >&2
+    exit 1
+}
+
+# Multi-player load against the same live server: 4 synthetic players for
+# 2 seconds must sustain non-zero throughput with a sane p99 (the walkers
+# mostly hit warm store points, so seconds-long p99s mean the server hot
+# path is broken, not just slow hardware).
+echo "smoke: running loadgen against the live server..."
+"$bin/loadgen" -addr "$addr" -game pool -players 4 -duration 2s -json \
+    >"$bin/loadgen.json" 2>"$bin/loadgen.log" || {
+    echo "smoke: loadgen failed" >&2
+    cat "$bin/loadgen.log" >&2
+    exit 1
+}
+awk '
+    /"frames_per_sec":/ { v = $2; gsub(/[",]/, "", v); fps = v }
+    /"p99_ms":/         { v = $2; gsub(/[",]/, "", v); p99 = v }
+    /"errors":/         { v = $2; gsub(/[",]/, "", v); errs = v }
+    END {
+        if (fps == "" || p99 == "") { print "smoke: loadgen fields missing"; exit 1 }
+        if (fps + 0 <= 0) { print "smoke: loadgen throughput zero"; exit 1 }
+        if (p99 + 0 <= 0 || p99 + 0 > 5000) { print "smoke: loadgen p99 insane: " p99; exit 1 }
+        if (errs + 0 != 0) { print "smoke: loadgen saw " errs " request errors"; exit 1 }
+    }' "$bin/loadgen.json" || {
+    echo "smoke: loadgen report failed sanity check" >&2
+    cat "$bin/loadgen.json" >&2
     exit 1
 }
 
