@@ -25,7 +25,8 @@ race:
 	$(GO) test -race ./internal/eval/... ./internal/ssim/... ./internal/cutoff/... \
 		./internal/runtime/... ./internal/server/... ./internal/transport/... \
 		./internal/cache/... ./internal/prefetch/... ./internal/obs/... \
-		./internal/par/... ./internal/render/... ./internal/loadgen/...
+		./internal/par/... ./internal/render/... ./internal/loadgen/... \
+		./internal/codec/...
 
 # End-to-end smoke: build both binaries, run a short live session over a
 # real socket on localhost, and check the client printed a report.
@@ -42,8 +43,8 @@ loadtest:
 	$(GO) run ./cmd/loadgen -game pool -players 16 -duration 5s
 
 # Bench regression gate: compare two benchtab JSON reports' micro results.
-# Usage: make bench-diff BENCH_OLD=BENCH_1.json BENCH_NEW=BENCH_2.json
-BENCH_OLD ?= BENCH_1.json
-BENCH_NEW ?= BENCH_2.json
+# Usage: make bench-diff BENCH_OLD=BENCH_2.json BENCH_NEW=BENCH_3.json
+BENCH_OLD ?= BENCH_2.json
+BENCH_NEW ?= BENCH_3.json
 bench-diff:
 	$(GO) run ./scripts $(BENCH_OLD) $(BENCH_NEW)

@@ -31,6 +31,9 @@ type benchReport struct {
 	// ServerThroughput is the multi-player server scaling bench:
 	// loopback-TCP fetch throughput at increasing player counts.
 	ServerThroughput []serverThroughput `json:"server_throughput,omitempty"`
+	// DeltaSavings is the delta-codec A/B: the same walk-pattern load run
+	// with delta coding off and on, and the bytes-per-frame reduction.
+	DeltaSavings *deltaSavings `json:"delta_savings,omitempty"`
 }
 
 type expTiming struct {
@@ -95,6 +98,21 @@ func runMicroBenches() ([]microBench, error) {
 	pano := lut.Panorama(eye, 0, math.Inf(1), nil)
 	stream := codec.Encode(pano, codec.DefaultCRF)
 
+	// Delta fixtures mirror the server's canonical-reference rule: the
+	// residual is coded between decoded reconstructions of two renders one
+	// walk step apart, the realistic delta-path input.
+	eye2 := g.Scene.EyeAt(g.Scene.Bounds.Center().Add(geom.V2(0.3, 0.1)))
+	pano2 := lut.Panorama(eye2, 0, math.Inf(1), nil)
+	ref, err := codec.Decode(stream)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := codec.Decode(codec.Encode(pano2, codec.DefaultCRF))
+	if err != nil {
+		return nil, err
+	}
+	delta := codec.DeltaEncode(cur, ref, codec.DefaultCRF)
+
 	return []microBench{
 		measure("ssim.Mean/256x128", func(bb *testing.B) {
 			bb.ReportAllocs()
@@ -128,6 +146,41 @@ func runMicroBenches() ([]microBench, error) {
 				if _, err := codec.Decode(stream); err != nil {
 					bb.Fatal(err)
 				}
+			}
+		}),
+		measure("codec.Decode/pooled", func(bb *testing.B) {
+			// Decode with the output raster returned to the codec's
+			// freelist: the per-frame client decode path, which must stay
+			// allocation-free at steady state.
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				g, err := codec.Decode(stream)
+				if err != nil {
+					bb.Fatal(err)
+				}
+				codec.ReleaseGray(g)
+			}
+		}),
+		measure("codec.DeltaEncode/256x128", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				codec.DeltaEncode(cur, ref, codec.DefaultCRF)
+			}
+		}),
+		measure("codec.DeltaDecode/pooled", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				g, err := codec.DeltaDecode(delta, ref)
+				if err != nil {
+					bb.Fatal(err)
+				}
+				codec.ReleaseGray(g)
+			}
+		}),
+		measure("render.Reproject/256x128", func(bb *testing.B) {
+			bb.ReportAllocs()
+			for i := 0; i < bb.N; i++ {
+				lut.ReleaseGray(lut.Reproject(pano, eye, eye2, 60))
 			}
 		}),
 		measure("transport.FrameRequest/roundtrip", func(bb *testing.B) {
@@ -173,6 +226,10 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 	if err != nil {
 		return err
 	}
+	savings, err := runDeltaSavings(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
@@ -181,6 +238,7 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 		Experiments:      timings,
 		Micro:            micro,
 		ServerThroughput: throughput,
+		DeltaSavings:     savings,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

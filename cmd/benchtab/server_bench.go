@@ -15,13 +15,15 @@ import (
 // serverThroughput is one row of the server scaling bench: synthetic
 // players hammering one in-process frame server over loopback TCP.
 type serverThroughput struct {
-	Players      int     `json:"players"`
-	FramesPerSec float64 `json:"frames_per_sec"`
-	P50Ms        float64 `json:"p50_ms"`
-	P95Ms        float64 `json:"p95_ms"`
-	P99Ms        float64 `json:"p99_ms"`
-	HitRate      float64 `json:"hit_rate"`
-	Evictions    int64   `json:"evictions"`
+	Players       int     `json:"players"`
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	HitRate       float64 `json:"hit_rate"`
+	Evictions     int64   `json:"evictions"`
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	DeltaFrames   int64   `json:"delta_frames"`
 }
 
 // serverThroughputPlayers are the fan-out points of the scaling bench.
@@ -70,16 +72,93 @@ func runServerThroughput(quick bool) ([]serverThroughput, error) {
 			return nil, fmt.Errorf("server-throughput %dp: %d request errors", players, rep.Errors)
 		}
 		rows = append(rows, serverThroughput{
-			Players:      players,
-			FramesPerSec: rep.FramesPerSec,
-			P50Ms:        rep.P50Ms,
-			P95Ms:        rep.P95Ms,
-			P99Ms:        rep.P99Ms,
-			HitRate:      rep.HitRate,
-			Evictions:    rep.Evictions,
+			Players:       players,
+			FramesPerSec:  rep.FramesPerSec,
+			P50Ms:         rep.P50Ms,
+			P95Ms:         rep.P95Ms,
+			P99Ms:         rep.P99Ms,
+			HitRate:       rep.HitRate,
+			Evictions:     rep.Evictions,
+			BytesPerFrame: rep.BytesPerFrame,
+			DeltaFrames:   rep.DeltaFrames,
 		})
-		fmt.Printf("[server-throughput: %2d players  %8.0f frames/sec  p99 %6.2f ms  hit %4.1f%%]\n",
-			players, rep.FramesPerSec, rep.P99Ms, 100*rep.HitRate)
+		fmt.Printf("[server-throughput: %2d players  %8.0f frames/sec  p99 %6.2f ms  hit %4.1f%%  %5.0f B/frame]\n",
+			players, rep.FramesPerSec, rep.P99Ms, 100*rep.HitRate, rep.BytesPerFrame)
 	}
 	return rows, nil
+}
+
+// deltaSavings is the delta-codec A/B row: the same walk-pattern load run
+// against one server with delta coding disabled, then enabled. Walking
+// players revisit nearby grid points, so with delta on the server finds
+// held references constantly — the reduction column is the wire saving
+// the codec buys on the realistic request stream.
+type deltaSavings struct {
+	Pattern           string  `json:"pattern"`
+	Players           int     `json:"players"`
+	BytesPerFrameOff  float64 `json:"bytes_per_frame_off"`
+	BytesPerFrameOn   float64 `json:"bytes_per_frame_on"`
+	DeltaFrames       int64   `json:"delta_frames"`
+	ReductionFraction float64 `json:"reduction_fraction"`
+}
+
+// runDeltaSavings measures the A/B. Both phases share one server: a warm
+// frame store changes fetch latency, not bytes on the wire, and each
+// loadgen run dials fresh sessions so the on-phase players start with no
+// held references — the comparison is not tilted either way.
+func runDeltaSavings(quick bool) (*deltaSavings, error) {
+	spec, err := games.ByName("pool")
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg:   render.Config{W: 128, H: 64},
+		SizeSamples: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer ln.Close()
+	srv := server.New(env)
+	go srv.Serve(ln)
+
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	const players = 8
+	run := func(deltaOn bool) (loadgen.Report, error) {
+		srv.SetDeltaEnabled(deltaOn)
+		return loadgen.Run(loadgen.Config{
+			Addr: ln.Addr().String(), Game: "pool",
+			Players: players, Duration: dur, Seed: 1,
+			Pattern: loadgen.PatternWalk, Server: srv,
+		})
+	}
+	off, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("delta-savings off: %w", err)
+	}
+	on, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("delta-savings on: %w", err)
+	}
+	row := &deltaSavings{
+		Pattern:          loadgen.PatternWalk,
+		Players:          players,
+		BytesPerFrameOff: off.BytesPerFrame,
+		BytesPerFrameOn:  on.BytesPerFrame,
+		DeltaFrames:      on.DeltaFrames,
+	}
+	if off.BytesPerFrame > 0 {
+		row.ReductionFraction = 1 - on.BytesPerFrame/off.BytesPerFrame
+	}
+	fmt.Printf("[delta-savings: %s %dp  off %.0f B/frame  on %.0f B/frame  -%0.1f%%  (%d delta frames)]\n",
+		row.Pattern, row.Players, row.BytesPerFrameOff, row.BytesPerFrameOn,
+		100*row.ReductionFraction, row.DeltaFrames)
+	return row, nil
 }

@@ -72,6 +72,8 @@ func main() {
 		rep.P50Ms, rep.P95Ms, rep.P99Ms)
 	fmt.Printf("  store       %.1f%% hits (%d hits, %d joins, %d renders)\n",
 		100*rep.HitRate, rep.Hits, rep.Joins, rep.Renders)
+	fmt.Printf("  wire        %.0f bytes/frame mean (%d delta frames)\n",
+		rep.BytesPerFrame, rep.DeltaFrames)
 	if rep.StoreBytes >= 0 {
 		fmt.Printf("  residency   %d bytes, %d evictions\n", rep.StoreBytes, rep.Evictions)
 	}

@@ -1,0 +1,166 @@
+package cache
+
+import (
+	"coterie/internal/geom"
+	"coterie/internal/img"
+)
+
+// RefStore is the client-side reference cache of the delta frame path: a
+// byte-budgeted LRU of decoded intra frames keyed by grid point. The
+// server only encodes a delta against a frame it believes the client
+// holds, and the client keeps that belief honest through the onEvict
+// callback — the live client queues a MsgEvictNotice for every budget
+// eviction, so a dropped reference is reported before the next frame
+// request and the server falls back to intra coding.
+//
+// RefStore is not safe for concurrent use; the live client drives it
+// from a single goroutine (under the connection lock, like the frame
+// flow itself).
+type RefStore struct {
+	budget int64
+	bytes  int64
+	// onEvict is called for every frame leaving the store, outside any
+	// store state mutation. evicted=true means the point is no longer (or
+	// never became) held — a budget eviction or an unadmitted Put — and
+	// the server must be told before the next request; evicted=false
+	// means the frame was replaced by a fresh decode of the same point
+	// (the point is still held, so no notice — only the raster is
+	// released).
+	onEvict func(pt geom.GridPoint, g *img.Gray, evicted bool)
+
+	entries map[geom.GridPoint]*refEntry
+	// LRU list, most recent at head.
+	head, tail *refEntry
+}
+
+type refEntry struct {
+	pt         geom.GridPoint
+	g          *img.Gray
+	prev, next *refEntry
+}
+
+// NewRefStore creates a reference store with a byte budget (0 or negative
+// disables the store: Put releases immediately and Get always misses).
+// onEvict may be nil.
+func NewRefStore(budget int64, onEvict func(pt geom.GridPoint, g *img.Gray, evicted bool)) *RefStore {
+	return &RefStore{
+		budget:  budget,
+		onEvict: onEvict,
+		entries: make(map[geom.GridPoint]*refEntry),
+	}
+}
+
+// Len returns the number of cached references.
+func (s *RefStore) Len() int { return len(s.entries) }
+
+// Bytes returns the cached raster bytes.
+func (s *RefStore) Bytes() int64 { return s.bytes }
+
+// Get returns the cached decode of pt and marks it most recently used.
+// The caller must not release or mutate the returned frame; it stays
+// owned by the store.
+func (s *RefStore) Get(pt geom.GridPoint) (*img.Gray, bool) {
+	e, ok := s.entries[pt]
+	if !ok {
+		return nil, false
+	}
+	s.touch(e)
+	return e.g, true
+}
+
+// Put hands a decoded intra frame to the store, which takes ownership.
+// Evicted frames (and a replaced frame for the same point) are surfaced
+// through onEvict after the store's state is consistent.
+func (s *RefStore) Put(pt geom.GridPoint, g *img.Gray) {
+	if g == nil {
+		return
+	}
+	size := int64(len(g.Pix))
+	if s.budget <= 0 || size > s.budget {
+		// Disabled, or a single frame that could never fit: the point is
+		// not held after this call. An older admitted frame for the same
+		// point must go too — keeping it would leave the server believing
+		// the client holds the *new* decode while the store serves the old
+		// one, silently corrupting every delta against it.
+		var out []evicted
+		if e, ok := s.entries[pt]; ok {
+			s.unlink(e)
+			delete(s.entries, pt)
+			s.bytes -= int64(len(e.g.Pix))
+			out = append(out, evicted{pt, e.g, true})
+		}
+		out = append(out, evicted{pt, g, true})
+		if s.onEvict != nil {
+			for _, v := range out {
+				s.onEvict(v.pt, v.g, v.evicted)
+			}
+		}
+		return
+	}
+
+	var out []evicted
+	if e, ok := s.entries[pt]; ok {
+		// Same point re-decoded: swap rasters, keep LRU position fresh.
+		out = append(out, evicted{pt, e.g, false})
+		s.bytes += size - int64(len(e.g.Pix))
+		e.g = g
+		s.touch(e)
+	} else {
+		e := &refEntry{pt: pt, g: g}
+		s.entries[pt] = e
+		s.pushFront(e)
+		s.bytes += size
+	}
+	for s.bytes > s.budget && s.tail != nil {
+		v := s.tail
+		s.unlink(v)
+		delete(s.entries, v.pt)
+		s.bytes -= int64(len(v.g.Pix))
+		out = append(out, evicted{v.pt, v.g, true})
+	}
+	if s.onEvict != nil {
+		for _, v := range out {
+			s.onEvict(v.pt, v.g, v.evicted)
+		}
+	}
+}
+
+type evicted struct {
+	pt      geom.GridPoint
+	g       *img.Gray
+	evicted bool
+}
+
+func (s *RefStore) touch(e *refEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *RefStore) pushFront(e *refEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *RefStore) unlink(e *refEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

@@ -1,0 +1,117 @@
+package cache
+
+import (
+	"testing"
+
+	"coterie/internal/geom"
+	"coterie/internal/img"
+)
+
+func refFrame(n int) *img.Gray { return img.NewGray(n, 1) }
+
+func TestRefStoreLRUEviction(t *testing.T) {
+	type ev struct {
+		pt      geom.GridPoint
+		evicted bool
+	}
+	var events []ev
+	s := NewRefStore(3*100, func(pt geom.GridPoint, g *img.Gray, evicted bool) {
+		events = append(events, ev{pt, evicted})
+	})
+	a, b, c, d := geom.GridPoint{I: 1}, geom.GridPoint{I: 2}, geom.GridPoint{I: 3}, geom.GridPoint{I: 4}
+	s.Put(a, refFrame(100))
+	s.Put(b, refFrame(100))
+	s.Put(c, refFrame(100))
+	if s.Len() != 3 || s.Bytes() != 300 {
+		t.Fatalf("len %d bytes %d", s.Len(), s.Bytes())
+	}
+	// Touch a so b becomes the LRU victim.
+	if _, ok := s.Get(a); !ok {
+		t.Fatal("a missing")
+	}
+	s.Put(d, refFrame(100))
+	if _, ok := s.Get(b); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if len(events) != 1 || events[0].pt != b || !events[0].evicted {
+		t.Fatalf("events %+v", events)
+	}
+	for _, pt := range []geom.GridPoint{a, c, d} {
+		if _, ok := s.Get(pt); !ok {
+			t.Fatalf("%v missing", pt)
+		}
+	}
+}
+
+func TestRefStoreReplaceIsNotAnEviction(t *testing.T) {
+	// Re-decoding a point the store already holds must release the old
+	// raster (evicted=false) without signalling an eviction: the client
+	// still holds the point, so the server must not be told otherwise.
+	var notices, releases int
+	s := NewRefStore(1000, func(pt geom.GridPoint, g *img.Gray, evicted bool) {
+		if evicted {
+			notices++
+		} else {
+			releases++
+		}
+	})
+	pt := geom.GridPoint{I: 7, J: 8}
+	s.Put(pt, refFrame(100))
+	s.Put(pt, refFrame(100))
+	if notices != 0 || releases != 1 {
+		t.Fatalf("notices %d releases %d", notices, releases)
+	}
+	if s.Len() != 1 || s.Bytes() != 100 {
+		t.Fatalf("len %d bytes %d", s.Len(), s.Bytes())
+	}
+}
+
+func TestRefStoreOversizedAndDisabled(t *testing.T) {
+	// A frame the store cannot admit leaves the point un-held, so the
+	// callback must report an eviction (the server needs a notice) even
+	// though nothing was ever cached.
+	var dropped int
+	cb := func(pt geom.GridPoint, g *img.Gray, evicted bool) {
+		if !evicted {
+			t.Fatalf("oversized/disabled put must signal eviction")
+		}
+		dropped++
+	}
+	s := NewRefStore(50, cb)
+	s.Put(geom.GridPoint{I: 1}, refFrame(100)) // larger than the whole budget
+	if s.Len() != 0 || dropped != 1 {
+		t.Fatalf("len %d dropped %d", s.Len(), dropped)
+	}
+	off := NewRefStore(0, cb)
+	off.Put(geom.GridPoint{I: 2}, refFrame(10))
+	if off.Len() != 0 || dropped != 2 {
+		t.Fatalf("disabled store kept a frame (len %d dropped %d)", off.Len(), dropped)
+	}
+	if _, ok := off.Get(geom.GridPoint{I: 2}); ok {
+		t.Fatal("disabled store returned a hit")
+	}
+}
+
+func TestRefStoreUnadmittedPutEvictsOlderEntry(t *testing.T) {
+	// Shrinking frames below an oversized re-decode: the previously
+	// admitted raster for the same point must be evicted too, or the
+	// store would keep serving a decode the server no longer tracks.
+	var evictions int
+	s := NewRefStore(150, func(pt geom.GridPoint, g *img.Gray, evicted bool) {
+		if evicted {
+			evictions++
+		}
+	})
+	pt := geom.GridPoint{I: 5}
+	s.Put(pt, refFrame(100))
+	s.Put(pt, refFrame(200)) // cannot fit: both old and new become evictions
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("len %d bytes %d", s.Len(), s.Bytes())
+	}
+	if evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", evictions)
+	}
+	if _, ok := s.Get(pt); ok {
+		t.Fatal("stale entry survived an unadmitted re-decode")
+	}
+}

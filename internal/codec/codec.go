@@ -24,14 +24,66 @@ import (
 const DefaultCRF = 25
 
 const (
-	magic   = 0xC07E
-	version = 1
+	magic = 0xC07E
+	// version is the intra-frame stream layout; versionDelta (delta.go)
+	// shares the magic, so the version byte doubles as the frame kind and
+	// streams stay self-describing.
+	version      = 1
+	versionDelta = 2
 )
 
 // writerPool recycles bitWriters (and, more importantly, their grown byte
 // buffers) across Encode calls: the server pre-encodes every far-BE frame it
 // renders, so this is a per-frame allocation on the pipeline's hot path.
 var writerPool = sync.Pool{New: func() any { return &bitWriter{} }}
+
+// The decode side pools output rasters the same way the render package
+// pools frames: an explicit mutex-guarded freelist (not a sync.Pool) so
+// the steady state is deterministic across GC cycles, which the
+// allocation-budget test relies on. Callers that never release simply
+// allocate a fresh frame per decode, exactly as before.
+var (
+	grayMu   sync.Mutex
+	grayFree []*img.Gray
+)
+
+// maxPooledGrays bounds the freelist so a burst of concurrent decodes
+// cannot pin an unbounded set of rasters.
+const maxPooledGrays = 64
+
+// getGray checks a raster out of the freelist, resizing its pixel buffer
+// when the requested dimensions need more room.
+func getGray(w, h int) *img.Gray {
+	n := w * h
+	grayMu.Lock()
+	if k := len(grayFree); k > 0 {
+		g := grayFree[k-1]
+		grayFree = grayFree[:k-1]
+		grayMu.Unlock()
+		if cap(g.Pix) < n {
+			g.Pix = make([]uint8, n)
+		}
+		g.Pix = g.Pix[:n]
+		g.W, g.H = w, h
+		return g
+	}
+	grayMu.Unlock()
+	return img.NewGray(w, h)
+}
+
+// ReleaseGray returns a frame obtained from Decode or DeltaDecode to the
+// codec's buffer pool. The caller must not touch the frame afterwards.
+// Releasing nil is a no-op, so callers may release unconditionally.
+func ReleaseGray(g *img.Gray) {
+	if g == nil {
+		return
+	}
+	grayMu.Lock()
+	if len(grayFree) < maxPooledGrays {
+		grayFree = append(grayFree, g)
+	}
+	grayMu.Unlock()
+}
 
 // Encode compresses the luma frame at the given CRF (0 near-lossless .. 51
 // worst). The output is self-describing and decoded by Decode.
@@ -97,7 +149,10 @@ func encodeAC(bw *bitWriter, ac []int32) {
 	bw.writeUE(0) // end of block
 }
 
-// Decode reconstructs a frame produced by Encode.
+// Decode reconstructs a frame produced by Encode. The returned raster
+// comes from the codec's buffer pool; callers done with it may hand it
+// back via ReleaseGray to keep the decode path allocation-free, or keep
+// it indefinitely.
 func Decode(data []byte) (*img.Gray, error) {
 	br := &bitReader{buf: data}
 	m, err := br.readBits(16)
@@ -125,7 +180,7 @@ func Decode(data []byte) (*img.Gray, error) {
 	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
 		return nil, fmt.Errorf("codec: implausible dimensions %dx%d", w, h)
 	}
-	g := img.NewGray(w, h)
+	g := getGray(w, h)
 
 	bw64 := blocksAcross(w)
 	bh64 := blocksAcross(h)
@@ -136,11 +191,13 @@ func Decode(data []byte) (*img.Gray, error) {
 			var zz [64]int32
 			d, err := br.readSE()
 			if err != nil {
+				ReleaseGray(g)
 				return nil, err
 			}
 			prevDC += d
 			zz[0] = prevDC
 			if err := decodeAC(br, zz[1:]); err != nil {
+				ReleaseGray(g)
 				return nil, err
 			}
 			for i := 0; i < 64; i++ {

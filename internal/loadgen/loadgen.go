@@ -18,6 +18,7 @@ import (
 	"coterie/internal/games"
 	"coterie/internal/geom"
 	"coterie/internal/server"
+	"coterie/internal/transport"
 )
 
 // Walk patterns. A walking player revisits grid cells and so exercises
@@ -62,6 +63,13 @@ type Report struct {
 	Frames int64 `json:"frames"` // successful fetches
 	Errors int64 `json:"errors"`
 	Bytes  int64 `json:"bytes"`
+	// BytesPerFrame is the mean bytes on the wire per successful fetch —
+	// the number the delta codec exists to shrink.
+	BytesPerFrame float64 `json:"bytes_per_frame"`
+	// DeltaFrames counts replies served delta-coded against a reference
+	// the player held (walking players re-request nearby points, so the
+	// server finds references constantly).
+	DeltaFrames int64 `json:"delta_frames"`
 
 	// Request mix, classified from each reply's server-side stages:
 	// a reply that rendered is a store miss, one that only queued joined
@@ -85,6 +93,7 @@ type Report struct {
 type playerStats struct {
 	frames, errors, bytes int64
 	hits, joins, renders  int64
+	deltas                int64
 	latencies             []float64 // ms per successful fetch
 	err                   error
 }
@@ -152,6 +161,7 @@ func Run(cfg Config) (Report, error) {
 		rep.Hits += st.hits
 		rep.Joins += st.joins
 		rep.Renders += st.renders
+		rep.DeltaFrames += st.deltas
 		all = append(all, st.latencies...)
 	}
 	if !connected {
@@ -162,6 +172,7 @@ func Run(cfg Config) (Report, error) {
 	}
 	if rep.Frames > 0 {
 		rep.HitRate = float64(rep.Hits) / float64(rep.Frames)
+		rep.BytesPerFrame = float64(rep.Bytes) / float64(rep.Frames)
 	}
 	sort.Float64s(all)
 	rep.P50Ms = percentile(all, 0.50)
@@ -210,6 +221,9 @@ func runPlayer(cfg Config, g *games.Game, step float64, p int, deadline time.Tim
 		}
 		st.frames++
 		st.bytes += int64(len(reply.Data))
+		if reply.Kind == transport.FrameDelta {
+			st.deltas++
+		}
 		st.latencies = append(st.latencies, doneMs-sentMs)
 		switch {
 		case reply.RenderMs > 0:

@@ -55,6 +55,9 @@ type FrameSpan struct {
 	// in flight this frame.
 	CacheHit   bool `json:"cache_hit"`
 	Prefetched bool `json:"prefetched"`
+	// DeltaFrame reports whether the fetch this frame waited on was served
+	// delta-coded against a reference this client already held.
+	DeltaFrame bool `json:"delta_frame"`
 }
 
 // FetchStages decomposes one BE-frame fetch round trip across the
@@ -81,6 +84,9 @@ type FetchStages struct {
 	// (NTP-style, from the request/reply timestamps); 0 for backends that
 	// share one clock.
 	OffsetMs float64
+	// DeltaFrame reports whether the frame arrived delta-coded against a
+	// held reference instead of intra-coded.
+	DeltaFrame bool
 	// Valid marks stages actually populated by the source.
 	Valid bool
 }

@@ -185,13 +185,19 @@ type renderJob struct {
 	mask     []bool
 	pixAngle float64
 	bands    int
+	// rowLo/rowHi restrict the render to panorama rows [rowLo, rowHi);
+	// out holds only those rows (row rowLo lands at out.Pix[0]). A full
+	// render is rowLo=0, rowHi=H, which reproduces the original indexing
+	// bit for bit. PanoramaBand uses a narrower window to ray-cast the
+	// ground-truth sample band that validates reprojected frames.
+	rowLo, rowHi int
 }
 
 // Run implements par.Job: render the rows of band b.
 func (j *renderJob) Run(b int) {
-	h := j.r.Cfg.H
-	y0 := b * h / j.bands
-	y1 := (b + 1) * h / j.bands
+	rows := j.rowHi - j.rowLo
+	y0 := j.rowLo + b*rows/j.bands
+	y1 := j.rowLo + (b+1)*rows/j.bands
 	q := j.r.getQuery()
 	for y := y0; y < y1; y++ {
 		j.renderRow(q, y)
@@ -231,7 +237,7 @@ func (j *renderJob) renderRow(q *world.Query, y int) {
 			}
 		}
 
-		idx := y*w + x
+		idx := (y-j.rowLo)*w + x
 		if !ok {
 			j.out.Pix[idx] = skyShade(pitch)
 			continue
@@ -268,11 +274,57 @@ func (r *Renderer) render(eye geom.Vec3, tMin, tMax float64, dynamics []world.Ob
 		// area-filtered against it (see shade).
 		pixAngle: 2 * math.Pi / float64(w),
 		bands:    bands,
+		rowLo:    0,
+		rowHi:    h,
 	}
 	r.renderPool(workers).Run(bands, j)
 	*j = renderJob{} // drop references before pooling
 	r.putJob(j)
 	return Frame{Gray: out, Mask: mask}
+}
+
+// PanoramaBand renders only panorama rows [rowLo, rowHi) of the frame
+// Panorama would produce, returning a W x (rowHi-rowLo) raster whose rows
+// match the full render byte for byte. The reprojection path uses it to
+// ray-cast a thin ground-truth stripe — a fraction of a full render — to
+// SSIM-validate a synthesized frame before serving it. The band raster is
+// not pooled (its size varies); it is garbage for the collector.
+func (r *Renderer) PanoramaBand(eye geom.Vec3, tMin, tMax float64, dynamics []world.Object, rowLo, rowHi int) *img.Gray {
+	w, h := r.Cfg.W, r.Cfg.H
+	if rowLo < 0 {
+		rowLo = 0
+	}
+	if rowHi > h {
+		rowHi = h
+	}
+	if rowHi <= rowLo {
+		return img.NewGray(w, 0)
+	}
+	rows := rowHi - rowLo
+	out := img.NewGray(w, rows)
+
+	workers := par.Workers(r.Cfg.Parallel)
+	if workers > rows {
+		workers = rows
+	}
+	bands := workers * bandsPerWorker
+	if bands > rows {
+		bands = rows
+	}
+
+	j := r.getJob()
+	*j = renderJob{
+		r: r, eye: eye, tMin: tMin, tMax: tMax, dynamics: dynamics,
+		out:      out,
+		pixAngle: 2 * math.Pi / float64(w),
+		bands:    bands,
+		rowLo:    rowLo,
+		rowHi:    rowHi,
+	}
+	r.renderPool(workers).Run(bands, j)
+	*j = renderJob{}
+	r.putJob(j)
+	return out
 }
 
 // renderPool returns the renderer's worker pool, creating it on first use

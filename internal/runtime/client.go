@@ -343,6 +343,7 @@ func (c *Client) fillFetchStages() {
 	c.span.QueueMs = st.QueueMs
 	c.span.RenderMs = st.RenderMs
 	c.span.EncodeMs = st.EncodeMs
+	c.span.DeltaFrame = st.DeltaFrame
 }
 
 func (c *Client) noteSize(size int) {

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"math"
+	"sync"
+
+	"coterie/internal/codec"
+	"coterie/internal/cutoff"
+	"coterie/internal/geom"
+	"coterie/internal/img"
+	"coterie/internal/ssim"
+	"coterie/internal/transport"
+)
+
+// This file is the server side of the similarity-aware frame path: delta
+// coding against frames the client provably holds (stop re-sending) and
+// reprojection synthesis from frames the server recently rendered (stop
+// re-rendering). Both exploit the paper's core observation that nearby
+// frames are highly similar, and both are gated by the SSIM machinery
+// already calibrated per leaf region: a reference qualifies for delta
+// coding when it sits within the leaf's DistThresh (the distance below
+// which SSIM ≥ ssim.GoodThreshold by construction, §4.4), and a
+// reprojected frame is served only after an SSIM check against a
+// ray-cast ground-truth band clears the same bar.
+//
+// Reference identity is (grid point, store sequence number), never grid
+// point alone: reprojection makes a re-render of the same point
+// non-byte-identical, so a delta must name the exact bytes the client
+// decoded. Only intra-served frames become references (the client's
+// reconstruction of a delta frame is one quantisation step removed from
+// the server's, and chaining deltas would compound that drift).
+
+// maxHeldRefs bounds the per-session holdings map. Forgetting a held
+// reference is always safe — the server just loses a delta opportunity —
+// so overflow drops the oldest.
+const maxHeldRefs = 64
+
+// sessionRefs tracks which (point, seq) frames one client provably holds.
+// Single-goroutine use by the session loop; no locking.
+type sessionRefs struct {
+	held  map[geom.GridPoint]uint64
+	order []geom.GridPoint // promotion order; may hold stale points
+
+	// pending is the intra frame sent in the latest reply. It is promoted
+	// to held when the next client message arrives: the protocol is
+	// synchronous request/reply, so message N+1 proves reply N was read.
+	pendingPt  geom.GridPoint
+	pendingSeq uint64
+	hasPending bool
+}
+
+func newSessionRefs() *sessionRefs {
+	return &sessionRefs{held: make(map[geom.GridPoint]uint64)}
+}
+
+// setPending records the intra frame just served; it overwrites any
+// unpromoted predecessor (one reply is outstanding at a time).
+func (sr *sessionRefs) setPending(pt geom.GridPoint, seq uint64) {
+	sr.pendingPt, sr.pendingSeq, sr.hasPending = pt, seq, true
+}
+
+// promote moves the pending frame into the holdings. Called on every
+// message arrival, before the message is processed.
+func (sr *sessionRefs) promote() {
+	if !sr.hasPending {
+		return
+	}
+	sr.hasPending = false
+	if _, ok := sr.held[sr.pendingPt]; !ok {
+		sr.order = append(sr.order, sr.pendingPt)
+	}
+	sr.held[sr.pendingPt] = sr.pendingSeq
+	for len(sr.held) > maxHeldRefs && len(sr.order) > 0 {
+		victim := sr.order[0]
+		sr.order = sr.order[1:]
+		delete(sr.held, victim)
+	}
+}
+
+// drop removes client-evicted points from the holdings.
+func (sr *sessionRefs) drop(pts []geom.GridPoint) {
+	for _, pt := range pts {
+		delete(sr.held, pt)
+		if sr.hasPending && pt == sr.pendingPt {
+			sr.hasPending = false
+		}
+	}
+}
+
+// frameForSession serves one frame request inside a session: the intra
+// frame from the store, re-coded as a delta against the best reference
+// the client holds whenever that wins bytes. Intra serves register the
+// frame as the session's next pending reference; delta serves do not
+// (delta frames never become references).
+func (s *Server) frameForSession(pt geom.GridPoint, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, stg frameStages, err error) {
+	intra, _, seq, stg, err := s.frameForStaged(pt)
+	if err != nil {
+		return nil, transport.FrameIntra, geom.GridPoint{}, stg, err
+	}
+	if !s.deltaOff.Load() {
+		if d, refPt, ok := s.deltaFor(pt, seq, intra, sr); ok {
+			s.obs.deltaFrames.Inc()
+			s.obs.deltaSaved.Add(int64(len(intra) - len(d)))
+			return d, transport.FrameDelta, refPt, stg, nil
+		}
+	}
+	sr.setPending(pt, seq)
+	return intra, transport.FrameIntra, geom.GridPoint{}, stg, nil
+}
+
+// deltaFor tries to produce a delta encoding of frame (pt, seq) against
+// the session's best held reference: the nearest held point in the same
+// cutoff leaf within the leaf's SSIM-calibrated distance threshold. It
+// reports ok=false when no reference qualifies, the reference bytes are
+// no longer reconstructible, or the delta does not beat the intra size.
+func (s *Server) deltaFor(pt geom.GridPoint, seq uint64, intra []byte, sr *sessionRefs) ([]byte, geom.GridPoint, bool) {
+	if len(sr.held) == 0 {
+		return nil, geom.GridPoint{}, false
+	}
+	grid := s.env.Game.Scene.Grid
+	pos := grid.Pos(pt)
+	leaf := s.env.Map.LeafAt(pos)
+	if leaf == nil {
+		return nil, geom.GridPoint{}, false
+	}
+	// Best reference: nearest held frame whose similarity the cutoff map
+	// vouches for (same leaf, within DistThresh). Holding pt itself is the
+	// ideal case — the re-request costs a skip map and nothing else.
+	var refPt geom.GridPoint
+	var refSeq uint64
+	bestDist := leaf.DistThresh + 1
+	for hp, hs := range sr.held {
+		d := grid.Dist(pt, hp)
+		if d > leaf.DistThresh || d >= bestDist {
+			continue
+		}
+		if s.env.Map.LeafAt(grid.Pos(hp)) != leaf {
+			continue
+		}
+		refPt, refSeq, bestDist = hp, hs, d
+	}
+	if bestDist > leaf.DistThresh {
+		return nil, geom.GridPoint{}, false
+	}
+	if d, ok := s.store.delta(pt, seq, refPt, refSeq); ok {
+		return d, refPt, true
+	}
+	cur := s.reconFor(pt, seq, intra)
+	if cur == nil {
+		return nil, geom.GridPoint{}, false
+	}
+	refRecon := s.reconFor(refPt, refSeq, nil)
+	if refRecon == nil {
+		return nil, geom.GridPoint{}, false
+	}
+	d := codec.DeltaEncode(cur, refRecon, s.env.CRF)
+	if d == nil || len(d) >= len(intra) {
+		return nil, geom.GridPoint{}, false
+	}
+	s.store.putDelta(pt, seq, refPt, refSeq, d)
+	return d, refPt, true
+}
+
+// reconFor returns the decoded reconstruction of frame (pt, seq) — the
+// raster a client that decoded those exact bytes holds. intra, when
+// non-nil, is the frame's known encoded bytes; otherwise they are peeked
+// from the store and must still carry the same sequence number (a
+// re-rendered frame is different bytes, so a stale sequence returns nil
+// and the caller falls back to intra coding). The raster is owned by the
+// pano cache; callers must not mutate or release it.
+func (s *Server) reconFor(pt geom.GridPoint, seq uint64, intra []byte) *img.Gray {
+	if g, gotSeq, ok := s.panos.get(pt); ok && gotSeq == seq && g != nil {
+		return g
+	}
+	if intra == nil {
+		data, gotSeq, ok := s.store.peek(pt)
+		if !ok || gotSeq != seq {
+			return nil
+		}
+		intra = data
+	}
+	g, err := codec.Decode(intra)
+	if err != nil {
+		return nil
+	}
+	s.panos.put(pt, seq, g, nil)
+	return g
+}
+
+// reprojDepth is the constant-depth shell the warp assumes, derived from
+// the leaf's cutoff radius: far-BE content starts at the cutoff, so a
+// small multiple of it is a serviceable depth proxy, bounded to keep the
+// parallax model sane in tiny and huge leaves.
+func reprojDepth(leaf *cutoff.Region) float64 {
+	d := 8 * leaf.Radius
+	if d < 20 {
+		d = 20
+	}
+	if d > 200 {
+		d = 200
+	}
+	return d
+}
+
+// tryReproject attempts to synthesize the panorama at pt by warping a
+// nearby frame's cached clean raster (the pre-encode ray-cast pixels, not
+// the codec reconstruction: the warped frame is encoded afresh, so
+// sourcing it from a CRF-lossy decode would compound codec loss and the
+// verification below would charge that loss against the warp). The result
+// is verified against a ray-cast ground-truth band; nil means no source
+// qualified or the check failed, and the caller falls back to a full
+// render. The returned raster is renderer-owned, exactly like Panorama's.
+func (s *Server) tryReproject(pt geom.GridPoint, pos geom.Vec2, leaf *cutoff.Region) *img.Gray {
+	grid := s.env.Game.Scene.Grid
+	srcPt, src, ok := s.panos.nearest(pt, grid, func(cand geom.GridPoint) bool {
+		d := grid.Dist(pt, cand)
+		return d > 0 && d <= leaf.DistThresh && s.env.Map.LeafAt(grid.Pos(cand)) == leaf
+	})
+	if !ok {
+		return nil
+	}
+	scene := s.env.Game.Scene
+	rp := s.env.Renderer.Reproject(src, scene.EyeAt(grid.Pos(srcPt)), scene.EyeAt(pos), reprojDepth(leaf))
+	if rp == nil {
+		return nil
+	}
+	if !s.verifyReproject(rp, pos, leaf) {
+		s.obs.reprojRejects.Inc()
+		s.env.Renderer.ReleaseGray(rp)
+		return nil
+	}
+	s.obs.reprojHits.Inc()
+	return rp
+}
+
+// verifyReproject ray-casts a horizontal sample band of the true frame
+// and accepts the reprojection iff the band's SSIM clears the paper's
+// "good" bar. The band is centred on the horizon, where parallax error
+// concentrates (poles barely move under translation); its height trades
+// verification cost against coverage.
+func (s *Server) verifyReproject(rp *img.Gray, pos geom.Vec2, leaf *cutoff.Region) bool {
+	w, h := rp.W, rp.H
+	band := h / 8
+	if band < 16 {
+		band = 16
+	}
+	if band > h {
+		band = h
+	}
+	y0 := (h - band) / 2
+	gt := s.env.Renderer.PanoramaBand(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil, y0, y0+band)
+	// Rows are contiguous, so the reprojected band is a sub-slice view.
+	view := &img.Gray{W: w, H: band, Pix: rp.Pix[y0*w : (y0+band)*w]}
+	score, err := ssim.Mean(gt, view)
+	return err == nil && score >= ssim.GoodThreshold
+}
+
+// defaultPanoCacheCap bounds the decoded-frame cache. At the default
+// 256x128 resolution this is 4 MB worst case (two rasters per entry);
+// entries are dropped LRU.
+const defaultPanoCacheCap = 64
+
+// panoCache is a small LRU map of frame rasters keyed by grid point,
+// shared by all sessions. Each entry carries up to two views of the same
+// render: recon, the codec reconstruction (what a client that decoded the
+// frame holds — the delta path's reference raster), and clean, the
+// pre-encode ray-cast pixels (the reprojection path's warp source; nil
+// for frames that were themselves reprojection-served, so warp error
+// never chains through generations of synthesis). Entries are immutable
+// once inserted and never returned to the raster pools — a session may
+// still be reading an entry after its eviction, so evicted rasters are
+// left to the garbage collector.
+type panoCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[geom.GridPoint]*panoEntry
+	head    *panoEntry
+	tail    *panoEntry
+}
+
+type panoEntry struct {
+	pt         geom.GridPoint
+	seq        uint64
+	recon      *img.Gray
+	clean      *img.Gray
+	prev, next *panoEntry
+}
+
+func newPanoCache(cap int) *panoCache {
+	return &panoCache{cap: cap, entries: make(map[geom.GridPoint]*panoEntry)}
+}
+
+// get returns the cached reconstruction of pt and its sequence number.
+// The raster is shared and must not be mutated or released; it may be nil
+// when only the clean raster is cached for the point.
+func (p *panoCache) get(pt geom.GridPoint) (*img.Gray, uint64, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[pt]
+	if !ok {
+		return nil, 0, false
+	}
+	p.touch(e)
+	return e.recon, e.seq, true
+}
+
+// put inserts the rasters of render (pt, seq); either may be nil. The
+// cache takes ownership; the caller must not release them afterwards. A
+// same-sequence put merges with what is already cached (a later reconFor
+// decode must not clobber the clean raster stored at render time); a new
+// sequence replaces the entry outright.
+func (p *panoCache) put(pt geom.GridPoint, seq uint64, recon, clean *img.Gray) {
+	if recon == nil && clean == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[pt]; ok {
+		if e.seq != seq {
+			e.seq, e.recon, e.clean = seq, recon, clean
+		} else {
+			if recon != nil {
+				e.recon = recon
+			}
+			if clean != nil {
+				e.clean = clean
+			}
+		}
+		p.touch(e)
+		return
+	}
+	e := &panoEntry{pt: pt, seq: seq, recon: recon, clean: clean}
+	p.entries[pt] = e
+	p.pushFront(e)
+	for len(p.entries) > p.cap && p.tail != nil {
+		v := p.tail
+		p.unlink(v)
+		delete(p.entries, v.pt)
+	}
+}
+
+// nearest returns the cached point closest to pt (by grid distance) that
+// carries a clean raster and is accepted by keep, scanning the whole
+// cache (it is small by construction). The raster is shared; see get.
+func (p *panoCache) nearest(pt geom.GridPoint, grid geom.Grid, keep func(geom.GridPoint) bool) (geom.GridPoint, *img.Gray, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var bestPt geom.GridPoint
+	var bestG *img.Gray
+	bestDist := 0.0
+	for cand, e := range p.entries {
+		if e.clean == nil || !keep(cand) {
+			continue
+		}
+		d := grid.Dist(pt, cand)
+		if bestG == nil || d < bestDist {
+			bestPt, bestG, bestDist = cand, e.clean, d
+		}
+	}
+	return bestPt, bestG, bestG != nil
+}
+
+func (p *panoCache) touch(e *panoEntry) {
+	if p.head == e {
+		return
+	}
+	p.unlink(e)
+	p.pushFront(e)
+}
+
+func (p *panoCache) pushFront(e *panoEntry) {
+	e.prev = nil
+	e.next = p.head
+	if p.head != nil {
+		p.head.prev = e
+	}
+	p.head = e
+	if p.tail == nil {
+		p.tail = e
+	}
+}
+
+func (p *panoCache) unlink(e *panoEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		p.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		p.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

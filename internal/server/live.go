@@ -12,6 +12,7 @@ import (
 	"coterie/internal/core"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/img"
 	"coterie/internal/obs"
 	"coterie/internal/prefetch"
 	"coterie/internal/runtime"
@@ -36,8 +37,15 @@ type LiveConfig struct {
 	// FITimeout bounds each UDP FI round trip; 0 means 250 ms. A lost
 	// datagram counts as a drop and the next frame syncs again.
 	FITimeout time.Duration
-	// DecodeFrames validates every fetched frame by decoding it.
+	// DecodeFrames validates every fetched frame by decoding it. Decoded
+	// intra frames are retained in a reference store so the server can
+	// serve deltas; decoded delta frames are reconstructed against it.
 	DecodeFrames bool
+	// RefBytes caps the decoded-reference store used by the delta path;
+	// 0 means 32 MB. Only meaningful with DecodeFrames. Evictions are
+	// reported to the server before the next request, so a tiny budget
+	// degrades to all-intra service rather than decode failures.
+	RefBytes int64
 	// IdleTimeout bounds how long the clock waits on a wedged fetch
 	// before giving up; 0 means the WallClock default.
 	IdleTimeout time.Duration
@@ -112,6 +120,21 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 		speed = 1
 	}
 	src := &liveSource{clock: clock, cl: cl, decode: cfg.DecodeFrames, lat: &runtime.LatencyAcc{}, speed: speed}
+	if cfg.DecodeFrames {
+		refBytes := cfg.RefBytes
+		if refBytes == 0 {
+			refBytes = 32 << 20
+		}
+		// The reference store's evictions queue notices; both are only
+		// touched under connMu (Put happens inside fetchOnce, and the
+		// queue drains there before the next request goes out).
+		src.refs = cache.NewRefStore(refBytes, func(pt geom.GridPoint, g *img.Gray, evicted bool) {
+			codec.ReleaseGray(g)
+			if evicted {
+				src.pendingEvicts = append(src.pendingEvicts, pt)
+			}
+		})
+	}
 	if cfg.Obs != nil {
 		src.obsOffset = cfg.Obs.Gauge("client.clock_offset_us")
 	}
@@ -191,9 +214,15 @@ type liveSource struct {
 	fetches  atomic.Int64
 	bytes    atomic.Int64
 
-	// connMu serialises the request/reply connection and guards err.
+	// connMu serialises the request/reply connection and guards err, refs
+	// and pendingEvicts.
 	connMu sync.Mutex
 	err    error
+	// refs retains decoded intra frames as delta references (nil when
+	// frames are not decoded). pendingEvicts queues its evictions for the
+	// notice that precedes the next request.
+	refs          *cache.RefStore
+	pendingEvicts []geom.GridPoint
 
 	// wallMs, last, bestNetMs and offsetMs are only touched on the clock
 	// goroutine (Post callbacks and the post-run report, which share
@@ -260,12 +289,13 @@ func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rt
 		queue, render, encode = queue*f, render*f, encode*f
 	}
 	s.last = obs.FetchStages{
-		NetMs:    rttVirtual - queue - render - encode,
-		QueueMs:  queue,
-		RenderMs: render,
-		EncodeMs: encode,
-		RTTMs:    rttVirtual,
-		Valid:    true,
+		NetMs:      rttVirtual - queue - render - encode,
+		QueueMs:    queue,
+		RenderMs:   render,
+		EncodeMs:   encode,
+		RTTMs:      rttVirtual,
+		DeltaFrame: reply.Kind == transport.FrameDelta,
+		Valid:      true,
 	}
 	// NTP offset: t0=sentMs (client), t1=RecvMs, t2=SendMs (server),
 	// t3=doneMs (client). The network-only RTT excludes server hold time.
@@ -283,23 +313,64 @@ func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rt
 func (s *liveSource) LastFetchStages() obs.FetchStages { return s.last }
 
 // fetchOnce serialises one request/reply exchange on the connection.
+// Queued reference evictions are reported first, so the server never
+// deltas against a frame this client has dropped.
 func (s *liveSource) fetchOnce(pt geom.GridPoint) (transport.FrameReply, float64, float64, error) {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.err != nil {
 		return transport.FrameReply{}, 0, 0, s.err
 	}
+	if len(s.pendingEvicts) > 0 {
+		if err := s.cl.EvictNotice(s.pendingEvicts); err != nil {
+			s.err = err
+			return transport.FrameReply{}, 0, 0, err
+		}
+		s.pendingEvicts = s.pendingEvicts[:0]
+	}
 	reply, sentMs, doneMs, err := s.cl.FetchTraced(pt)
 	if err == nil && s.decode {
-		if _, derr := codec.Decode(reply.Data); derr != nil {
-			err = fmt.Errorf("frame %v does not decode: %w", pt, derr)
-		}
+		err = s.decodeReply(pt, reply)
 	}
 	if err != nil {
 		s.err = err
 		return transport.FrameReply{}, 0, 0, err
 	}
 	return reply, sentMs, doneMs, nil
+}
+
+// decodeReply validates a fetched frame by reconstructing it: intra
+// frames decode standalone (and join the reference store), delta frames
+// decode against the referenced held frame. Caller holds connMu.
+func (s *liveSource) decodeReply(pt geom.GridPoint, reply transport.FrameReply) error {
+	switch reply.Kind {
+	case transport.FrameDelta:
+		if s.refs == nil {
+			return fmt.Errorf("frame %v: delta reply but reference store disabled", pt)
+		}
+		ref, ok := s.refs.Get(reply.Ref)
+		if !ok {
+			return fmt.Errorf("frame %v: delta against %v, which this client does not hold", pt, reply.Ref)
+		}
+		g, err := codec.DeltaDecode(reply.Data, ref)
+		if err != nil {
+			return fmt.Errorf("frame %v does not delta-decode: %w", pt, err)
+		}
+		// Delta reconstructions never become references (chaining would
+		// compound quantisation drift); the raster is only validation.
+		codec.ReleaseGray(g)
+	default:
+		g, err := codec.Decode(reply.Data)
+		if err != nil {
+			return fmt.Errorf("frame %v does not decode: %w", pt, err)
+		}
+		if s.refs != nil {
+			s.refs.Put(pt, g) // store owns it now; evictions queue notices
+		} else {
+			codec.ReleaseGray(g)
+		}
+	}
+	return nil
 }
 
 func (s *liveSource) firstError() error {

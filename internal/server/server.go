@@ -22,6 +22,7 @@ import (
 	"coterie/internal/core"
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/img"
 	"coterie/internal/obs"
 	"coterie/internal/transport"
 )
@@ -46,6 +47,18 @@ type Server struct {
 	// sessions, byte-bounded with LRU eviction, and singleflight per grid
 	// point. Budget via SetStoreBudget.
 	store *frameStore
+
+	// panos caches the decoded reconstruction of recently rendered frames
+	// (what a client that decoded the served bytes sees). The delta path
+	// encodes residuals between reconstructions, and the reprojection path
+	// warps them into nearby viewpoints instead of re-rendering.
+	panos *panoCache
+
+	// deltaOff / reprojOff disable the delta and reprojection paths; the
+	// zero value (both enabled) is the production configuration. Inverted
+	// so the zero-valued Server keeps today's defaults.
+	deltaOff  atomic.Bool
+	reprojOff atomic.Bool
 
 	mu  sync.Mutex // guards hub
 	hub *fisync.Hub
@@ -80,6 +93,10 @@ type serverObs struct {
 	udpDropped     *obs.Counter
 	udpBytesIn     *obs.Counter
 	udpBytesOut    *obs.Counter
+	deltaFrames    *obs.Counter
+	deltaSaved     *obs.Counter
+	reprojHits     *obs.Counter
+	reprojRejects  *obs.Counter
 }
 
 // SetStoreBudget bounds the frame store to the given number of encoded
@@ -116,6 +133,10 @@ func (s *Server) Instrument(r *obs.Registry) {
 		udpDropped:     r.Counter("server.udp.dropped"),
 		udpBytesIn:     r.Counter("server.udp.bytes_in"),
 		udpBytesOut:    r.Counter("server.udp.bytes_out"),
+		deltaFrames:    r.Counter("server.delta_frames"),
+		deltaSaved:     r.Counter("server.delta_bytes_saved"),
+		reprojHits:     r.Counter("server.reproject_hits"),
+		reprojRejects:  r.Counter("server.reproject_rejects"),
 	}
 	s.store.instrument(
 		r.Gauge("server.store_bytes"),
@@ -166,10 +187,21 @@ func New(env *core.Env) *Server {
 	return &Server{
 		env:      env,
 		store:    newFrameStore(0),
+		panos:    newPanoCache(defaultPanoCacheCap),
 		hub:      fisync.NewHub(),
 		sessions: make(map[net.Conn]struct{}),
 	}
 }
+
+// SetDeltaEnabled toggles delta frame coding (enabled by default). With it
+// off every frame is served intra-coded; the toggle exists for A/B runs
+// (the bytes-per-frame benchmark) and tests. Safe to call at any time.
+func (s *Server) SetDeltaEnabled(on bool) { s.deltaOff.Store(!on) }
+
+// SetReprojectEnabled toggles reprojection synthesis (enabled by default).
+// With it off every cache miss ray-casts a full panorama. Safe to call at
+// any time.
+func (s *Server) SetReprojectEnabled(on bool) { s.reprojOff.Store(!on) }
 
 // FrameFor returns the encoded far-BE panorama for a grid point,
 // rendering and encoding it on first use.
@@ -180,61 +212,98 @@ func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
 
 // frameFor additionally reports whether this call rendered the frame.
 func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
-	data, rendered, _, err := s.frameForStaged(pt)
+	data, rendered, _, _, err := s.frameForStaged(pt)
 	return data, rendered, err
 }
 
 // frameForStaged is frameFor plus the stage decomposition for the reply's
-// trace context. Concurrent calls for the same point share one render: the
-// first caller renders (and reports render/encode spans), the rest block
-// on its result (and report the wait as queue time), so rendered counts
-// are exact and all callers share one buffer.
-func (s *Server) frameForStaged(pt geom.GridPoint) ([]byte, bool, frameStages, error) {
+// trace context and the frame's store sequence number (the identity the
+// delta path names references by). Concurrent calls for the same point
+// share one render: the first caller renders (and reports render/encode
+// spans), the rest block on its result (and report the wait as queue
+// time), so rendered counts are exact and all callers share one buffer.
+func (s *Server) frameForStaged(pt geom.GridPoint) ([]byte, bool, uint64, frameStages, error) {
 	var stg frameStages
 	if !s.env.Game.Scene.Grid.In(pt) {
-		return nil, false, stg, fmt.Errorf("server: grid point %v outside world", pt)
+		return nil, false, 0, stg, fmt.Errorf("server: grid point %v outside world", pt)
 	}
-	data, ok, c, leader := s.store.lookup(pt)
+	data, seq, ok, c, leader := s.store.lookup(pt)
 	if ok {
 		s.obs.frameStoreHits.Inc()
-		return data, false, stg, nil
+		return data, false, seq, stg, nil
 	}
 	if !leader {
 		s.obs.renderShared.Inc()
 		waitStart := time.Now()
 		<-c.done
 		stg.QueueMs = float64(time.Since(waitStart)) / float64(time.Millisecond)
-		return c.data, false, stg, c.err
+		return c.data, false, c.seq, stg, c.err
 	}
 
 	var err error
-	data, stg.RenderMs, stg.EncodeMs, err = s.render(pt)
+	var clean *img.Gray
+	data, clean, stg.RenderMs, stg.EncodeMs, err = s.render(pt)
 	s.obs.renderMs.Observe(stg.RenderMs + stg.EncodeMs)
 	if err == nil {
 		s.rendered.Add(1)
 		s.obs.framesRendered.Inc()
 	}
-	s.store.complete(pt, c, data, err)
-	return data, err == nil, stg, err
+	seq = s.store.complete(pt, c, data, err)
+	if err == nil && (!s.deltaOff.Load() || !s.reprojOff.Load()) {
+		// Cache both views of the render: the client-visible reconstruction
+		// (the delta path's reference — residuals must be computed against
+		// what the client decoded) and, for full ray-casts, the clean raster
+		// (the reprojection path's warp source — sourcing warps from a lossy
+		// decode would compound codec loss across synthesized frames).
+		recon, derr := codec.Decode(data)
+		if derr != nil {
+			recon = nil
+		}
+		s.panos.put(pt, seq, recon, clean)
+	} else if clean != nil {
+		s.env.Renderer.ReleaseGray(clean)
+	}
+	return data, err == nil, seq, stg, err
 }
 
 // render produces the encoded far-BE panorama for an in-grid point,
 // reporting the render and encode spans separately (wall milliseconds).
-func (s *Server) render(pt geom.GridPoint) (data []byte, renderMs, encodeMs float64, err error) {
+// When a recently rendered nearby frame is cached, the panorama is first
+// attempted as a reprojection of it (SSIM-verified against a ray-cast
+// sample band); only when that fails is the scene ray-cast in full.
+//
+// For full ray-casts the pre-encode raster is returned as clean and
+// ownership passes to the caller (it becomes the pano cache's warp
+// source); reprojection-served frames return clean == nil so warp error
+// never chains through generations of synthesis.
+func (s *Server) render(pt geom.GridPoint) (data []byte, clean *img.Gray, renderMs, encodeMs float64, err error) {
 	pos := s.env.Game.Scene.Grid.Pos(pt)
 	leaf := s.env.Map.LeafAt(pos)
 	if leaf == nil {
-		return nil, 0, 0, fmt.Errorf("server: no leaf region at %v", pos)
+		return nil, nil, 0, 0, fmt.Errorf("server: no leaf region at %v", pos)
 	}
 	renderStart := time.Now()
-	pano := s.env.Renderer.Panorama(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil)
+	var pano *img.Gray
+	reprojected := false
+	if !s.reprojOff.Load() {
+		if pano = s.tryReproject(pt, pos, leaf); pano != nil {
+			reprojected = true
+		}
+	}
+	if pano == nil {
+		pano = s.env.Renderer.Panorama(s.env.Game.Scene.EyeAt(pos), leaf.Radius, math.Inf(1), nil)
+	}
 	encodeStart := time.Now()
 	data = codec.Encode(pano, s.env.CRF)
-	s.env.Renderer.ReleaseGray(pano) // encoded copy taken; recycle the raster
+	if reprojected {
+		s.env.Renderer.ReleaseGray(pano) // encoded copy taken; recycle the raster
+	} else {
+		clean = pano // ownership passes to the caller (pano cache)
+	}
 	end := time.Now()
 	renderMs = float64(encodeStart.Sub(renderStart)) / float64(time.Millisecond)
 	encodeMs = float64(end.Sub(encodeStart)) / float64(time.Millisecond)
-	return data, renderMs, encodeMs, nil
+	return data, clean, renderMs, encodeMs, nil
 }
 
 // wallMs is the server's trace clock: wall time in unix milliseconds.
@@ -402,11 +471,19 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 		return err
 	}
 
+	// sr tracks which frames this client provably holds, the foundation of
+	// the delta path. The protocol is synchronous request/reply on one
+	// connection, so the arrival of any message proves the client read the
+	// previous reply — the pending reference promotes to held before the
+	// message is processed (in particular before evict notices are applied,
+	// so an immediately evicted reference is promoted then dropped).
+	sr := newSessionRefs()
 	for {
 		m, err := s.recv(nc, c)
 		if err != nil {
 			return err
 		}
+		sr.promote()
 		switch m.Type {
 		case transport.MsgFrameRequest:
 			recvMs := wallMs()
@@ -414,7 +491,7 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			if err != nil {
 				return err
 			}
-			data, _, stg, err := s.frameForStaged(req.Point)
+			data, kind, ref, stg, err := s.frameForSession(req.Point, sr)
 			if err != nil {
 				if err := c.Send(errMsg(err.Error())); err != nil {
 					return err
@@ -435,11 +512,19 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 				QueueMs:      stg.QueueMs,
 				RenderMs:     stg.RenderMs,
 				EncodeMs:     stg.EncodeMs,
+				Kind:         kind,
+				Ref:          ref,
 				Data:         data,
 			})
 			if err := c.Send(transport.Message{Type: transport.MsgFrameReply, Payload: reply}); err != nil {
 				return err
 			}
+		case transport.MsgEvictNotice:
+			pts, err := transport.DecodeEvictNotice(m.Payload)
+			if err != nil {
+				return err
+			}
+			sr.drop(pts) // fire-and-forget: no reply
 		case transport.MsgFISync:
 			fst, _, err := fisync.DecodeState(m.Payload)
 			if err != nil {
@@ -547,6 +632,20 @@ func (c *Client) FetchTraced(pt geom.GridPoint) (reply transport.FrameReply, sen
 	}
 	doneMs = wallMs()
 	return reply, sentMs, doneMs, nil
+}
+
+// EvictNotice tells the server this client dropped the given grid-point
+// frames from its reference cache, so the server stops delta-coding
+// against them. Fire-and-forget (the server sends no reply); an empty
+// list is a no-op. Like Fetch, not safe for concurrent use.
+func (c *Client) EvictNotice(pts []geom.GridPoint) error {
+	if len(pts) == 0 {
+		return nil
+	}
+	return c.conn.Send(transport.Message{
+		Type:    transport.MsgEvictNotice,
+		Payload: transport.EncodeEvictNotice(pts),
+	})
 }
 
 // SyncFI uploads this player's FI state and returns the other players'.

@@ -26,19 +26,53 @@ const defaultStoreShards = 16
 
 // frameCall is one in-flight render shared by concurrent requesters
 // (singleflight). The leader renders, stores the result, then closes done;
-// joiners block on done and read data/err.
+// joiners block on done and read data/err/seq.
 type frameCall struct {
 	done chan struct{}
 	data []byte
+	seq  uint64
 	err  error
 }
 
+// deltaRec is one cached delta encoding of an entry's frame against a
+// reference frame. The key is (refPt, refSeq): a delta is only valid
+// against the exact bytes the client decoded, and reprojection makes
+// re-renders of a point non-identical, so references are named by the
+// store sequence number of the render that produced them — never by grid
+// point alone. The record stays valid after the reference's store entry
+// is evicted (validity depends on what the *client* holds, not the
+// store), but dies with its own entry.
+type deltaRec struct {
+	refPt  geom.GridPoint
+	refSeq uint64
+	data   []byte
+}
+
+// maxDeltasPerEntry bounds the cached encodings per frame; the oldest is
+// replaced FIFO. Sessions walking the same corridor share references, so
+// a few slots cover the common reuse without letting a point fan out a
+// delta per client.
+const maxDeltasPerEntry = 4
+
 // storeEntry is one cached encoded frame, threaded on its shard's LRU
-// list (head is most recent, tail least).
+// list (head is most recent, tail least). seq identifies this exact
+// render (see deltaRec); deltas ride along and are charged to the byte
+// budget with the frame.
 type storeEntry struct {
 	pt         geom.GridPoint
 	data       []byte
+	seq        uint64
+	deltas     []deltaRec
 	prev, next *storeEntry
+}
+
+// size is the entry's budget charge: frame bytes plus cached deltas.
+func (e *storeEntry) size() int64 {
+	n := int64(len(e.data))
+	for i := range e.deltas {
+		n += int64(len(e.deltas[i].data))
+	}
+	return n
 }
 
 // storeShard is one lock domain: a map of cached frames, their LRU order,
@@ -61,6 +95,8 @@ type frameStore struct {
 	bytes     atomic.Int64 // total data bytes across shards
 	budget    atomic.Int64 // byte budget; <= 0 means unbounded
 	evictions atomic.Int64
+	// seq numbers completed renders store-wide; 0 is reserved (no frame).
+	seq atomic.Uint64
 	// cursor round-robins eviction across shards so no one shard's
 	// working set is drained preferentially.
 	cursor atomic.Uint64
@@ -124,37 +160,104 @@ func (st *frameStore) lock(sh *storeShard) {
 // position); an in-flight call to join (leader=false — wait on c.done and
 // read c.data/c.err); or a fresh call this caller now leads (leader=true —
 // render, then finish with complete).
-func (st *frameStore) lookup(pt geom.GridPoint) (data []byte, ok bool, c *frameCall, leader bool) {
+func (st *frameStore) lookup(pt geom.GridPoint) (data []byte, seq uint64, ok bool, c *frameCall, leader bool) {
 	sh := st.shardFor(pt)
 	st.lock(sh)
 	if e, hit := sh.entries[pt]; hit {
 		sh.moveToFront(e)
 		sh.mu.Unlock()
-		return e.data, true, nil, false
+		return e.data, e.seq, true, nil, false
 	}
 	if c, inflight := sh.calls[pt]; inflight {
 		sh.mu.Unlock()
-		return nil, false, c, false
+		return nil, 0, false, c, false
 	}
 	c = &frameCall{done: make(chan struct{})}
 	sh.calls[pt] = c
 	sh.mu.Unlock()
-	return nil, false, c, true
+	return nil, 0, false, c, true
+}
+
+// peek returns the cached frame bytes and sequence for pt without joining
+// or leading a render (the delta path reconstructs references from stored
+// bytes and must never trigger a render — a re-render would produce
+// different bytes than the ones the client decoded).
+func (st *frameStore) peek(pt geom.GridPoint) (data []byte, seq uint64, ok bool) {
+	sh := st.shardFor(pt)
+	st.lock(sh)
+	e, hit := sh.entries[pt]
+	if hit {
+		sh.moveToFront(e)
+		data, seq = e.data, e.seq
+	}
+	sh.mu.Unlock()
+	return data, seq, hit
+}
+
+// delta returns the cached delta encoding of frame (pt, ptSeq) against
+// reference (refPt, refSeq), if one was put earlier and both entries'
+// identities still match.
+func (st *frameStore) delta(pt geom.GridPoint, ptSeq uint64, refPt geom.GridPoint, refSeq uint64) ([]byte, bool) {
+	sh := st.shardFor(pt)
+	st.lock(sh)
+	defer sh.mu.Unlock()
+	e, hit := sh.entries[pt]
+	if !hit || e.seq != ptSeq {
+		return nil, false
+	}
+	for i := range e.deltas {
+		if e.deltas[i].refPt == refPt && e.deltas[i].refSeq == refSeq {
+			return e.deltas[i].data, true
+		}
+	}
+	return nil, false
+}
+
+// putDelta caches a delta encoding on the entry for (pt, ptSeq); a stale
+// sequence (the entry was evicted and re-rendered since the caller read
+// it) is dropped silently. Delta bytes count against the byte budget.
+func (st *frameStore) putDelta(pt geom.GridPoint, ptSeq uint64, refPt geom.GridPoint, refSeq uint64, data []byte) {
+	sh := st.shardFor(pt)
+	st.lock(sh)
+	e, hit := sh.entries[pt]
+	if !hit || e.seq != ptSeq {
+		sh.mu.Unlock()
+		return
+	}
+	for i := range e.deltas {
+		if e.deltas[i].refPt == refPt && e.deltas[i].refSeq == refSeq {
+			sh.mu.Unlock()
+			return // already cached by a concurrent session
+		}
+	}
+	var freed int64
+	if len(e.deltas) >= maxDeltasPerEntry {
+		freed = int64(len(e.deltas[0].data))
+		e.deltas = append(e.deltas[:0], e.deltas[1:]...)
+	}
+	e.deltas = append(e.deltas, deltaRec{refPt: refPt, refSeq: refSeq, data: data})
+	sh.mu.Unlock()
+	st.bytes.Add(int64(len(data)) - freed)
+	st.storeBytes.Set(st.bytes.Load())
+	st.enforceBudget()
 }
 
 // complete finishes a call started by lookup: it publishes data/err to the
 // joiners, removes the in-flight marker, and on success inserts the frame
 // and enforces the byte budget. Frames larger than the whole budget are
 // returned to callers but never stored.
-func (st *frameStore) complete(pt geom.GridPoint, c *frameCall, data []byte, err error) {
-	c.data, c.err = data, err
+func (st *frameStore) complete(pt geom.GridPoint, c *frameCall, data []byte, err error) (seq uint64) {
+	if err == nil {
+		seq = st.seq.Add(1)
+	}
+	c.data, c.seq, c.err = data, seq, err
 	sh := st.shardFor(pt)
 	st.lock(sh)
 	delete(sh.calls, pt)
 	budget := st.budget.Load()
 	if err == nil && (budget <= 0 || int64(len(data)) <= budget) {
 		if _, dup := sh.entries[pt]; !dup {
-			e := &storeEntry{pt: pt, data: data}
+			e := &storeEntry{pt: pt, data: data, seq: seq}
 			sh.entries[pt] = e
 			sh.pushFront(e)
 			st.bytes.Add(int64(len(data)))
@@ -164,6 +267,7 @@ func (st *frameStore) complete(pt geom.GridPoint, c *frameCall, data []byte, err
 	close(c.done)
 	st.storeBytes.Set(st.bytes.Load())
 	st.enforceBudget()
+	return seq
 }
 
 // SetBudget sets the byte budget (<= 0 means unbounded) and immediately
@@ -222,7 +326,10 @@ func (st *frameStore) enforceBudget() {
 			sh.unlink(e)
 			delete(sh.entries, e.pt)
 			sh.mu.Unlock()
-			st.bytes.Add(-int64(len(e.data)))
+			// The entry's cached deltas die with it; deltas encoded
+			// against it elsewhere stay valid (their reference is what the
+			// client holds, not this entry).
+			st.bytes.Add(-e.size())
 			st.evictions.Add(1)
 			st.evictedCtr.Inc()
 			evicted = true

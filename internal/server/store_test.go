@@ -15,7 +15,7 @@ import (
 // failing the test if the point was already cached or in flight.
 func storePut(t *testing.T, st *frameStore, pt geom.GridPoint, size int) {
 	t.Helper()
-	_, ok, c, leader := st.lookup(pt)
+	_, _, ok, c, leader := st.lookup(pt)
 	if ok || !leader {
 		t.Fatalf("point %v unexpectedly cached or in flight", pt)
 	}
@@ -23,7 +23,7 @@ func storePut(t *testing.T, st *frameStore, pt geom.GridPoint, size int) {
 }
 
 func storeHas(st *frameStore, pt geom.GridPoint) bool {
-	data, ok, c, leader := st.lookup(pt)
+	data, _, ok, c, leader := st.lookup(pt)
 	if ok {
 		_ = data
 		return true
@@ -117,7 +117,7 @@ func TestStoreSingleflightPerPoint(t *testing.T) {
 			start.Wait()
 			k := g % len(pts)
 			pt := pts[k]
-			data, ok, c, leader := st.lookup(pt)
+			data, _, ok, c, leader := st.lookup(pt)
 			switch {
 			case ok:
 			case leader:

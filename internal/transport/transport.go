@@ -35,6 +35,10 @@ const (
 	MsgError
 	// MsgBye closes the session.
 	MsgBye
+	// MsgEvictNotice tells the server which grid-point frames the client
+	// has dropped from its reference cache, so the server stops encoding
+	// deltas against them. Fire-and-forget: no reply.
+	MsgEvictNotice
 )
 
 // MaxPayload bounds message payloads (a 4K panoramic frame fits well
@@ -71,7 +75,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
-	if t := MsgType(hdr[0]); t < MsgHello || t > MsgBye {
+	if t := MsgType(hdr[0]); t < MsgHello || t > MsgEvictNotice {
 		return Message{}, fmt.Errorf("transport: unknown message type %d", hdr[0])
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
@@ -117,8 +121,20 @@ func DecodeHello(b []byte) (Hello, error) {
 // id and cross-node timestamps). Both are fixed-size headers so encoding
 // stays one buffer allocation and decoding is bounds-checked up front.
 const (
-	frameRequestLen  = 1 + 4 + 4 + 4 + 8           // player, point, req id, sent ms
-	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 // point, req id, 3 stamps, 3 stage spans
+	frameRequestLen  = 1 + 4 + 4 + 4 + 8                   // player, point, req id, sent ms
+	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 + 1 + 8 // point, req id, 3 stamps, 3 stage spans, kind, ref point
+)
+
+// FrameEncoding says how a FrameReply's Data payload is coded.
+type FrameEncoding uint8
+
+const (
+	// FrameIntra is a self-contained frame: codec.Decode suffices.
+	FrameIntra FrameEncoding = iota
+	// FrameDelta is a residual against the reference grid point named in
+	// FrameReply.Ref; the client reconstructs with codec.DeltaDecode and
+	// its cached decode of that reference.
+	FrameDelta
 )
 
 // FrameRequest asks for the encoded far-BE panorama of a grid point. The
@@ -183,7 +199,11 @@ type FrameReply struct {
 	QueueMs  float64
 	RenderMs float64
 	EncodeMs float64
-	Data     []byte
+	// Kind says how Data is coded (intra or delta); Ref names the delta's
+	// reference grid point and is meaningful only when Kind is FrameDelta.
+	Kind FrameEncoding
+	Ref  geom.GridPoint
+	Data []byte
 }
 
 // EncodeFrameReply serialises a FrameReply (one buffer allocation; the
@@ -199,13 +219,22 @@ func EncodeFrameReply(r FrameReply) []byte {
 	binary.BigEndian.PutUint64(b[36:44], math.Float64bits(r.QueueMs))
 	binary.BigEndian.PutUint64(b[44:52], math.Float64bits(r.RenderMs))
 	binary.BigEndian.PutUint64(b[52:60], math.Float64bits(r.EncodeMs))
+	b[60] = byte(r.Kind)
+	binary.BigEndian.PutUint32(b[61:65], uint32(int32(r.Ref.I)))
+	binary.BigEndian.PutUint32(b[65:69], uint32(int32(r.Ref.J)))
 	return append(b, r.Data...)
 }
 
 // DecodeFrameReply parses a FrameReply payload. The Data slice aliases b.
+// An unknown frame-kind byte is rejected before the payload is touched
+// (mirroring ReadMessage's unknown-type guard): a peer speaking a newer
+// frame encoding must fail loudly, not hand garbage to the codec.
 func DecodeFrameReply(b []byte) (FrameReply, error) {
 	if len(b) < frameReplyHdrLen {
 		return FrameReply{}, errors.New("transport: short frame reply")
+	}
+	if k := FrameEncoding(b[60]); k > FrameDelta {
+		return FrameReply{}, fmt.Errorf("transport: unknown frame kind %d", b[60])
 	}
 	return FrameReply{
 		Point: geom.GridPoint{
@@ -219,8 +248,39 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 		QueueMs:      math.Float64frombits(binary.BigEndian.Uint64(b[36:44])),
 		RenderMs:     math.Float64frombits(binary.BigEndian.Uint64(b[44:52])),
 		EncodeMs:     math.Float64frombits(binary.BigEndian.Uint64(b[52:60])),
-		Data:         b[frameReplyHdrLen:],
+		Kind:         FrameEncoding(b[60]),
+		Ref: geom.GridPoint{
+			I: int(int32(binary.BigEndian.Uint32(b[61:65]))),
+			J: int(int32(binary.BigEndian.Uint32(b[65:69]))),
+		},
+		Data: b[frameReplyHdrLen:],
 	}, nil
+}
+
+// EncodeEvictNotice serialises the grid points of a MsgEvictNotice: a
+// flat array of (I, J) int32 pairs, 8 bytes per point.
+func EncodeEvictNotice(pts []geom.GridPoint) []byte {
+	b := make([]byte, 8*len(pts))
+	for k, p := range pts {
+		binary.BigEndian.PutUint32(b[8*k:], uint32(int32(p.I)))
+		binary.BigEndian.PutUint32(b[8*k+4:], uint32(int32(p.J)))
+	}
+	return b
+}
+
+// DecodeEvictNotice parses a MsgEvictNotice payload.
+func DecodeEvictNotice(b []byte) ([]geom.GridPoint, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("transport: evict notice length %d not a multiple of 8", len(b))
+	}
+	pts := make([]geom.GridPoint, len(b)/8)
+	for k := range pts {
+		pts[k] = geom.GridPoint{
+			I: int(int32(binary.BigEndian.Uint32(b[8*k:]))),
+			J: int(int32(binary.BigEndian.Uint32(b[8*k+4:]))),
+		}
+	}
+	return pts, nil
 }
 
 // msgName returns the metric label of a message type.
@@ -238,6 +298,8 @@ func msgName(t MsgType) string {
 		return "error"
 	case MsgBye:
 		return "bye"
+	case MsgEvictNotice:
+		return "evict_notice"
 	default:
 		return "unknown"
 	}
@@ -251,10 +313,10 @@ const frameOverhead = 5
 // pair, resolved once so the per-message cost is two atomic adds. A nil
 // *Metrics disables accounting.
 type Metrics struct {
-	sentCount [MsgBye + 1]*obs.Counter
-	sentBytes [MsgBye + 1]*obs.Counter
-	recvCount [MsgBye + 1]*obs.Counter
-	recvBytes [MsgBye + 1]*obs.Counter
+	sentCount [MsgEvictNotice + 1]*obs.Counter
+	sentBytes [MsgEvictNotice + 1]*obs.Counter
+	recvCount [MsgEvictNotice + 1]*obs.Counter
+	recvBytes [MsgEvictNotice + 1]*obs.Counter
 }
 
 // NewMetrics resolves per-message-type counters under
@@ -266,7 +328,7 @@ func NewMetrics(r *obs.Registry, prefix string) *Metrics {
 		return nil
 	}
 	m := &Metrics{}
-	for t := MsgHello; t <= MsgBye; t++ {
+	for t := MsgHello; t <= MsgEvictNotice; t++ {
 		n := msgName(t)
 		m.sentCount[t] = r.Counter(prefix + ".sent." + n + ".count")
 		m.sentBytes[t] = r.Counter(prefix + ".sent." + n + ".bytes")
@@ -277,7 +339,7 @@ func NewMetrics(r *obs.Registry, prefix string) *Metrics {
 }
 
 func (m *Metrics) sent(msg Message) {
-	if m == nil || msg.Type < MsgHello || msg.Type > MsgBye {
+	if m == nil || msg.Type < MsgHello || msg.Type > MsgEvictNotice {
 		return
 	}
 	m.sentCount[msg.Type].Inc()
@@ -285,7 +347,7 @@ func (m *Metrics) sent(msg Message) {
 }
 
 func (m *Metrics) received(msg Message) {
-	if m == nil || msg.Type < MsgHello || msg.Type > MsgBye {
+	if m == nil || msg.Type < MsgHello || msg.Type > MsgEvictNotice {
 		return
 	}
 	m.recvCount[msg.Type].Inc()

@@ -63,7 +63,7 @@ func TestReadMessageTruncated(t *testing.T) {
 }
 
 func TestReadMessageUnknownType(t *testing.T) {
-	for _, typ := range []byte{0, byte(MsgBye) + 1, 0x7F, 0xFF} {
+	for _, typ := range []byte{0, byte(MsgEvictNotice) + 1, 0x7F, 0xFF} {
 		hdr := []byte{typ, 0, 0, 0, 0}
 		if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
 			t.Fatalf("unknown type %d accepted", typ)
@@ -145,6 +145,8 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 		QueueMs:      3.5,
 		RenderMs:     12.25,
 		EncodeMs:     9,
+		Kind:         FrameDelta,
+		Ref:          geom.GridPoint{I: -6, J: 1<<20 - 1},
 		Data:         []byte{9, 8, 7},
 	}
 	got, err := DecodeFrameReply(EncodeFrameReply(r))
@@ -154,8 +156,60 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 	if got.Point != r.Point || got.ReqID != r.ReqID ||
 		got.ClientSentMs != r.ClientSentMs || got.RecvMs != r.RecvMs || got.SendMs != r.SendMs ||
 		got.QueueMs != r.QueueMs || got.RenderMs != r.RenderMs || got.EncodeMs != r.EncodeMs ||
+		got.Kind != r.Kind || got.Ref != r.Ref ||
 		!bytes.Equal(got.Data, r.Data) {
 		t.Fatalf("got %+v want %+v", got, r)
+	}
+}
+
+func TestFrameReplyRejectsUnknownKind(t *testing.T) {
+	// The frame-kind byte is validated before the payload is touched, so
+	// a frame coded in a format this client cannot reconstruct fails at
+	// the transport layer, not inside the codec.
+	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
+	for _, kind := range []byte{byte(FrameDelta) + 1, 0x7F, 0xFF} {
+		forged := append([]byte(nil), full...)
+		forged[60] = kind
+		if _, err := DecodeFrameReply(forged); err == nil {
+			t.Fatalf("unknown frame kind %d accepted", kind)
+		}
+	}
+}
+
+func TestEvictNoticeRoundTrip(t *testing.T) {
+	f := func(raw []int32) bool {
+		pts := make([]geom.GridPoint, 0, len(raw)/2)
+		for k := 0; k+1 < len(raw); k += 2 {
+			pts = append(pts, geom.GridPoint{I: int(raw[k]), J: int(raw[k+1])})
+		}
+		got, err := DecodeEvictNotice(EncodeEvictNotice(pts))
+		if err != nil || len(got) != len(pts) {
+			return false
+		}
+		for k := range pts {
+			if got[k] != pts[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictNoticeRejectsTruncated(t *testing.T) {
+	full := EncodeEvictNotice([]geom.GridPoint{{I: 1, J: 2}, {I: -3, J: 4}})
+	for n := 1; n < len(full); n++ {
+		if n%8 == 0 {
+			continue // a shorter whole number of points is valid
+		}
+		if _, err := DecodeEvictNotice(full[:n]); err == nil {
+			t.Fatalf("ragged evict notice (%d bytes) accepted", n)
+		}
+	}
+	if got, err := DecodeEvictNotice(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty notice: got %v, %v", got, err)
 	}
 }
 

@@ -86,29 +86,43 @@ client_pid=$!
 # frames have displayed.
 echo "smoke: scraping $admin_addr/metrics and $client_admin_addr/qoe mid-session..."
 served_ok=
+delta_ok=
 qoe_ok=
 while kill -0 "$client_pid" 2>/dev/null; do
-    if [ -z "$served_ok" ] &&
-        http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" 2>/dev/null &&
-        grep -Eq '"server\.frames_served": *[1-9]' "$bin/metrics.scrape"; then
-        served_ok=1
+    if http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" 2>/dev/null; then
+        if [ -z "$served_ok" ] &&
+            grep -Eq '"server\.frames_served": *[1-9]' "$bin/metrics.scrape"; then
+            served_ok=1
+        fi
+        if [ -z "$delta_ok" ] &&
+            grep -Eq '"server\.delta_frames": *[1-9]' "$bin/metrics.scrape"; then
+            delta_ok=1
+        fi
     fi
     if [ -z "$qoe_ok" ] &&
         http_get 127.0.0.1 "$client_admin_port" /qoe >"$bin/qoe.scrape" 2>/dev/null &&
         grep -Eq '"spans": *([2-9]|[0-9]{2,})' "$bin/qoe.scrape"; then
         qoe_ok=1
     fi
-    if [ -n "$served_ok" ] && [ -n "$qoe_ok" ]; then
+    if [ -n "$served_ok" ] && [ -n "$delta_ok" ] && [ -n "$qoe_ok" ]; then
         break
     fi
     sleep 0.2
 done
-if [ -z "$served_ok" ]; then
+if [ -z "$served_ok" ] || [ -z "$delta_ok" ]; then
     # The session may have raced past the scrape loop; accept a post-hoc
-    # scrape as long as the counter is non-zero (the server keeps it).
+    # scrape as long as the counters are non-zero (the server keeps them).
     http_get 127.0.0.1 "$admin_port" /metrics >"$bin/metrics.scrape" || true
     grep -Eq '"server\.frames_served": *[1-9]' "$bin/metrics.scrape" || {
         echo "smoke: /metrics never reported frames served" >&2
+        cat "$bin/metrics.scrape" >&2
+        cat "$bin/server.log" >&2
+        exit 1
+    }
+    # A walking player re-requests nearby grid points, so the session must
+    # have produced at least one delta-coded reply.
+    grep -Eq '"server\.delta_frames": *[1-9]' "$bin/metrics.scrape" || {
+        echo "smoke: /metrics never reported a delta-coded frame" >&2
         cat "$bin/metrics.scrape" >&2
         cat "$bin/server.log" >&2
         exit 1
