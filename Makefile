@@ -26,7 +26,7 @@ race:
 		./internal/runtime/... ./internal/server/... ./internal/transport/... \
 		./internal/cache/... ./internal/prefetch/... ./internal/obs/... \
 		./internal/par/... ./internal/render/... ./internal/loadgen/... \
-		./internal/codec/...
+		./internal/codec/... ./internal/sched/...
 
 # End-to-end smoke: build both binaries, run a short live session over a
 # real socket on localhost, and check the client printed a report.
@@ -42,9 +42,10 @@ bench:
 loadtest:
 	$(GO) run ./cmd/loadgen -game pool -players 16 -duration 5s
 
-# Bench regression gate: compare two benchtab JSON reports' micro results.
-# Usage: make bench-diff BENCH_OLD=BENCH_2.json BENCH_NEW=BENCH_3.json
-BENCH_OLD ?= BENCH_2.json
-BENCH_NEW ?= BENCH_3.json
+# Bench regression gate: compare two benchtab JSON reports' micro results
+# and (when both reports carry it) the deadline_ab compliance section.
+# Usage: make bench-diff BENCH_OLD=BENCH_3.json BENCH_NEW=BENCH_4.json
+BENCH_OLD ?= BENCH_3.json
+BENCH_NEW ?= BENCH_4.json
 bench-diff:
 	$(GO) run ./scripts $(BENCH_OLD) $(BENCH_NEW)

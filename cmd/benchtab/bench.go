@@ -34,6 +34,10 @@ type benchReport struct {
 	// DeltaSavings is the delta-codec A/B: the same walk-pattern load run
 	// with delta coding off and on, and the bytes-per-frame reduction.
 	DeltaSavings *deltaSavings `json:"delta_savings,omitempty"`
+	// DeadlineAB is the deadline-scheduling A/B: walk load with every
+	// request stamped with the 16.7 ms vsync budget, EDF scheduler and
+	// degrade ladder off vs on, at increasing player counts.
+	DeadlineAB *deadlineAB `json:"deadline_ab,omitempty"`
 }
 
 type expTiming struct {
@@ -230,6 +234,10 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 	if err != nil {
 		return err
 	}
+	deadlines, err := runDeadlineAB(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
@@ -239,6 +247,7 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 		Micro:            micro,
 		ServerThroughput: throughput,
 		DeltaSavings:     savings,
+		DeadlineAB:       deadlines,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -43,6 +43,9 @@ func main() {
 	height := flag.Int("height", 128, "panorama height in pixels")
 	storeBudget := flag.Int64("store-budget", 0, "frame store byte budget with LRU eviction (0 = unbounded)")
 	renderWorkers := flag.Int("render-workers", 0, "tile-parallel render workers per frame (0 = GOMAXPROCS)")
+	sched := flag.Bool("sched", true, "EDF deadline scheduling and admission control on the render path")
+	degrade := flag.Bool("degrade", true, "quality-degrade ladder for deadline-pressed requests (stale/reproject/low-res)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent renders before queuing (0 = one per schedulable core)")
 	prerender := flag.Float64("prerender", 0, "warm up frames within this radius (m) of the spawn before serving")
 	stride := flag.Int("prerender-stride", 16, "grid stride for prerendering (1 = every point)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown wait for in-flight sessions")
@@ -70,6 +73,11 @@ func main() {
 	}
 	srv := server.New(env)
 	srv.DrainTimeout = *drain
+	srv.SetSchedEnabled(*sched)
+	srv.SetDegradeEnabled(*degrade)
+	if *maxInflight > 0 {
+		srv.SetMaxInflight(*maxInflight)
+	}
 	if *storeBudget > 0 {
 		srv.SetStoreBudget(*storeBudget)
 		log.Printf("frame store bounded at %.1f MB (LRU eviction)", float64(*storeBudget)/1e6)

@@ -15,11 +15,13 @@ import (
 	"log"
 	"net"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"coterie/internal/core"
 	"coterie/internal/games"
 	"coterie/internal/loadgen"
+	"coterie/internal/obs"
 	"coterie/internal/render"
 	"coterie/internal/server"
 )
@@ -33,15 +35,32 @@ func main() {
 	pattern := flag.String("pattern", loadgen.PatternWalk, "movement: walk, static or scatter")
 	stepM := flag.Float64("step", 0, "walk step per request in metres (0 = a few grid cells)")
 	seed := flag.Int64("seed", 1, "movement RNG seed")
+	deadlineMs := flag.Float64("deadline-ms", 0, "per-request deadline budget in ms (0 = none; 16.7 = 60 Hz vsync)")
+	sched := flag.Bool("sched", true, "in-process server: EDF deadline scheduling and admission control")
+	degrade := flag.Bool("degrade", true, "in-process server: quality-degrade ladder under deadline pressure")
 	width := flag.Int("width", 256, "in-process server: panorama width")
 	height := flag.Int("height", 128, "in-process server: panorama height")
 	budget := flag.Int64("store-budget", 0, "in-process server: frame store byte budget (0 = unbounded)")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("loadgen: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	cfg := loadgen.Config{
 		Addr: *addr, Game: *game, Players: *players, Rate: *rate,
 		Duration: *duration, Pattern: *pattern, StepM: *stepM, Seed: *seed,
+		DeadlineMs: *deadlineMs,
 	}
 	if *addr == "" {
 		srv, hosted, stop, err := hostServer(*game, *width, *height, *budget)
@@ -49,6 +68,8 @@ func main() {
 			log.Fatalf("loadgen: %v", err)
 		}
 		defer stop()
+		srv.SetSchedEnabled(*sched)
+		srv.SetDegradeEnabled(*degrade)
 		cfg.Addr, cfg.Server = hosted, srv
 	}
 
@@ -70,6 +91,18 @@ func main() {
 		rep.FramesPerSec, rep.Frames, rep.Errors, float64(rep.Bytes)/1e6)
 	fmt.Printf("  latency     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms\n",
 		rep.P50Ms, rep.P95Ms, rep.P99Ms)
+	if rep.Errors > 0 {
+		fmt.Printf("  err latency p50 %.2f ms  p95 %.2f ms  p99 %.2f ms (%d errors)\n",
+			rep.ErrP50Ms, rep.ErrP95Ms, rep.ErrP99Ms, rep.Errors)
+	}
+	budgetMs := rep.DeadlineMs
+	if budgetMs <= 0 {
+		budgetMs = obs.FrameBudgetMs
+	}
+	fmt.Printf("  deadline    %.1f%% of frames within %.1f ms budget\n",
+		100*rep.DeadlineCompliance, budgetMs)
+	fmt.Printf("  rungs       %d exact, %d stale, %d reproject, %d lowres\n",
+		rep.RungExact, rep.RungStale, rep.RungReproject, rep.RungLowRes)
 	fmt.Printf("  store       %.1f%% hits (%d hits, %d joins, %d renders)\n",
 		100*rep.HitRate, rep.Hits, rep.Joins, rep.Renders)
 	fmt.Printf("  wire        %.0f bytes/frame mean (%d delta frames)\n",

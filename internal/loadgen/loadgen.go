@@ -8,6 +8,7 @@
 package loadgen
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 
 	"coterie/internal/games"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/server"
 	"coterie/internal/transport"
 )
@@ -48,8 +50,19 @@ type Config struct {
 	// StepM is the walk step per request in metres; 0 derives a step of
 	// a few grid cells so consecutive requests hit nearby points.
 	StepM float64
+	// SpreadM is the half-width of the spawn scatter around the game's
+	// spawn point in metres; 0 derives a couple of steps. Large spreads
+	// model players dispersed across the map, each exercising their own
+	// region of the frame store.
+	SpreadM float64
 	// Seed makes player movement reproducible.
 	Seed int64
+	// DeadlineMs, when > 0, stamps every request with an absolute deadline
+	// this many milliseconds after issue (the headset's next-vsync budget:
+	// 16.7 for 60 Hz). The server schedules EDF against it, degrades when
+	// it is at risk, and sheds when overloaded; shed requests land in the
+	// error tally, not the player-fatal path.
+	DeadlineMs float64
 	// Server, when the target runs in-process, lets the report include
 	// frame-store residency and evictions; nil leaves them at -1.
 	Server *server.Server
@@ -80,9 +93,29 @@ type Report struct {
 
 	FramesPerSec float64 `json:"frames_per_sec"`
 	HitRate      float64 `json:"hit_rate"`
-	P50Ms        float64 `json:"p50_ms"`
-	P95Ms        float64 `json:"p95_ms"`
-	P99Ms        float64 `json:"p99_ms"`
+	// P50/P95/P99 cover successful fetches only; error round trips (sheds,
+	// server rejects) are tallied separately below so a fast rejection
+	// can't masquerade as a fast serve.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// ErrP50/95/99Ms are the round-trip percentiles of errored requests
+	// (0 when none errored).
+	ErrP50Ms float64 `json:"err_p50_ms"`
+	ErrP95Ms float64 `json:"err_p95_ms"`
+	ErrP99Ms float64 `json:"err_p99_ms"`
+
+	// DeadlineMs echoes Config.DeadlineMs; DeadlineCompliance is the
+	// fraction of successful fetches whose round trip fit that budget
+	// (the 16.7 ms frame budget when no deadline was configured).
+	DeadlineMs         float64 `json:"deadline_ms"`
+	DeadlineCompliance float64 `json:"deadline_compliance"`
+	// Degrade-rung mix of the successful fetches (see transport.DegradeRung):
+	// exact, stale-but-similar, reprojected-under-pressure, low-res upscaled.
+	RungExact     int64 `json:"rung_exact"`
+	RungStale     int64 `json:"rung_stale"`
+	RungReproject int64 `json:"rung_reproject"`
+	RungLowRes    int64 `json:"rung_lowres"`
 
 	// Frame-store state after the run; -1 when the server is remote.
 	StoreBytes int64 `json:"store_bytes"`
@@ -94,7 +127,9 @@ type playerStats struct {
 	frames, errors, bytes int64
 	hits, joins, renders  int64
 	deltas                int64
+	rungs                 [4]int64
 	latencies             []float64 // ms per successful fetch
+	errLatencies          []float64 // ms per errored (shed/rejected) fetch
 	err                   error
 }
 
@@ -143,7 +178,8 @@ func Run(cfg Config) (Report, error) {
 	rep.Players = cfg.Players
 	rep.Duration = elapsed
 	rep.StoreBytes, rep.Evictions = -1, -1
-	var all []float64
+	rep.DeadlineMs = cfg.DeadlineMs
+	var all, allErr []float64
 	connected := false
 	var firstErr error
 	for i := range stats {
@@ -162,7 +198,12 @@ func Run(cfg Config) (Report, error) {
 		rep.Joins += st.joins
 		rep.Renders += st.renders
 		rep.DeltaFrames += st.deltas
+		rep.RungExact += st.rungs[transport.RungExact]
+		rep.RungStale += st.rungs[transport.RungStale]
+		rep.RungReproject += st.rungs[transport.RungReproject]
+		rep.RungLowRes += st.rungs[transport.RungLowRes]
 		all = append(all, st.latencies...)
+		allErr = append(allErr, st.errLatencies...)
 	}
 	if !connected {
 		return rep, fmt.Errorf("loadgen: no player connected: %w", firstErr)
@@ -178,10 +219,120 @@ func Run(cfg Config) (Report, error) {
 	rep.P50Ms = percentile(all, 0.50)
 	rep.P95Ms = percentile(all, 0.95)
 	rep.P99Ms = percentile(all, 0.99)
+	sort.Float64s(allErr)
+	rep.ErrP50Ms = percentile(allErr, 0.50)
+	rep.ErrP95Ms = percentile(allErr, 0.95)
+	rep.ErrP99Ms = percentile(allErr, 0.99)
+	budget := cfg.DeadlineMs
+	if budget <= 0 {
+		budget = obs.FrameBudgetMs
+	}
+	if len(all) > 0 {
+		within := 0
+		for _, l := range all {
+			if l <= budget+1e-9 {
+				within++
+			}
+		}
+		rep.DeadlineCompliance = float64(within) / float64(len(all))
+	}
 	if cfg.Server != nil {
 		rep.StoreBytes, rep.Evictions, _ = cfg.Server.StoreStats()
 	}
 	return rep, nil
+}
+
+// walker replays one player's deterministic movement: trajectory is a pure
+// function of (seed, player, pattern, step), so a warm-up pass can walk the
+// exact ground a measured run will cover.
+type walker struct {
+	rng     *rand.Rand
+	bounds  geom.Rect
+	pattern string
+	step    float64
+	pos     geom.Vec2
+}
+
+func newWalker(cfg Config, g *games.Game, step float64, p int) *walker {
+	w := &walker{
+		rng:     rand.New(rand.NewSource(cfg.Seed*1000003 + int64(p))),
+		bounds:  g.Scene.Grid.Bounds,
+		pattern: cfg.Pattern,
+		step:    step,
+	}
+	// Spread spawn points — by default a little, so players don't
+	// serialise on one point's singleflight from the first request.
+	halfW := cfg.SpreadM
+	if halfW <= 0 {
+		halfW = 2 * step
+	}
+	w.pos = w.bounds.ClampPoint(geom.V2(
+		g.Spawn.X+(w.rng.Float64()-0.5)*2*halfW,
+		g.Spawn.Z+(w.rng.Float64()-0.5)*2*halfW,
+	))
+	return w
+}
+
+// advance moves to the next position per the movement model.
+func (w *walker) advance() {
+	switch w.pattern {
+	case PatternStatic:
+		// stay put
+	case PatternScatter:
+		w.pos = geom.V2(
+			w.bounds.MinX+w.rng.Float64()*(w.bounds.MaxX-w.bounds.MinX),
+			w.bounds.MinZ+w.rng.Float64()*(w.bounds.MaxZ-w.bounds.MinZ),
+		)
+	default: // PatternWalk
+		theta := w.rng.Float64() * 2 * math.Pi
+		w.pos = w.bounds.ClampPoint(geom.V2(
+			w.pos.X+w.step*math.Cos(theta),
+			w.pos.Z+w.step*math.Sin(theta),
+		))
+	}
+}
+
+// Warm replays every player's first `steps` trajectory positions and
+// fetches each distinct grid point once over a single session, so the
+// server's frame store holds the ground a measured run will cover — the
+// load-harness stand-in for the paper's offline pre-rendering of all
+// reachable grid points (§5.1). Returns the number of distinct points
+// fetched.
+func Warm(cfg Config, steps int) (int, error) {
+	if cfg.Players <= 0 {
+		cfg.Players = 1
+	}
+	if cfg.Pattern == "" {
+		cfg.Pattern = PatternWalk
+	}
+	g, err := games.BuildByName(cfg.Game)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: %w", err)
+	}
+	step := cfg.StepM
+	if step <= 0 {
+		step = 3 * g.Scene.Grid.Step
+	}
+	cl, err := server.Dial(cfg.Addr, cfg.Game, 0)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen warm: %w", err)
+	}
+	defer cl.Close()
+	seen := make(map[geom.GridPoint]bool)
+	for p := 0; p < cfg.Players; p++ {
+		w := newWalker(cfg, g, step, p)
+		for s := 0; s < steps; s++ {
+			pt := g.Scene.Grid.Snap(w.pos)
+			if !seen[pt] {
+				seen[pt] = true
+				if _, _, _, err := cl.FetchTraced(pt); err != nil {
+					return len(seen), fmt.Errorf("loadgen warm: %w", err)
+				}
+			}
+			w.advance()
+		}
+	}
+	return len(seen), nil
 }
 
 // runPlayer is one synthetic player's session: connect, walk, fetch.
@@ -194,61 +345,58 @@ func runPlayer(cfg Config, g *games.Game, step float64, p int, deadline time.Tim
 	}
 	defer cl.Close()
 
-	rng := rand.New(rand.NewSource(cfg.Seed*1000003 + int64(p)))
-	bounds := g.Scene.Grid.Bounds
-	// Spread spawn points a little so players don't serialise on one
-	// point's singleflight from the first request.
-	pos := bounds.ClampPoint(geom.V2(
-		g.Spawn.X+(rng.Float64()-0.5)*4*step,
-		g.Spawn.Z+(rng.Float64()-0.5)*4*step,
-	))
+	w := newWalker(cfg, g, step, p)
 
 	var interval time.Duration
 	if cfg.Rate > 0 {
 		interval = time.Duration(float64(time.Second) / cfg.Rate)
+		// Desynchronise the players' request phases: real headsets tick on
+		// independent vsync clocks, so without jitter every player would
+		// fire in the same instant each period — an adversarial burst
+		// pattern no real deployment produces. The jitter draw comes from
+		// a separate source so throttling doesn't shift the trajectory.
+		jrng := rand.New(rand.NewSource(cfg.Seed*7919 + int64(p)))
+		time.Sleep(time.Duration(jrng.Float64() * float64(interval)))
 	}
 	next := time.Now()
 	for time.Now().Before(deadline) {
-		reply, sentMs, doneMs, err := cl.FetchTraced(g.Scene.Grid.Snap(pos))
+		var reqDeadline float64
+		if cfg.DeadlineMs > 0 {
+			reqDeadline = float64(time.Now().UnixNano())/1e6 + cfg.DeadlineMs
+		}
+		reply, sentMs, doneMs, err := cl.FetchWithDeadline(g.Scene.Grid.Snap(w.pos), reqDeadline)
 		if err != nil {
 			st.errors++
-			// A transport error kills the session; a server-side reject
-			// (out-of-grid point, impossible here after clamping) would
-			// arrive as a decoded error and leave the conn usable, but
-			// FetchTraced folds both into err — reconnect is overkill for
-			// a bounded run, so stop this player.
-			return st
-		}
-		st.frames++
-		st.bytes += int64(len(reply.Data))
-		if reply.Kind == transport.FrameDelta {
-			st.deltas++
-		}
-		st.latencies = append(st.latencies, doneMs-sentMs)
-		switch {
-		case reply.RenderMs > 0:
-			st.renders++
-		case reply.QueueMs > 0:
-			st.joins++
-		default:
-			st.hits++
+			// The server answering with an error (a shed under admission
+			// control, an out-of-grid reject) leaves the session usable:
+			// count it, keep its round trip out of the success percentiles,
+			// and walk on. A transport error kills the session.
+			var se *server.ServerError
+			if !errors.As(err, &se) {
+				return st
+			}
+			st.errLatencies = append(st.errLatencies, doneMs-sentMs)
+		} else {
+			st.frames++
+			st.bytes += int64(len(reply.Data))
+			if reply.Kind == transport.FrameDelta {
+				st.deltas++
+			}
+			st.latencies = append(st.latencies, doneMs-sentMs)
+			if int(reply.Rung) < len(st.rungs) {
+				st.rungs[reply.Rung]++
+			}
+			switch {
+			case reply.RenderMs > 0:
+				st.renders++
+			case reply.QueueMs > 0:
+				st.joins++
+			default:
+				st.hits++
+			}
 		}
 
-		switch cfg.Pattern {
-		case PatternStatic:
-			// stay put
-		case PatternScatter:
-			pos = geom.V2(
-				bounds.MinX+rng.Float64()*(bounds.MaxX-bounds.MinX),
-				bounds.MinZ+rng.Float64()*(bounds.MaxZ-bounds.MinZ),
-			)
-		default: // PatternWalk
-			theta := rng.Float64() * 2 * math.Pi
-			pos = bounds.ClampPoint(geom.V2(
-				pos.X+step*math.Cos(theta),
-				pos.Z+step*math.Sin(theta),
-			))
-		}
+		w.advance()
 
 		if interval > 0 {
 			next = next.Add(interval)

@@ -116,6 +116,35 @@ func TestRunRejectsUnknowns(t *testing.T) {
 	}
 }
 
+func TestRunWithDeadline(t *testing.T) {
+	srv, addr := testServer(t)
+	rep, err := Run(Config{
+		Addr: addr, Game: "pool", Players: 4, DeadlineMs: 16.7,
+		Duration: 400 * time.Millisecond, Seed: 13, Server: srv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames == 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.DeadlineMs != 16.7 {
+		t.Errorf("DeadlineMs = %v, want 16.7", rep.DeadlineMs)
+	}
+	// Every successful fetch lands on exactly one rung.
+	if got := rep.RungExact + rep.RungStale + rep.RungReproject + rep.RungLowRes; got != rep.Frames {
+		t.Errorf("rung mix %d != %d frames", got, rep.Frames)
+	}
+	if rep.DeadlineCompliance < 0 || rep.DeadlineCompliance > 1 {
+		t.Errorf("compliance %v out of range", rep.DeadlineCompliance)
+	}
+	// Sheds (if any) must not kill players or leak into the success
+	// percentiles: with errors recorded there must be error percentiles.
+	if rep.Errors > 0 && rep.ErrP50Ms <= 0 {
+		t.Errorf("%d errors but no error latency percentiles: %+v", rep.Errors, rep)
+	}
+}
+
 func TestRateThrottling(t *testing.T) {
 	srv, addr := testServer(t)
 	const rate, secs = 20.0, 0.5

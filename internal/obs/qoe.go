@@ -59,6 +59,16 @@ type PlayerQoE struct {
 	// minus pose-sample time) over the window.
 	MeanFrameMs float64 `json:"mean_frame_ms"`
 	MaxFrameMs  float64 `json:"max_frame_ms"`
+	// DegradedRatio is the fraction of window frames whose delivering
+	// fetch was served off a quality-degrade rung (rung > 0); the Rung*
+	// counts break the degraded frames down by rung. Every rung is
+	// SSIM-bounded (≥ 0.90 against the true frame), so this measures how
+	// often deadline pressure traded exactness for latency, not visible
+	// quality loss.
+	DegradedRatio float64 `json:"degraded_ratio"`
+	RungStale     int     `json:"rung_stale"`
+	RungReproject int     `json:"rung_reproject"`
+	RungLowRes    int     `json:"rung_lowres"`
 }
 
 // QoESnapshot is a point-in-time QoE summary over the recorded spans.
@@ -140,6 +150,9 @@ type accQoE struct {
 	missed     int
 	compliant  int
 	hits       int
+	rungStale  int
+	rungReproj int
+	rungLowRes int
 	frameSum   float64
 	frameMax   float64
 	firstMs    float64
@@ -162,6 +175,14 @@ func (a *accQoE) add(ps []FrameSpan, budget float64) {
 		}
 		if sp.CacheHit {
 			a.hits++
+		}
+		switch sp.DegradeRung {
+		case 1:
+			a.rungStale++
+		case 2:
+			a.rungReproj++
+		case 3:
+			a.rungLowRes++
 		}
 		if i > 0 {
 			if inter := sp.DisplayMs - ps[i-1].DisplayMs; inter > budget*missedVsyncFactor {
@@ -187,6 +208,8 @@ func (a *accQoE) finish(player int) PlayerQoE {
 	q.MissedVsyncRatio = float64(a.missed) / float64(a.frames)
 	q.BudgetComplianceRatio = float64(a.compliant) / float64(a.frames)
 	q.CacheHitRate = float64(a.hits) / float64(a.frames)
+	q.RungStale, q.RungReproject, q.RungLowRes = a.rungStale, a.rungReproj, a.rungLowRes
+	q.DegradedRatio = float64(a.rungStale+a.rungReproj+a.rungLowRes) / float64(a.frames)
 	if a.frames > 1 && a.lastMs > a.firstMs {
 		q.WindowFPS = float64(a.frames-1) / (a.lastMs - a.firstMs) * 1000
 	}

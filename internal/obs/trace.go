@@ -58,6 +58,11 @@ type FrameSpan struct {
 	// DeltaFrame reports whether the fetch this frame waited on was served
 	// delta-coded against a reference this client already held.
 	DeltaFrame bool `json:"delta_frame"`
+	// DegradeRung is the quality-degrade rung of the delivering fetch
+	// (transport.DegradeRung values: 0 exact, 1 stale-similar, 2
+	// reprojected-under-pressure, 3 low-res upscaled). Always 0 on cache
+	// hits and on backends without a deadline scheduler.
+	DegradeRung uint8 `json:"degrade_rung"`
 }
 
 // FetchStages decomposes one BE-frame fetch round trip across the
@@ -87,6 +92,9 @@ type FetchStages struct {
 	// DeltaFrame reports whether the frame arrived delta-coded against a
 	// held reference instead of intra-coded.
 	DeltaFrame bool
+	// DegradeRung is the server's quality-degrade rung for the frame
+	// (transport.DegradeRung values); 0 when the frame is exact.
+	DegradeRung uint8
 	// Valid marks stages actually populated by the source.
 	Valid bool
 }

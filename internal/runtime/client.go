@@ -54,9 +54,13 @@ type Client struct {
 	// stages is the source's optional cross-node trace capability (span
 	// schema v2); nil when the source does not report stage decompositions.
 	stages StageReporter
-	net    NetMonitor
-	lat    *LatencyAcc
-	therm  *device.Thermal
+	// deadlines is the source's optional deadline capability: when non-nil,
+	// the pipeline stamps each fetch-triggering call with the virtual time
+	// its reply is needed by, and the server prioritises against it.
+	deadlines DeadlineSetter
+	net       NetMonitor
+	lat       *LatencyAcc
+	therm     *device.Thermal
 
 	seq uint32
 	// prevPredicted is the grid point the previous frame's prefetch
@@ -151,6 +155,7 @@ func NewClient(id int, cfg Config, d Deps) *Client {
 		therm: cfg.Device.NewThermal(),
 	}
 	c.stages, _ = d.Source.(StageReporter)
+	c.deadlines, _ = d.Source.(DeadlineSetter)
 	if d.Obs != nil {
 		c.obs = instrumentPipeline(d.Obs)
 		c.ring = d.Obs.Trace()
@@ -217,6 +222,7 @@ func (c *Client) frame() {
 		// Sequential remote pipeline: render + encode on the server, then
 		// transfer, then hardware decode and display locally.
 		pt := c.cfg.Grid.Snap(pos)
+		c.setDeadline(now + dev.VsyncMs)
 		c.src.Fetch(c.id, pt, func(_ []byte, size int, _, end float64) {
 			c.noteSize(size)
 			decodeMs := dev.DecodeMs(size)
@@ -251,6 +257,11 @@ func (c *Client) frame() {
 		// first, server on miss. This stream defines the cache hit ratio.
 		look := c.pf.Cfg.LookaheadSec
 		predicted := c.cfg.Grid.Snap(geom.V2(pos.X+vel.X*look, pos.Z+vel.Z*look))
+		// The prefetched frame is needed when the player reaches the
+		// predicted point — the lookahead horizon, floored at two display
+		// intervals so a tiny lookahead never makes speculative traffic
+		// more urgent than the frame on screen.
+		c.setDeadline(now + math.Max(look*1000, 2*dev.VsyncMs))
 		if c.pf.RequestTracked(predicted, func(_ int, at float64) {
 			c.span.PrefetchMs = at - now
 			join.arrive(at)
@@ -271,6 +282,9 @@ func (c *Client) frame() {
 		c.prevPredicted, c.hasPrevPredicted = predicted, true
 
 		join.fire = func(tasksReady float64) {
+			// The display blocks on this frame: its reply is needed by the
+			// next vsync.
+			c.setDeadline(now + dev.VsyncMs)
 			c.pf.Ensure(need, now, func(size int, readyAt float64) {
 				c.noteSize(size)
 				decodeMs := dev.DecodeMs(size)
@@ -344,6 +358,15 @@ func (c *Client) fillFetchStages() {
 	c.span.RenderMs = st.RenderMs
 	c.span.EncodeMs = st.EncodeMs
 	c.span.DeltaFrame = st.DeltaFrame
+	c.span.DegradeRung = st.DegradeRung
+}
+
+// setDeadline stamps the source's next fetch with the virtual time its
+// reply is needed by, when the source supports deadlines.
+func (c *Client) setDeadline(virtualMs float64) {
+	if c.deadlines != nil {
+		c.deadlines.SetFetchDeadline(virtualMs)
+	}
 }
 
 func (c *Client) noteSize(size int) {

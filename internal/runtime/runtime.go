@@ -56,6 +56,18 @@ type StageReporter interface {
 	LastFetchStages() obs.FetchStages
 }
 
+// DeadlineSetter is an optional FrameSource capability: sources that can
+// carry a deadline to the server (the live TCP backend) accept the
+// virtual session time by which the *next* Fetch's reply is needed. The
+// pipeline stamps it immediately before each fetch-triggering call on
+// the clock goroutine; the source consumes it on that fetch (so a call
+// that turns out to be a cache hit leaves no deadline armed). Sources
+// without the capability simply fetch without deadlines, preserving the
+// pre-scheduler behaviour.
+type DeadlineSetter interface {
+	SetFetchDeadline(virtualMs float64)
+}
+
 // FISync exchanges foreground-interaction state with the other players
 // (§5.1 task 4). done, when non-nil, fires with the session time at which
 // the round trip completes — one of the parallel terms of the Eq. 2 max.

@@ -1,0 +1,295 @@
+// Package sched is the server's deadline-aware render scheduler: an
+// EDF (earliest-deadline-first) admission gate in front of the render
+// path. Render leaders Acquire a slot before touching the renderer and
+// Release it after; at most Workers slots run concurrently (the
+// concurrency knee — past it, added concurrency only inflates every
+// request's latency on a fixed core budget), and waiters are granted
+// slots in deadline order rather than arrival order, so a request whose
+// vsync is imminent overtakes prerender and deadline-less traffic.
+//
+// Admission control bounds the queue: once MaxQueue waiters are parked,
+// Acquire sheds (returns ok=false without blocking) and the caller
+// degrades or rejects instead of joining a queue it cannot clear in
+// time. The scheduler also keeps an EWMA of the full-render cost so
+// callers can ask, before committing to a render, whether a deadline is
+// already at risk (AtRisk) — the trigger for the server's quality
+// degrade ladder — and so a granted slot can be flagged Rushed when the
+// remaining budget no longer covers a full render.
+//
+// The scheduler owns no goroutines: a releasing slot hands directly to
+// the minimum-deadline waiter, so an idle scheduler costs one mutex.
+package sched
+
+import (
+	"container/heap"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"coterie/internal/obs"
+)
+
+// defaultWorkers is the knee when Config.Workers is 0: one render slot
+// per schedulable core.
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers is the concurrency knee: the number of render slots that
+	// may run at once. 0 means one slot per schedulable core
+	// (GOMAXPROCS at construction).
+	Workers int
+	// MaxQueue bounds the waiters parked behind the knee; Acquire sheds
+	// once it is reached. 0 means DefaultMaxQueue.
+	MaxQueue int
+	// CostMs seeds the full-render cost estimate before the first
+	// ObserveCost. 0 means DefaultCostMs.
+	CostMs float64
+}
+
+const (
+	// DefaultMaxQueue bounds the EDF queue when Config.MaxQueue is 0. At
+	// ~10 ms per queued render on one core, a full default queue already
+	// represents multiple seconds of backlog — far past any vsync
+	// deadline — so a larger bound would only delay the inevitable shed.
+	DefaultMaxQueue = 256
+	// DefaultCostMs seeds the render-cost EWMA before any observation
+	// (roughly one 256×128 panorama + encode on the reference core).
+	DefaultCostMs = 10
+	// costEWMAWeight is the weight of a new observation in the cost
+	// EWMA; renders are frequent, so a light weight smooths scene- and
+	// resolution-dependent jitter without lagging load shifts.
+	costEWMAWeight = 0.2
+)
+
+// Info describes a granted slot.
+type Info struct {
+	// QueueMs is how long the caller waited for the slot.
+	QueueMs float64
+	// Rushed reports that, at grant time, the remaining budget to the
+	// request's deadline no longer covered an estimated full render —
+	// the caller should degrade if it can.
+	Rushed bool
+}
+
+// Scheduler is an EDF slot gate. The zero value is not usable; call New.
+type Scheduler struct {
+	mu      sync.Mutex
+	workers int
+	maxQ    int
+	running int
+	waiters waiterHeap
+	seq     uint64
+	costMs  float64
+
+	sheds *obs.Counter
+	depth *obs.Gauge
+	wait  *obs.Histogram
+}
+
+type waiter struct {
+	deadline float64 // absolute wall ms; +Inf when the request has none
+	seq      uint64  // FIFO tie-break among equal deadlines
+	ready    chan struct{}
+	idx      int
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].seq < h[j].seq
+}
+func (h waiterHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+func (h *waiterHeap) Push(x any) {
+	w := x.(*waiter)
+	w.idx = len(*h)
+	*h = append(*h, w)
+}
+func (h *waiterHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// New creates a scheduler with cfg's knee and queue bound.
+func New(cfg Config) *Scheduler {
+	w := cfg.Workers
+	if w <= 0 {
+		w = defaultWorkers()
+	}
+	q := cfg.MaxQueue
+	if q <= 0 {
+		q = DefaultMaxQueue
+	}
+	c := cfg.CostMs
+	if c <= 0 {
+		c = DefaultCostMs
+	}
+	return &Scheduler{workers: w, maxQ: q, costMs: c}
+}
+
+// Instrument resolves the scheduler's instruments from r under the given
+// name prefix (e.g. "server.sched"): <prefix>.sheds counts rejected
+// admissions, <prefix>.queue_depth gauges parked waiters, and
+// <prefix>.queue_wait_ms histograms slot waits.
+func (s *Scheduler) Instrument(r *obs.Registry, prefix string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sheds = r.Counter(prefix + ".sheds")
+	s.depth = r.Gauge(prefix + ".queue_depth")
+	s.wait = r.Histogram(prefix + ".queue_wait_ms")
+}
+
+// SetWorkers adjusts the concurrency knee at runtime. Raising it grants
+// slots to queued waiters immediately; lowering it takes effect as
+// running work releases.
+func (s *Scheduler) SetWorkers(n int) {
+	if n <= 0 {
+		n = defaultWorkers()
+	}
+	s.mu.Lock()
+	s.workers = n
+	for s.running < s.workers && s.waiters.Len() > 0 {
+		w := heap.Pop(&s.waiters).(*waiter)
+		s.running++
+		close(w.ready)
+	}
+	s.depth.Set(int64(s.waiters.Len()))
+	s.mu.Unlock()
+}
+
+// Workers returns the current concurrency knee.
+func (s *Scheduler) Workers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.workers
+}
+
+// QueueDepth returns the number of parked waiters.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waiters.Len()
+}
+
+// ObserveCost folds one measured full-render cost (ms) into the EWMA
+// that backs AtRisk and Rushed.
+func (s *Scheduler) ObserveCost(ms float64) {
+	if ms <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.costMs += costEWMAWeight * (ms - s.costMs)
+	s.mu.Unlock()
+}
+
+// CostMs returns the current full-render cost estimate.
+func (s *Scheduler) CostMs() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.costMs
+}
+
+// AtRisk reports whether a request due at deadlineMs (absolute wall ms;
+// <=0 means no deadline) is unlikely to be served by a full render in
+// time: the work already admitted, spread over the knee, plus the
+// request's own render is projected past the deadline. Callers use this
+// before committing to the render path — a true return is the cue to
+// serve a degraded-but-SSIM-bounded frame instead.
+func (s *Scheduler) AtRisk(nowMs, deadlineMs float64) bool {
+	if deadlineMs <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	ahead := float64(s.waiters.Len()+s.running) / float64(s.workers)
+	eta := nowMs + (ahead+1)*s.costMs
+	s.mu.Unlock()
+	return eta > deadlineMs
+}
+
+// Acquire blocks until a render slot is granted (in EDF order among
+// waiters) and returns slot info, or sheds immediately (ok=false, no
+// slot held) when the queue is at its admission bound. deadlineMs is
+// the request's absolute wall-clock deadline in ms; <=0 means none —
+// such requests sort after all deadline traffic and are never Rushed.
+// Every ok=true return must be paired with Release.
+func (s *Scheduler) Acquire(deadlineMs float64) (Info, bool) {
+	dl := deadlineMs
+	if dl <= 0 {
+		dl = math.Inf(1)
+	}
+	s.mu.Lock()
+	if s.running < s.workers && s.waiters.Len() == 0 {
+		s.running++
+		rushed := s.rushedLocked(deadlineMs)
+		s.mu.Unlock()
+		return Info{Rushed: rushed}, true
+	}
+	if s.waiters.Len() >= s.maxQ {
+		s.mu.Unlock()
+		s.sheds.Inc()
+		return Info{}, false
+	}
+	s.seq++
+	w := &waiter{deadline: dl, seq: s.seq, ready: make(chan struct{})}
+	heap.Push(&s.waiters, w)
+	s.depth.Set(int64(s.waiters.Len()))
+	s.mu.Unlock()
+
+	start := time.Now()
+	<-w.ready
+	queueMs := float64(time.Since(start)) / float64(time.Millisecond)
+	s.wait.Observe(queueMs)
+
+	s.mu.Lock()
+	rushed := s.rushedLocked(deadlineMs)
+	s.mu.Unlock()
+	return Info{QueueMs: queueMs, Rushed: rushed}, true
+}
+
+// rushedLocked: with the slot granted, does an estimated full render
+// still fit before the deadline?
+func (s *Scheduler) rushedLocked(deadlineMs float64) bool {
+	if deadlineMs <= 0 {
+		return false
+	}
+	return wallMs()+s.costMs > deadlineMs
+}
+
+// Release returns a slot. fullCostMs, when >0, is the measured cost of
+// the full render+encode the slot performed and feeds the cost EWMA
+// (pass 0 for degraded or failed work, which is not representative).
+// The slot hands directly to the minimum-deadline waiter, if any.
+func (s *Scheduler) Release(fullCostMs float64) {
+	s.mu.Lock()
+	if fullCostMs > 0 {
+		s.costMs += costEWMAWeight * (fullCostMs - s.costMs)
+	}
+	if s.waiters.Len() > 0 && s.running <= s.workers {
+		w := heap.Pop(&s.waiters).(*waiter)
+		s.depth.Set(int64(s.waiters.Len()))
+		close(w.ready) // slot transfers: running count unchanged
+	} else {
+		s.running--
+	}
+	s.mu.Unlock()
+}
+
+// wallMs is the scheduler's wall clock: Unix milliseconds as float, the
+// same epoch and unit the transport's deadline field carries.
+func wallMs() float64 { return float64(time.Now().UnixNano()) / 1e6 }
+
+// NowMs exposes the scheduler's wall clock for callers that need to
+// compare against the same epoch (tests, deadline stamping).
+func NowMs() float64 { return wallMs() }

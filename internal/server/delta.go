@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"math"
 	"sync"
 
@@ -92,20 +93,61 @@ func (sr *sessionRefs) drop(pts []geom.GridPoint) {
 // the client holds whenever that wins bytes. Intra serves register the
 // frame as the session's next pending reference; delta serves do not
 // (delta frames never become references).
-func (s *Server) frameForSession(pt geom.GridPoint, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, stg frameStages, err error) {
-	intra, _, seq, stg, err := s.frameForStaged(pt)
-	if err != nil {
-		return nil, transport.FrameIntra, geom.GridPoint{}, stg, err
+//
+// deadlineMs (absolute server wall ms; <=0 none) arms the degrade
+// ladder. Before committing to the render path, a deadline the
+// scheduler projects as already at risk is served from the stale rung
+// when a calibrated substitute is cached (a store hit needs no such
+// rescue — it is the substitute); the same fallback rescues a request
+// shed by admission control. Stale and low-res serves bypass the delta
+// path and never become references: their bytes are not the render of
+// pt a later delta would have to name.
+func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, rung transport.DegradeRung, stg frameStages, err error) {
+	if deadlineMs > 0 && !s.schedOff.Load() && !s.degradeOff.Load() &&
+		s.sched.AtRisk(wallMs(), deadlineMs) {
+		if stale, refPt, seq, ok := s.staleFor(pt); ok {
+			if refPt == pt {
+				// The exact frame is cached: serve it as the store hit it is
+				// and let the delta path shrink it as usual.
+				s.obs.frameStoreHits.Inc()
+				return s.deltaOrIntra(pt, seq, stale, sr, transport.RungExact, stg)
+			}
+			s.obs.degradeStale.Inc()
+			return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, stg, nil
+		}
 	}
+	intra, _, seq, rung, fstg, err := s.frameForStaged(pt, deadlineMs)
+	stg = fstg
+	if err != nil {
+		if errors.Is(err, errOverloaded) && !s.degradeOff.Load() {
+			if stale, refPt, _, ok := s.staleFor(pt); ok && refPt != pt {
+				s.obs.degradeStale.Inc()
+				return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, stg, nil
+			}
+		}
+		return nil, transport.FrameIntra, geom.GridPoint{}, transport.RungExact, stg, err
+	}
+	if rung == transport.RungLowRes {
+		// Transient frame: seq is 0, it is not in the store, and it must not
+		// become a delta reference — serve the bytes as-is.
+		return intra, transport.FrameIntra, geom.GridPoint{}, rung, stg, nil
+	}
+	return s.deltaOrIntra(pt, seq, intra, sr, rung, stg)
+}
+
+// deltaOrIntra finishes a store-backed serve (rung 0 or 2): delta-code
+// against the session's best held reference when that wins bytes, else
+// serve intra and register the frame as the next pending reference.
+func (s *Server) deltaOrIntra(pt geom.GridPoint, seq uint64, intra []byte, sr *sessionRefs, rung transport.DegradeRung, stg frameStages) ([]byte, transport.FrameEncoding, geom.GridPoint, transport.DegradeRung, frameStages, error) {
 	if !s.deltaOff.Load() {
 		if d, refPt, ok := s.deltaFor(pt, seq, intra, sr); ok {
 			s.obs.deltaFrames.Inc()
 			s.obs.deltaSaved.Add(int64(len(intra) - len(d)))
-			return d, transport.FrameDelta, refPt, stg, nil
+			return d, transport.FrameDelta, refPt, rung, stg, nil
 		}
 	}
 	sr.setPending(pt, seq)
-	return intra, transport.FrameIntra, geom.GridPoint{}, stg, nil
+	return intra, transport.FrameIntra, geom.GridPoint{}, rung, stg, nil
 }
 
 // deltaFor tries to produce a delta encoding of frame (pt, seq) against
@@ -341,7 +383,9 @@ func (p *panoCache) put(pt geom.GridPoint, seq uint64, recon, clean *img.Gray) {
 
 // nearest returns the cached point closest to pt (by grid distance) that
 // carries a clean raster and is accepted by keep, scanning the whole
-// cache (it is small by construction). The raster is shared; see get.
+// cache (it is small by construction). Equidistant candidates tie-break
+// on (J, I) so the warp source — and therefore the served bytes — do not
+// depend on map iteration order. The raster is shared; see get.
 func (p *panoCache) nearest(pt geom.GridPoint, grid geom.Grid, keep func(geom.GridPoint) bool) (geom.GridPoint, *img.Gray, bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -353,7 +397,9 @@ func (p *panoCache) nearest(pt geom.GridPoint, grid geom.Grid, keep func(geom.Gr
 			continue
 		}
 		d := grid.Dist(pt, cand)
-		if bestG == nil || d < bestDist {
+		better := bestG == nil || d < bestDist ||
+			(d == bestDist && (cand.J < bestPt.J || (cand.J == bestPt.J && cand.I < bestPt.I)))
+		if better {
 			bestPt, bestG, bestDist = cand, e.clean, d
 		}
 	}

@@ -2,8 +2,10 @@ package server
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -198,7 +200,7 @@ func TestStoreDeltaCache(t *testing.T) {
 		t.Fatal("expected to lead the first render")
 	}
 	frame := make([]byte, 100)
-	seq := st.complete(pt, c, frame, nil)
+	seq := st.complete(pt, c, frame, nil, true)
 	if seq == 0 {
 		t.Fatal("completed render got no sequence number")
 	}
@@ -379,4 +381,69 @@ func TestRunLiveTinyRefBudget(t *testing.T) {
 	if st := completed[0]; st.Err != "" {
 		t.Errorf("session under ref-budget pressure ended with error: %s", st.Err)
 	}
+}
+
+// TestFrameForSessionRacesEviction hammers the staged serve path from two
+// concurrent sessions over neighbouring points while a third goroutine
+// churns the store budget, so LRU eviction races the in-flight delta
+// encodings and reference reads the sessions perform. Run under -race this
+// pins the store's slice-ownership contract end to end: every serve must
+// either return intact frame bytes or the overload error — never bytes an
+// evictor mutated.
+func TestFrameForSessionRacesEviction(t *testing.T) {
+	srv := New(poolEnv(t))
+	grid := srv.env.Game.Scene.Grid
+	spawn := grid.Snap(srv.env.Game.Spawn)
+
+	const iters = 60
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				srv.SetStoreBudget(2 << 10)
+			} else {
+				srv.SetStoreBudget(0)
+			}
+		}
+	}()
+
+	var sessions sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		sessions.Add(1)
+		go func(p int) {
+			defer sessions.Done()
+			sr := newSessionRefs()
+			for i := 0; i < iters; i++ {
+				pt := geom.GridPoint{I: spawn.I + (i+p)%3, J: spawn.J + i%2}
+				var dl float64
+				if i%3 == 0 {
+					dl = wallMs() + 16.7
+				}
+				sr.promote()
+				data, _, _, _, _, err := srv.frameForSession(pt, dl, sr)
+				if err != nil {
+					if errors.Is(err, errOverloaded) {
+						continue
+					}
+					t.Errorf("session %d iter %d: %v", p, i, err)
+					return
+				}
+				if len(data) == 0 {
+					t.Errorf("session %d iter %d: empty frame", p, i)
+					return
+				}
+			}
+		}(p)
+	}
+	sessions.Wait()
+	close(stop)
+	churn.Wait()
 }

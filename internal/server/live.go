@@ -228,6 +228,11 @@ type liveSource struct {
 	// goroutine (Post callbacks and the post-run report, which share
 	// RunLive's goroutine).
 	wallMs []float64
+	// nextDeadlineMs is the virtual session time the next Fetch's reply is
+	// needed by (runtime.DeadlineSetter), consumed by that Fetch; 0 means
+	// none armed. Clock goroutine only, like the offset fields it is
+	// converted against.
+	nextDeadlineMs float64
 	// last is the stage decomposition of the most recent completed fetch
 	// (runtime.StageReporter). bestNetMs/offsetMs hold the NTP-style clock
 	// offset estimate, min-RTT filtered: the sample whose network-only
@@ -245,11 +250,12 @@ type liveSource struct {
 // wedges; the error surfaces through firstError after the run.
 func (s *liveSource) Fetch(player int, pt geom.GridPoint, done func(data []byte, size int, startMs, endMs float64)) {
 	startVirtual := s.clock.Now()
+	deadlineMs := s.consumeDeadline(startVirtual)
 	s.clock.IOStarted()
 	s.inflight.Add(1)
 	go func() {
 		t0 := time.Now()
-		reply, sentMs, doneMs, err := s.fetchOnce(pt)
+		reply, sentMs, doneMs, err := s.fetchOnce(pt, deadlineMs)
 		wall := time.Since(t0)
 		s.inflight.Add(-1)
 		s.clock.Post(func() {
@@ -289,13 +295,14 @@ func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rt
 		queue, render, encode = queue*f, render*f, encode*f
 	}
 	s.last = obs.FetchStages{
-		NetMs:      rttVirtual - queue - render - encode,
-		QueueMs:    queue,
-		RenderMs:   render,
-		EncodeMs:   encode,
-		RTTMs:      rttVirtual,
-		DeltaFrame: reply.Kind == transport.FrameDelta,
-		Valid:      true,
+		NetMs:       rttVirtual - queue - render - encode,
+		QueueMs:     queue,
+		RenderMs:    render,
+		EncodeMs:    encode,
+		RTTMs:       rttVirtual,
+		DeltaFrame:  reply.Kind == transport.FrameDelta,
+		DegradeRung: uint8(reply.Rung),
+		Valid:       true,
 	}
 	// NTP offset: t0=sentMs (client), t1=RecvMs, t2=SendMs (server),
 	// t3=doneMs (client). The network-only RTT excludes server hold time.
@@ -312,10 +319,30 @@ func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rt
 // LastFetchStages implements runtime.StageReporter.
 func (s *liveSource) LastFetchStages() obs.FetchStages { return s.last }
 
+// SetFetchDeadline implements runtime.DeadlineSetter: the next Fetch's
+// reply is needed by this virtual session time. Clock goroutine only.
+func (s *liveSource) SetFetchDeadline(virtualMs float64) { s.nextDeadlineMs = virtualMs }
+
+// consumeDeadline converts the armed virtual deadline into the server's
+// absolute wall clock (unix ms) and clears it. The remaining virtual
+// budget shrinks to a wall budget through the replay speed, and the
+// NTP-estimated clock offset re-anchors it to the server's epoch; before
+// the first offset estimate the deadline is sent on the client's clock,
+// which loopback (offset ≈ 0) and same-host runs tolerate. Clock
+// goroutine only.
+func (s *liveSource) consumeDeadline(nowVirtual float64) float64 {
+	v := s.nextDeadlineMs
+	if v <= 0 {
+		return 0
+	}
+	s.nextDeadlineMs = 0
+	return float64(time.Now().UnixNano())/1e6 + (v-nowVirtual)/s.speed + s.offsetMs
+}
+
 // fetchOnce serialises one request/reply exchange on the connection.
 // Queued reference evictions are reported first, so the server never
 // deltas against a frame this client has dropped.
-func (s *liveSource) fetchOnce(pt geom.GridPoint) (transport.FrameReply, float64, float64, error) {
+func (s *liveSource) fetchOnce(pt geom.GridPoint, deadlineMs float64) (transport.FrameReply, float64, float64, error) {
 	s.connMu.Lock()
 	defer s.connMu.Unlock()
 	if s.err != nil {
@@ -328,7 +355,7 @@ func (s *liveSource) fetchOnce(pt geom.GridPoint) (transport.FrameReply, float64
 		}
 		s.pendingEvicts = s.pendingEvicts[:0]
 	}
-	reply, sentMs, doneMs, err := s.cl.FetchTraced(pt)
+	reply, sentMs, doneMs, err := s.cl.FetchWithDeadline(pt, deadlineMs)
 	if err == nil && s.decode {
 		err = s.decodeReply(pt, reply)
 	}

@@ -649,3 +649,136 @@ func TestLoopbackStoreMetrics(t *testing.T) {
 		t.Error("re-fetch of a resident point did not count as a store hit")
 	}
 }
+
+// TestSchedulerByteIdentityUnloaded pins the refactor's core invariant:
+// with nobody else on the server, the staged pipeline (EDF scheduler +
+// degrade ladder) must be invisible — byte-identical frames, same
+// encodings, rung 0 — compared to the scheduler-off path. Two identical
+// warmed servers serve the same single-player request stream, one with the
+// scheduler on (the default), one with it off, and every reply must match
+// byte for byte. The sim backend (which stamps the same deadlines through
+// the shared pipeline) is checked for determinism, and the full live
+// runtime pipeline is replayed against both servers to assert neither arm
+// degrades a single frame when unloaded.
+func TestSchedulerByteIdentityUnloaded(t *testing.T) {
+	env := poolEnv(t)
+	tr := trace.Generate(env.Game, 2, 11)
+
+	srvOn, addrOn := startLiveServer(t)
+	regOn := obs.NewRegistry()
+	srvOn.Instrument(regOn)
+	srvOff, addrOff := startLiveServer(t)
+	srvOff.SetSchedEnabled(false)
+	warmServer(t, srvOn, tr)
+	warmServer(t, srvOff, tr)
+
+	// Raw-session byte identity: the same walk, alternating deadline-free
+	// and deadline-stamped fetches, against both arms.
+	clOn, err := Dial(addrOn, "pool", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clOn.Close()
+	clOff, err := Dial(addrOff, "pool", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer clOff.Close()
+	grid := env.Game.Scene.Grid
+	stride := len(tr.Pos)/40 + 1
+	for i := 0; i < len(tr.Pos); i += stride {
+		pt := grid.Snap(tr.Pos[i])
+		var dlOn, dlOff float64
+		if i%2 == 0 {
+			dlOn, dlOff = wallMs()+100, wallMs()+100
+		}
+		rOn, _, _, err := clOn.FetchWithDeadline(pt, dlOn)
+		if err != nil {
+			t.Fatalf("sched-on fetch %v: %v", pt, err)
+		}
+		rOff, _, _, err := clOff.FetchWithDeadline(pt, dlOff)
+		if err != nil {
+			t.Fatalf("sched-off fetch %v: %v", pt, err)
+		}
+		if rOn.Rung != transport.RungExact || rOff.Rung != transport.RungExact {
+			t.Fatalf("point %v: unloaded serve degraded: rungs %d/%d", pt, rOn.Rung, rOff.Rung)
+		}
+		if rOn.Kind != rOff.Kind || rOn.Ref != rOff.Ref {
+			t.Fatalf("point %v: encodings diverged: kind %d ref %v vs kind %d ref %v",
+				pt, rOn.Kind, rOn.Ref, rOff.Kind, rOff.Ref)
+		}
+		if !bytesEqual(rOn.Data, rOff.Data) {
+			t.Fatalf("point %v: frame bytes diverged (%d vs %d bytes)", pt, len(rOn.Data), len(rOff.Data))
+		}
+	}
+	if n := regOn.Counter("server.degrade_stale").Value() +
+		regOn.Counter("server.degrade_reproject").Value() +
+		regOn.Counter("server.degrade_lowres").Value() +
+		regOn.Counter("server.sched.sheds").Value(); n != 0 {
+		t.Errorf("unloaded raw session took %d degrade/shed actions", n)
+	}
+
+	// Sim backend: the deadline-stamping pipeline must stay deterministic —
+	// two identical runs, identical results.
+	runSim := func() *core.Result {
+		sim, err := core.RunSession(env, core.SessionConfig{
+			System:  core.Coterie,
+			Players: 1,
+			Seconds: tr.Seconds(),
+			Traces:  []*trace.Trace{tr},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	sim1, sim2 := runSim(), runSim()
+	if sim1.Per[0].Frames != sim2.Per[0].Frames ||
+		sim1.Per[0].CacheHitRatio != sim2.Per[0].CacheHitRatio ||
+		sim1.Per[0].PrefetchIssued != sim2.Per[0].PrefetchIssued {
+		t.Errorf("sim backend nondeterministic under deadline stamping: %+v vs %+v",
+			sim1.Per[0], sim2.Per[0])
+	}
+
+	// Full live pipeline over both arms: same trace, and neither arm may
+	// degrade a frame on a warmed, unloaded server.
+	for _, arm := range []struct {
+		name string
+		addr string
+	}{{"sched-on", addrOn}, {"sched-off", addrOff}} {
+		live, err := RunLive(env, arm.addr, tr, 0, LiveConfig{
+			Speed:        4,
+			DecodeFrames: true,
+			IdleTimeout:  10 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", arm.name, err)
+		}
+		if live.Metrics.Frames == 0 || live.Fetches == 0 {
+			t.Fatalf("%s: live session went nowhere: %+v", arm.name, live)
+		}
+		if d := live.Metrics.CacheHitRatio - sim1.Per[0].CacheHitRatio; d < -0.2 || d > 0.2 {
+			t.Errorf("%s: cache hit ratio diverged from sim: %.3f vs %.3f",
+				arm.name, live.Metrics.CacheHitRatio, sim1.Per[0].CacheHitRatio)
+		}
+	}
+	if n := regOn.Counter("server.degrade_stale").Value() +
+		regOn.Counter("server.degrade_reproject").Value() +
+		regOn.Counter("server.degrade_lowres").Value() +
+		regOn.Counter("server.sched.sheds").Value(); n != 0 {
+		t.Errorf("unloaded live pipeline took %d degrade/shed actions", n)
+	}
+}
+
+// bytesEqual avoids importing bytes solely for one comparison.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -24,6 +24,7 @@ import (
 	"coterie/internal/geom"
 	"coterie/internal/img"
 	"coterie/internal/obs"
+	"coterie/internal/sched"
 	"coterie/internal/transport"
 )
 
@@ -59,6 +60,18 @@ type Server struct {
 	// so the zero-valued Server keeps today's defaults.
 	deltaOff  atomic.Bool
 	reprojOff atomic.Bool
+
+	// sched gates every render leader: an EDF queue with a concurrency
+	// knee (SetMaxInflight) and admission control, so a request whose
+	// vsync deadline is imminent overtakes prerender and deadline-less
+	// traffic instead of queueing FIFO behind it. schedOff bypasses the
+	// gate entirely (the pre-scheduler serve path, for A/B runs and the
+	// byte-identity tests); degradeOff keeps the scheduler but disables
+	// the quality ladder, so at-risk requests render in full and simply
+	// miss. Both inverted so the zero-valued Server has them enabled.
+	sched      *sched.Scheduler
+	schedOff   atomic.Bool
+	degradeOff atomic.Bool
 
 	mu  sync.Mutex // guards hub
 	hub *fisync.Hub
@@ -97,6 +110,16 @@ type serverObs struct {
 	deltaSaved     *obs.Counter
 	reprojHits     *obs.Counter
 	reprojRejects  *obs.Counter
+
+	// Deadline scheduling and the quality-degrade ladder.
+	degradeStale   *obs.Counter
+	degradeReproj  *obs.Counter
+	degradeLowres  *obs.Counter
+	lowresRejects  *obs.Counter
+	deadlineMet    *obs.Counter
+	deadlineMisses *obs.Counter
+	deadlineMissMs *obs.Histogram
+	udpSendErrors  *obs.Counter
 }
 
 // SetStoreBudget bounds the frame store to the given number of encoded
@@ -137,12 +160,21 @@ func (s *Server) Instrument(r *obs.Registry) {
 		deltaSaved:     r.Counter("server.delta_bytes_saved"),
 		reprojHits:     r.Counter("server.reproject_hits"),
 		reprojRejects:  r.Counter("server.reproject_rejects"),
+		degradeStale:   r.Counter("server.degrade_stale"),
+		degradeReproj:  r.Counter("server.degrade_reproject"),
+		degradeLowres:  r.Counter("server.degrade_lowres"),
+		lowresRejects:  r.Counter("server.lowres_rejects"),
+		deadlineMet:    r.Counter("server.deadline_met"),
+		deadlineMisses: r.Counter("server.deadline_misses"),
+		deadlineMissMs: r.Histogram("server.deadline_miss_ms"),
+		udpSendErrors:  r.Counter("server.udp_send_errors"),
 	}
 	s.store.instrument(
 		r.Gauge("server.store_bytes"),
 		r.Counter("server.evictions"),
 		r.Histogram("server.store_shard_lock_wait_ms"),
 	)
+	s.sched.Instrument(r, "server.sched")
 	s.tm = transport.NewMetrics(r, "server.transport")
 }
 
@@ -188,6 +220,7 @@ func New(env *core.Env) *Server {
 		env:      env,
 		store:    newFrameStore(0),
 		panos:    newPanoCache(defaultPanoCacheCap),
+		sched:    sched.New(sched.Config{}),
 		hub:      fisync.NewHub(),
 		sessions: make(map[net.Conn]struct{}),
 	}
@@ -203,6 +236,29 @@ func (s *Server) SetDeltaEnabled(on bool) { s.deltaOff.Store(!on) }
 // any time.
 func (s *Server) SetReprojectEnabled(on bool) { s.reprojOff.Store(!on) }
 
+// SetSchedEnabled toggles the deadline scheduler (enabled by default).
+// With it off, render leaders run unscheduled and unshed — the
+// pre-scheduler FIFO path, kept for A/B benchmarks and the unloaded
+// byte-identity assertion. Safe to call at any time.
+func (s *Server) SetSchedEnabled(on bool) { s.schedOff.Store(!on) }
+
+// SetDegradeEnabled toggles the quality-degrade ladder (enabled by
+// default). With it off, requests whose deadlines are at risk still
+// render in full (and miss); the scheduler's EDF ordering and admission
+// control stay active. Safe to call at any time.
+func (s *Server) SetDegradeEnabled(on bool) { s.degradeOff.Store(!on) }
+
+// SetMaxInflight sets the scheduler's concurrency knee: the number of
+// renders allowed to run at once (<= 0 restores the default of one per
+// schedulable core). Safe to call at any time.
+func (s *Server) SetMaxInflight(n int) { s.sched.SetWorkers(n) }
+
+// errOverloaded is the admission-control rejection: the render queue is
+// past its bound and the degrade ladder found nothing servable. Sessions
+// deliver it as MsgError, so the connection stays usable and the client
+// decides whether to retry.
+var errOverloaded = errors.New("overloaded: render queue full")
+
 // FrameFor returns the encoded far-BE panorama for a grid point,
 // rendering and encoding it on first use.
 func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
@@ -211,45 +267,84 @@ func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
 }
 
 // frameFor additionally reports whether this call rendered the frame.
+// Deadline-less: never shed, never degraded.
 func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
-	data, rendered, _, _, err := s.frameForStaged(pt)
+	data, rendered, _, _, _, err := s.frameForStaged(pt, 0)
 	return data, rendered, err
 }
 
 // frameForStaged is frameFor plus the stage decomposition for the reply's
-// trace context and the frame's store sequence number (the identity the
-// delta path names references by). Concurrent calls for the same point
-// share one render: the first caller renders (and reports render/encode
-// spans), the rest block on its result (and report the wait as queue
-// time), so rendered counts are exact and all callers share one buffer.
-func (s *Server) frameForStaged(pt geom.GridPoint) ([]byte, bool, uint64, frameStages, error) {
+// trace context, the frame's store sequence number (the identity the
+// delta path names references by), and the degrade rung that produced the
+// bytes. Concurrent calls for the same point share one render: the first
+// caller renders (and reports render/encode spans), the rest block on its
+// result (and report the wait as queue time, inheriting its rung), so
+// rendered counts are exact and all callers share one buffer.
+//
+// deadlineMs is the request's absolute wall-clock deadline (<= 0: none).
+// Render leaders pass through the EDF scheduler: they wait for a slot in
+// deadline order (the wait lands in QueueMs), are shed with errOverloaded
+// when admission control rejects them, and — when the slot arrives with
+// the deadline already at risk — render via the quality-degrade ladder
+// instead of the full ray-cast. Deadline-less callers (prerender, tests,
+// unloaded clients) take the slot gate too but sort last and never
+// degrade, so their output is byte-identical to the unscheduled path.
+func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64) ([]byte, bool, uint64, transport.DegradeRung, frameStages, error) {
 	var stg frameStages
 	if !s.env.Game.Scene.Grid.In(pt) {
-		return nil, false, 0, stg, fmt.Errorf("server: grid point %v outside world", pt)
+		return nil, false, 0, transport.RungExact, stg, fmt.Errorf("server: grid point %v outside world", pt)
 	}
 	data, seq, ok, c, leader := s.store.lookup(pt)
 	if ok {
 		s.obs.frameStoreHits.Inc()
-		return data, false, seq, stg, nil
+		return data, false, seq, transport.RungExact, stg, nil
 	}
 	if !leader {
 		s.obs.renderShared.Inc()
 		waitStart := time.Now()
 		<-c.done
 		stg.QueueMs = float64(time.Since(waitStart)) / float64(time.Millisecond)
-		return c.data, false, c.seq, stg, c.err
+		return c.data, false, c.seq, c.rung, stg, c.err
+	}
+
+	rushed := false
+	useSched := !s.schedOff.Load()
+	if useSched {
+		info, admitted := s.sched.Acquire(deadlineMs)
+		if !admitted {
+			err := errOverloaded
+			s.store.complete(pt, c, nil, err, false)
+			return nil, false, 0, transport.RungExact, stg, err
+		}
+		stg.QueueMs += info.QueueMs
+		rushed = info.Rushed && !s.degradeOff.Load()
 	}
 
 	var err error
 	var clean *img.Gray
-	data, clean, stg.RenderMs, stg.EncodeMs, err = s.render(pt)
+	var rung transport.DegradeRung
+	data, clean, rung, stg.RenderMs, stg.EncodeMs, err = s.render(pt, rushed)
+	if useSched {
+		// Only full ray-casts (clean raster produced) feed the cost EWMA:
+		// the ladder's projections must estimate a *full* render.
+		fullCost := 0.0
+		if err == nil && clean != nil {
+			fullCost = stg.RenderMs + stg.EncodeMs
+		}
+		s.sched.Release(fullCost)
+	}
 	s.obs.renderMs.Observe(stg.RenderMs + stg.EncodeMs)
 	if err == nil {
 		s.rendered.Add(1)
 		s.obs.framesRendered.Inc()
 	}
-	seq = s.store.complete(pt, c, data, err)
-	if err == nil && (!s.deltaOff.Load() || !s.reprojOff.Load()) {
+	// Low-res frames are served (and inherited by joiners) but never
+	// stored: a later unloaded request must re-render the exact frame, not
+	// inherit deadline-pressure quality as a rung-0 store hit.
+	keep := rung != transport.RungLowRes
+	c.rung = rung
+	seq = s.store.complete(pt, c, data, err, keep)
+	if err == nil && keep && (!s.deltaOff.Load() || !s.reprojOff.Load()) {
 		// Cache both views of the render: the client-visible reconstruction
 		// (the delta path's reference — residuals must be computed against
 		// what the client decoded) and, for full ray-casts, the clean raster
@@ -263,31 +358,48 @@ func (s *Server) frameForStaged(pt geom.GridPoint) ([]byte, bool, uint64, frameS
 	} else if clean != nil {
 		s.env.Renderer.ReleaseGray(clean)
 	}
-	return data, err == nil, seq, stg, err
+	return data, err == nil, seq, rung, stg, err
 }
 
 // render produces the encoded far-BE panorama for an in-grid point,
 // reporting the render and encode spans separately (wall milliseconds).
 // When a recently rendered nearby frame is cached, the panorama is first
 // attempted as a reprojection of it (SSIM-verified against a ray-cast
-// sample band); only when that fails is the scene ray-cast in full.
+// sample band); only when that fails is the scene ray-cast in full —
+// unless rushed, in which case the remaining ladder rung (a reduced-
+// resolution render upscaled to full size, verified against the same
+// band) is tried before falling back to the full ray-cast.
+//
+// The returned rung tags deadline-pressure degradation: a reprojection
+// that the normal path would have served anyway is RungExact unless
+// rushed forced it to stand in for a render the deadline could not
+// afford.
 //
 // For full ray-casts the pre-encode raster is returned as clean and
 // ownership passes to the caller (it becomes the pano cache's warp
-// source); reprojection-served frames return clean == nil so warp error
-// never chains through generations of synthesis.
-func (s *Server) render(pt geom.GridPoint) (data []byte, clean *img.Gray, renderMs, encodeMs float64, err error) {
+// source); reprojection- and low-res-served frames return clean == nil
+// so warp error never chains through generations of synthesis.
+func (s *Server) render(pt geom.GridPoint, rushed bool) (data []byte, clean *img.Gray, rung transport.DegradeRung, renderMs, encodeMs float64, err error) {
 	pos := s.env.Game.Scene.Grid.Pos(pt)
 	leaf := s.env.Map.LeafAt(pos)
 	if leaf == nil {
-		return nil, nil, 0, 0, fmt.Errorf("server: no leaf region at %v", pos)
+		return nil, nil, transport.RungExact, 0, 0, fmt.Errorf("server: no leaf region at %v", pos)
 	}
 	renderStart := time.Now()
 	var pano *img.Gray
-	reprojected := false
+	synthesized := false // raster came from a pool path and is released post-encode
 	if !s.reprojOff.Load() {
 		if pano = s.tryReproject(pt, pos, leaf); pano != nil {
-			reprojected = true
+			synthesized = true
+			if rushed {
+				rung = transport.RungReproject
+			}
+		}
+	}
+	if pano == nil && rushed {
+		if pano = s.tryLowRes(pos, leaf); pano != nil {
+			synthesized = true
+			rung = transport.RungLowRes
 		}
 	}
 	if pano == nil {
@@ -295,7 +407,7 @@ func (s *Server) render(pt geom.GridPoint) (data []byte, clean *img.Gray, render
 	}
 	encodeStart := time.Now()
 	data = codec.Encode(pano, s.env.CRF)
-	if reprojected {
+	if synthesized {
 		s.env.Renderer.ReleaseGray(pano) // encoded copy taken; recycle the raster
 	} else {
 		clean = pano // ownership passes to the caller (pano cache)
@@ -303,7 +415,7 @@ func (s *Server) render(pt geom.GridPoint) (data []byte, clean *img.Gray, render
 	end := time.Now()
 	renderMs = float64(encodeStart.Sub(renderStart)) / float64(time.Millisecond)
 	encodeMs = float64(end.Sub(encodeStart)) / float64(time.Millisecond)
-	return data, clean, renderMs, encodeMs, nil
+	return data, clean, rung, renderMs, encodeMs, nil
 }
 
 // wallMs is the server's trace clock: wall time in unix milliseconds.
@@ -491,33 +603,53 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			if err != nil {
 				return err
 			}
-			data, kind, ref, stg, err := s.frameForSession(req.Point, sr)
+			data, kind, ref, rung, stg, err := s.frameForSession(req.Point, req.DeadlineMs, sr)
 			if err != nil {
 				if err := c.Send(errMsg(err.Error())); err != nil {
 					return err
 				}
 				continue
 			}
+			switch rung {
+			case transport.RungReproject:
+				s.obs.degradeReproj.Inc()
+			case transport.RungLowRes:
+				s.obs.degradeLowres.Inc()
+				// RungStale is counted at the serve site in frameForSession.
+			}
 			s.served.Add(1)
 			s.obs.framesServed.Inc()
 			s.obs.bytesSent.Add(int64(len(data)))
 			st.FramesServed++
 			st.BytesSent += int64(len(data))
+			sendMs := wallMs()
 			reply := transport.EncodeFrameReply(transport.FrameReply{
 				Point:        req.Point,
 				ReqID:        req.ReqID,
 				ClientSentMs: req.SentMs,
 				RecvMs:       recvMs,
-				SendMs:       wallMs(),
+				SendMs:       sendMs,
 				QueueMs:      stg.QueueMs,
 				RenderMs:     stg.RenderMs,
 				EncodeMs:     stg.EncodeMs,
 				Kind:         kind,
+				Rung:         rung,
 				Ref:          ref,
 				Data:         data,
 			})
 			if err := c.Send(transport.Message{Type: transport.MsgFrameReply, Payload: reply}); err != nil {
 				return err
+			}
+			// Deadline accounting is against the reply's send stamp: network
+			// return time belongs to the client's RTT model, not the server's
+			// deadline compliance.
+			if req.DeadlineMs > 0 {
+				if late := sendMs - req.DeadlineMs; late > 0 {
+					s.obs.deadlineMisses.Inc()
+					s.obs.deadlineMissMs.Observe(late)
+				} else {
+					s.obs.deadlineMet.Inc()
+				}
 			}
 		case transport.MsgEvictNotice:
 			pts, err := transport.DecodeEvictNotice(m.Payload)
@@ -595,6 +727,13 @@ func Dial(addr, game string, player uint8) (*Client, error) {
 // connection (nil detaches). Call before concurrent use.
 func (c *Client) Instrument(m *transport.Metrics) { c.conn.Instrument(m) }
 
+// ServerError is an application-level rejection delivered as MsgError on
+// a healthy connection (e.g. admission-control sheds). Unlike transport
+// errors, the session remains usable and the caller may retry.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "server error: " + e.Msg }
+
 // Fetch requests one far-BE frame.
 func (c *Client) Fetch(pt geom.GridPoint) ([]byte, error) {
 	reply, _, _, err := c.FetchTraced(pt)
@@ -608,13 +747,23 @@ func (c *Client) Fetch(pt geom.GridPoint) ([]byte, error) {
 // decoded (t3). Not safe for concurrent use — like Fetch, it assumes the
 // connection carries one request at a time.
 func (c *Client) FetchTraced(pt geom.GridPoint) (reply transport.FrameReply, sentMs, doneMs float64, err error) {
+	return c.FetchWithDeadline(pt, 0)
+}
+
+// FetchWithDeadline is FetchTraced carrying the request's absolute
+// deadline in *server* wall-clock milliseconds (0: none). The server
+// prioritises, degrades, or sheds against it; a shed surfaces as a
+// *ServerError with doneMs stamped, so callers can separate rejection
+// latency from success latency.
+func (c *Client) FetchWithDeadline(pt geom.GridPoint, deadlineMs float64) (reply transport.FrameReply, sentMs, doneMs float64, err error) {
 	c.reqID++
 	sentMs = wallMs()
 	req := transport.EncodeFrameRequest(transport.FrameRequest{
-		Player: c.Player,
-		Point:  pt,
-		ReqID:  c.reqID,
-		SentMs: sentMs,
+		Player:     c.Player,
+		Point:      pt,
+		ReqID:      c.reqID,
+		SentMs:     sentMs,
+		DeadlineMs: deadlineMs,
 	})
 	if err = c.conn.Send(transport.Message{Type: transport.MsgFrameRequest, Payload: req}); err != nil {
 		return transport.FrameReply{}, 0, 0, err
@@ -624,7 +773,7 @@ func (c *Client) FetchTraced(pt geom.GridPoint) (reply transport.FrameReply, sen
 		return transport.FrameReply{}, 0, 0, err
 	}
 	if m.Type == transport.MsgError {
-		return transport.FrameReply{}, 0, 0, fmt.Errorf("server error: %s", m.Payload)
+		return transport.FrameReply{}, sentMs, wallMs(), &ServerError{Msg: string(m.Payload)}
 	}
 	reply, err = transport.DecodeFrameReply(m.Payload)
 	if err != nil {

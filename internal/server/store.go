@@ -7,6 +7,7 @@ import (
 
 	"coterie/internal/geom"
 	"coterie/internal/obs"
+	"coterie/internal/transport"
 )
 
 // The frame store is the server's hot shared structure: every frame
@@ -31,6 +32,7 @@ type frameCall struct {
 	done chan struct{}
 	data []byte
 	seq  uint64
+	rung transport.DegradeRung
 	err  error
 }
 
@@ -243,11 +245,14 @@ func (st *frameStore) putDelta(pt geom.GridPoint, ptSeq uint64, refPt geom.GridP
 }
 
 // complete finishes a call started by lookup: it publishes data/err to the
-// joiners, removes the in-flight marker, and on success inserts the frame
-// and enforces the byte budget. Frames larger than the whole budget are
-// returned to callers but never stored.
-func (st *frameStore) complete(pt geom.GridPoint, c *frameCall, data []byte, err error) (seq uint64) {
-	if err == nil {
+// joiners, removes the in-flight marker, and on success — when keep is
+// true — inserts the frame and enforces the byte budget. keep=false
+// (shed calls, transient low-res renders) still publishes to joiners but
+// leaves no store entry and allocates no sequence number, so the bytes
+// can never become a rung-0 hit or a delta reference later. Frames
+// larger than the whole budget are returned to callers but never stored.
+func (st *frameStore) complete(pt geom.GridPoint, c *frameCall, data []byte, err error, keep bool) (seq uint64) {
+	if err == nil && keep {
 		seq = st.seq.Add(1)
 	}
 	c.data, c.seq, c.err = data, seq, err
@@ -255,7 +260,7 @@ func (st *frameStore) complete(pt geom.GridPoint, c *frameCall, data []byte, err
 	st.lock(sh)
 	delete(sh.calls, pt)
 	budget := st.budget.Load()
-	if err == nil && (budget <= 0 || int64(len(data)) <= budget) {
+	if err == nil && keep && (budget <= 0 || int64(len(data)) <= budget) {
 		if _, dup := sh.entries[pt]; !dup {
 			e := &storeEntry{pt: pt, data: data, seq: seq}
 			sh.entries[pt] = e

@@ -19,7 +19,7 @@ func storePut(t *testing.T, st *frameStore, pt geom.GridPoint, size int) {
 	if ok || !leader {
 		t.Fatalf("point %v unexpectedly cached or in flight", pt)
 	}
-	st.complete(pt, c, make([]byte, size), nil)
+	st.complete(pt, c, make([]byte, size), nil, true)
 }
 
 func storeHas(st *frameStore, pt geom.GridPoint) bool {
@@ -31,7 +31,7 @@ func storeHas(st *frameStore, pt geom.GridPoint) bool {
 	if leader {
 		// Undo the speculative call so the store has no dangling in-flight
 		// marker.
-		st.complete(pt, c, nil, errors.New("probe"))
+		st.complete(pt, c, nil, errors.New("probe"), true)
 	}
 	return false
 }
@@ -123,7 +123,7 @@ func TestStoreSingleflightPerPoint(t *testing.T) {
 			case leader:
 				leaders[k].Add(1)
 				data = []byte(fmt.Sprintf("frame-%d", k))
-				st.complete(pt, c, data, nil)
+				st.complete(pt, c, data, nil, true)
 			default:
 				<-c.done
 				data = c.data
@@ -217,4 +217,70 @@ func TestPrerenderRespectsBudget(t *testing.T) {
 	}
 	t.Logf("prerender: %d points, %d rendered; store %d bytes / %d frames, %d evictions",
 		stats.Points, stats.Rendered, bytes, frames, evictions)
+}
+
+// TestStoreEvictionRacesInFlightDelta drives the store's full mutation
+// surface concurrently — singleflight inserts, delta caching, budget
+// shrinks forcing eviction, and readers scanning the slices they were
+// handed — to prove under -race that eviction only unreferences frame
+// bytes and never mutates a buffer an in-flight delta encoding still
+// reads.
+func TestStoreEvictionRacesInFlightDelta(t *testing.T) {
+	st := newFrameStore(4)
+	st.SetBudget(4 << 10)
+	const iters = 3000
+	refPt := geom.GridPoint{I: -1, J: -1}
+
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: insert frames and attach cached deltas
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			pt := geom.GridPoint{I: i % 16, J: (i / 16) % 16}
+			_, _, ok, c, leader := st.lookup(pt)
+			if ok {
+				continue
+			}
+			if !leader {
+				<-c.done
+				continue
+			}
+			data := make([]byte, 64)
+			data[0] = byte(i)
+			seq := st.complete(pt, c, data, nil, true)
+			st.putDelta(pt, seq, refPt, 7, []byte{byte(i), 1, 2})
+		}
+	}()
+	go func() { // evictor: churn the budget so eviction runs constantly
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			if i%2 == 0 {
+				st.SetBudget(512)
+			} else {
+				st.SetBudget(4 << 10)
+			}
+		}
+	}()
+	go func() { // reader: peek frames and scan the bytes mid-eviction,
+		// the access pattern of a session delta-encoding a reference
+		defer wg.Done()
+		sum := 0
+		for i := 0; i < iters; i++ {
+			pt := geom.GridPoint{I: i % 16, J: (i / 16) % 16}
+			if data, seq, ok := st.peek(pt); ok {
+				for _, b := range data {
+					sum += int(b)
+				}
+				if d, ok := st.delta(pt, seq, refPt, 7); ok {
+					sum += int(d[0])
+				}
+			}
+		}
+		_ = sum
+	}()
+	wg.Wait()
+
+	if b := st.Budget(); b > 0 && st.Bytes() > b {
+		t.Errorf("store %d bytes exceeds final budget %d", st.Bytes(), b)
+	}
 }

@@ -47,6 +47,10 @@ func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
 			}
+			// Counted before propagating: the caller typically tears the
+			// whole UDP path down on a send failure, and the counter is how
+			// an operator distinguishes "socket died" from "client left".
+			s.obs.udpSendErrors.Inc()
 			return err
 		}
 	}

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"errors"
 	"net"
 	"testing"
 	"time"
 
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 )
 
 func startFIUDP(t *testing.T) string {
@@ -69,6 +71,50 @@ func TestFIUDPPerFrameRate(t *testing.T) {
 	}
 	if d := time.Since(start); d > 2*time.Second {
 		t.Fatalf("60 syncs took %v", d)
+	}
+}
+
+// failingPacketConn hands ServeFIUDP a fixed sequence of datagrams and
+// fails every reply send. Once the datagrams run out, ReadFrom reports
+// net.ErrClosed — so if the send error were swallowed instead of
+// propagated, ServeFIUDP would return nil and the test would catch it.
+type failingPacketConn struct {
+	datagrams [][]byte
+	writeErr  error
+}
+
+func (c *failingPacketConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	if len(c.datagrams) == 0 {
+		return 0, nil, net.ErrClosed
+	}
+	d := c.datagrams[0]
+	c.datagrams = c.datagrams[1:]
+	n := copy(p, d)
+	return n, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}, nil
+}
+
+func (c *failingPacketConn) WriteTo(p []byte, addr net.Addr) (int, error) { return 0, c.writeErr }
+func (c *failingPacketConn) Close() error                                 { return nil }
+func (c *failingPacketConn) LocalAddr() net.Addr                          { return &net.UDPAddr{} }
+func (c *failingPacketConn) SetDeadline(t time.Time) error                { return nil }
+func (c *failingPacketConn) SetReadDeadline(t time.Time) error            { return nil }
+func (c *failingPacketConn) SetWriteDeadline(t time.Time) error           { return nil }
+
+func TestFIUDPSendErrorPropagatesAndCounts(t *testing.T) {
+	srv := New(poolEnv(t))
+	reg := obs.NewRegistry()
+	srv.Instrument(reg)
+	sendErr := errors.New("socket wedged")
+	pc := &failingPacketConn{
+		datagrams: [][]byte{fisync.State{Player: 1, Seq: 1, Pos: geom.V2(1, 2)}.Encode(nil)},
+		writeErr:  sendErr,
+	}
+	err := srv.ServeFIUDP(pc)
+	if !errors.Is(err, sendErr) {
+		t.Fatalf("ServeFIUDP returned %v, want the send error", err)
+	}
+	if got := reg.Counter("server.udp_send_errors").Value(); got != 1 {
+		t.Fatalf("udp_send_errors = %d, want 1", got)
 	}
 }
 

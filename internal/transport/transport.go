@@ -121,8 +121,8 @@ func DecodeHello(b []byte) (Hello, error) {
 // id and cross-node timestamps). Both are fixed-size headers so encoding
 // stays one buffer allocation and decoding is bounds-checked up front.
 const (
-	frameRequestLen  = 1 + 4 + 4 + 4 + 8                   // player, point, req id, sent ms
-	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 + 1 + 8 // point, req id, 3 stamps, 3 stage spans, kind, ref point
+	frameRequestLen  = 1 + 4 + 4 + 4 + 8 + 8                   // player, point, req id, sent ms, deadline ms
+	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 + 1 + 1 + 8 // point, req id, 3 stamps, 3 stage spans, kind, rung, ref point
 )
 
 // FrameEncoding says how a FrameReply's Data payload is coded.
@@ -137,6 +137,28 @@ const (
 	FrameDelta
 )
 
+// DegradeRung tags which rung of the server's quality ladder produced a
+// reply's frame. RungExact is the normal path; the others are served
+// only when the request's deadline is at risk, and every rung is bounded
+// to SSIM ≥ 0.90 against the exact render (a stale frame by the leaf's
+// DistThresh calibration, a reprojection or low-res render by an
+// explicit ray-cast band check).
+type DegradeRung uint8
+
+const (
+	// RungExact is the full-quality serve path (store hit or full render).
+	RungExact DegradeRung = iota
+	// RungStale is a cached frame of a nearby grid point within the
+	// leaf's DistThresh, served in place of rendering the requested one.
+	RungStale
+	// RungReproject is an SSIM-verified constant-depth reprojection from
+	// a cached panorama, forced by deadline pressure.
+	RungReproject
+	// RungLowRes is a reduced-resolution render upscaled to full size and
+	// SSIM-verified; it is served but never cached as an exact frame.
+	RungLowRes
+)
+
 // FrameRequest asks for the encoded far-BE panorama of a grid point. The
 // request carries a per-connection request id and the client's send
 // timestamp (client clock, wall milliseconds) so the reply can close the
@@ -149,6 +171,12 @@ type FrameRequest struct {
 	ReqID uint32
 	// SentMs is the client's wall-clock send time in milliseconds.
 	SentMs float64
+	// DeadlineMs is the display deadline for this frame in *server*
+	// wall-clock milliseconds (the client translates its vsync schedule
+	// through the NTP-style clock offset it estimates from the reply
+	// stamps). Zero means no deadline: the request is never shed or
+	// degraded and sorts after all deadline traffic in the render queue.
+	DeadlineMs float64
 }
 
 // EncodeFrameRequest serialises a FrameRequest.
@@ -159,6 +187,7 @@ func EncodeFrameRequest(r FrameRequest) []byte {
 	binary.BigEndian.PutUint32(b[5:9], uint32(int32(r.Point.J)))
 	binary.BigEndian.PutUint32(b[9:13], r.ReqID)
 	binary.BigEndian.PutUint64(b[13:21], math.Float64bits(r.SentMs))
+	binary.BigEndian.PutUint64(b[21:29], math.Float64bits(r.DeadlineMs))
 	return b
 }
 
@@ -173,8 +202,9 @@ func DecodeFrameRequest(b []byte) (FrameRequest, error) {
 			I: int(int32(binary.BigEndian.Uint32(b[1:5]))),
 			J: int(int32(binary.BigEndian.Uint32(b[5:9]))),
 		},
-		ReqID:  binary.BigEndian.Uint32(b[9:13]),
-		SentMs: math.Float64frombits(binary.BigEndian.Uint64(b[13:21])),
+		ReqID:      binary.BigEndian.Uint32(b[9:13]),
+		SentMs:     math.Float64frombits(binary.BigEndian.Uint64(b[13:21])),
+		DeadlineMs: math.Float64frombits(binary.BigEndian.Uint64(b[21:29])),
 	}, nil
 }
 
@@ -202,6 +232,10 @@ type FrameReply struct {
 	// Kind says how Data is coded (intra or delta); Ref names the delta's
 	// reference grid point and is meaningful only when Kind is FrameDelta.
 	Kind FrameEncoding
+	// Rung tags which rung of the quality-degrade ladder served the
+	// frame, so clients and QoE accounting see deadline-driven
+	// degradation explicitly rather than inferring it from latency.
+	Rung DegradeRung
 	Ref  geom.GridPoint
 	Data []byte
 }
@@ -220,21 +254,26 @@ func EncodeFrameReply(r FrameReply) []byte {
 	binary.BigEndian.PutUint64(b[44:52], math.Float64bits(r.RenderMs))
 	binary.BigEndian.PutUint64(b[52:60], math.Float64bits(r.EncodeMs))
 	b[60] = byte(r.Kind)
-	binary.BigEndian.PutUint32(b[61:65], uint32(int32(r.Ref.I)))
-	binary.BigEndian.PutUint32(b[65:69], uint32(int32(r.Ref.J)))
+	b[61] = byte(r.Rung)
+	binary.BigEndian.PutUint32(b[62:66], uint32(int32(r.Ref.I)))
+	binary.BigEndian.PutUint32(b[66:70], uint32(int32(r.Ref.J)))
 	return append(b, r.Data...)
 }
 
 // DecodeFrameReply parses a FrameReply payload. The Data slice aliases b.
-// An unknown frame-kind byte is rejected before the payload is touched
-// (mirroring ReadMessage's unknown-type guard): a peer speaking a newer
-// frame encoding must fail loudly, not hand garbage to the codec.
+// An unknown frame-kind or degrade-rung byte is rejected before the
+// payload is touched (mirroring ReadMessage's unknown-type guard): a
+// peer speaking a newer frame encoding must fail loudly, not hand
+// garbage to the codec.
 func DecodeFrameReply(b []byte) (FrameReply, error) {
 	if len(b) < frameReplyHdrLen {
 		return FrameReply{}, errors.New("transport: short frame reply")
 	}
 	if k := FrameEncoding(b[60]); k > FrameDelta {
 		return FrameReply{}, fmt.Errorf("transport: unknown frame kind %d", b[60])
+	}
+	if g := DegradeRung(b[61]); g > RungLowRes {
+		return FrameReply{}, fmt.Errorf("transport: unknown degrade rung %d", b[61])
 	}
 	return FrameReply{
 		Point: geom.GridPoint{
@@ -249,9 +288,10 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 		RenderMs:     math.Float64frombits(binary.BigEndian.Uint64(b[44:52])),
 		EncodeMs:     math.Float64frombits(binary.BigEndian.Uint64(b[52:60])),
 		Kind:         FrameEncoding(b[60]),
+		Rung:         DegradeRung(b[61]),
 		Ref: geom.GridPoint{
-			I: int(int32(binary.BigEndian.Uint32(b[61:65]))),
-			J: int(int32(binary.BigEndian.Uint32(b[65:69]))),
+			I: int(int32(binary.BigEndian.Uint32(b[62:66]))),
+			J: int(int32(binary.BigEndian.Uint32(b[66:70]))),
 		},
 		Data: b[frameReplyHdrLen:],
 	}, nil

@@ -107,12 +107,13 @@ func TestHelloRoundTrip(t *testing.T) {
 }
 
 func TestFrameRequestRoundTrip(t *testing.T) {
-	f := func(player uint8, i, j int32, reqID uint32, sentMs float64) bool {
+	f := func(player uint8, i, j int32, reqID uint32, sentMs, deadlineMs float64) bool {
 		r := FrameRequest{
-			Player: player,
-			Point:  geom.GridPoint{I: int(i), J: int(j)},
-			ReqID:  reqID,
-			SentMs: sentMs,
+			Player:     player,
+			Point:      geom.GridPoint{I: int(i), J: int(j)},
+			ReqID:      reqID,
+			SentMs:     sentMs,
+			DeadlineMs: deadlineMs,
 		}
 		got, err := DecodeFrameRequest(EncodeFrameRequest(r))
 		return err == nil && got == r
@@ -146,6 +147,7 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 		RenderMs:     12.25,
 		EncodeMs:     9,
 		Kind:         FrameDelta,
+		Rung:         RungReproject,
 		Ref:          geom.GridPoint{I: -6, J: 1<<20 - 1},
 		Data:         []byte{9, 8, 7},
 	}
@@ -156,7 +158,7 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 	if got.Point != r.Point || got.ReqID != r.ReqID ||
 		got.ClientSentMs != r.ClientSentMs || got.RecvMs != r.RecvMs || got.SendMs != r.SendMs ||
 		got.QueueMs != r.QueueMs || got.RenderMs != r.RenderMs || got.EncodeMs != r.EncodeMs ||
-		got.Kind != r.Kind || got.Ref != r.Ref ||
+		got.Kind != r.Kind || got.Rung != r.Rung || got.Ref != r.Ref ||
 		!bytes.Equal(got.Data, r.Data) {
 		t.Fatalf("got %+v want %+v", got, r)
 	}
@@ -172,6 +174,26 @@ func TestFrameReplyRejectsUnknownKind(t *testing.T) {
 		forged[60] = kind
 		if _, err := DecodeFrameReply(forged); err == nil {
 			t.Fatalf("unknown frame kind %d accepted", kind)
+		}
+	}
+}
+
+func TestFrameReplyRejectsUnknownRung(t *testing.T) {
+	// Same pre-payload guard for the degrade-rung byte: a server speaking
+	// a newer quality ladder must fail loudly at the transport layer.
+	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
+	for _, rung := range []byte{byte(RungLowRes) + 1, 0x7F, 0xFF} {
+		forged := append([]byte(nil), full...)
+		forged[61] = rung
+		if _, err := DecodeFrameReply(forged); err == nil {
+			t.Fatalf("unknown degrade rung %d accepted", rung)
+		}
+	}
+	// Every defined rung round-trips.
+	for _, rung := range []DegradeRung{RungExact, RungStale, RungReproject, RungLowRes} {
+		got, err := DecodeFrameReply(EncodeFrameReply(FrameReply{Rung: rung}))
+		if err != nil || got.Rung != rung {
+			t.Fatalf("rung %d: got %d, err %v", rung, got.Rung, err)
 		}
 	}
 }

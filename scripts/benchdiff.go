@@ -28,6 +28,14 @@ type microResult struct {
 	BytesRaw  float64 `json:"bytes_per_op"`
 }
 
+// deadlineResult mirrors one deadline_ab row of the benchtab report.
+type deadlineResult struct {
+	Players    int     `json:"players"`
+	Sched      bool    `json:"sched"`
+	P99Ms      float64 `json:"p99_ms"`
+	Compliance float64 `json:"deadline_compliance"`
+}
+
 // report mirrors the slice of the benchtab JSON shape the gate needs.
 type report struct {
 	Generated   string `json:"generated"`
@@ -35,11 +43,17 @@ type report struct {
 		Name    string  `json:"name"`
 		Seconds float64 `json:"seconds"`
 	} `json:"experiments"`
-	Micro []microResult `json:"micro"`
+	Micro      []microResult `json:"micro"`
+	DeadlineAB *struct {
+		DeadlineMs float64          `json:"deadline_ms"`
+		Rows       []deadlineResult `json:"rows"`
+	} `json:"deadline_ab"`
 }
 
 func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression (0.25 = 25% slower)")
+	floorNs := flag.Float64("floor-ns", 50, "absolute ns/op regression below which the fractional gate does not fire (sub-10ns benchmarks are all jitter at 25%)")
+	compTolerance := flag.Float64("compliance-tolerance", 0.05, "allowed absolute deadline-compliance drop per deadline_ab row")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tolerance 0.25] old.json new.json")
@@ -55,9 +69,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		os.Exit(2)
 	}
-	if diff(old, cur, *tolerance) {
+	failed := diff(old, cur, *tolerance, *floorNs)
+	if diffDeadlines(old, cur, *compTolerance) {
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// diffDeadlines gates the deadline_ab section: a row (player count ×
+// scheduler arm) present in both reports must not lose deadline compliance
+// beyond the tolerance. Rows in only one report are informational — the
+// section appears starting with BENCH_4, and its fan-out can grow.
+func diffDeadlines(old, cur *report, tolerance float64) (failed bool) {
+	if cur.DeadlineAB == nil {
+		if old.DeadlineAB != nil {
+			fmt.Println("deadline_ab section dropped from new report")
+		}
+		return false
+	}
+	oldRows := map[string]deadlineResult{}
+	if old.DeadlineAB != nil {
+		for _, r := range old.DeadlineAB.Rows {
+			oldRows[fmt.Sprintf("%dp/sched=%v", r.Players, r.Sched)] = r
+		}
+	}
+	fmt.Printf("deadline_ab (budget %.1f ms, compliance tolerance %.0f pp):\n",
+		cur.DeadlineAB.DeadlineMs, tolerance*100)
+	for _, now := range cur.DeadlineAB.Rows {
+		key := fmt.Sprintf("%dp/sched=%v", now.Players, now.Sched)
+		was, ok := oldRows[key]
+		if !ok {
+			fmt.Printf("%-34s %12s %11.1f%% %8s %8s %8s\n", key, "-", 100*now.Compliance, "-", "-", "new")
+			continue
+		}
+		verdict := "ok"
+		if now.Compliance < was.Compliance-tolerance {
+			verdict = "COMPLIANCE"
+			failed = true
+		}
+		fmt.Printf("%-34s %11.1f%% %11.1f%% %+7.1fpp  p99 %6.2f ms %8s\n",
+			key, 100*was.Compliance, 100*now.Compliance,
+			100*(now.Compliance-was.Compliance), now.P99Ms, verdict)
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL — deadline compliance regressed beyond tolerance")
+	}
+	return failed
 }
 
 func load(path string) (*report, error) {
@@ -73,7 +132,10 @@ func load(path string) (*report, error) {
 }
 
 // diff prints the comparison and reports whether any benchmark regressed.
-func diff(old, cur *report, tolerance float64) (failed bool) {
+// The fractional tolerance only fires once the regression also clears the
+// absolute floor: a few ns on a single-digit-ns benchmark is measurement
+// jitter, not a regression.
+func diff(old, cur *report, tolerance, floorNs float64) (failed bool) {
 	oldBy := make(map[string]microResult, len(old.Micro))
 	for _, m := range old.Micro {
 		oldBy[m.Name] = m
@@ -104,7 +166,7 @@ func diff(old, cur *report, tolerance float64) (failed bool) {
 		case now.AllocsRaw > was.AllocsRaw:
 			verdict = "ALLOCS"
 			failed = true
-		case delta > tolerance:
+		case delta > tolerance && now.NsPerOp-was.NsPerOp > floorNs:
 			verdict = "SLOWER"
 			failed = true
 		}
