@@ -26,7 +26,7 @@ race:
 		./internal/runtime/... ./internal/server/... ./internal/transport/... \
 		./internal/cache/... ./internal/prefetch/... ./internal/obs/... \
 		./internal/par/... ./internal/render/... ./internal/loadgen/... \
-		./internal/codec/... ./internal/sched/...
+		./internal/codec/... ./internal/sched/... ./internal/cluster/...
 
 # End-to-end smoke: build both binaries, run a short live session over a
 # real socket on localhost, and check the client printed a report.
@@ -44,8 +44,8 @@ loadtest:
 
 # Bench regression gate: compare two benchtab JSON reports' micro results
 # and (when both reports carry it) the deadline_ab compliance section.
-# Usage: make bench-diff BENCH_OLD=BENCH_3.json BENCH_NEW=BENCH_4.json
-BENCH_OLD ?= BENCH_3.json
-BENCH_NEW ?= BENCH_4.json
+# Usage: make bench-diff BENCH_OLD=BENCH_4.json BENCH_NEW=BENCH_5.json
+BENCH_OLD ?= BENCH_4.json
+BENCH_NEW ?= BENCH_5.json
 bench-diff:
 	$(GO) run ./scripts $(BENCH_OLD) $(BENCH_NEW)

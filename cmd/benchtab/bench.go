@@ -38,6 +38,10 @@ type benchReport struct {
 	// request stamped with the 16.7 ms vsync budget, EDF scheduler and
 	// degrade ladder off vs on, at increasing player counts.
 	DeadlineAB *deadlineAB `json:"deadline_ab,omitempty"`
+	// ClusterScaleout is the multi-node bench: the same per-node walk load
+	// against 1/2/4 rendezvous-hashed in-process nodes, with the peer-fetch
+	// mix and per-node efficiency.
+	ClusterScaleout []clusterScaleout `json:"cluster_scaleout,omitempty"`
 }
 
 type expTiming struct {
@@ -238,6 +242,10 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 	if err != nil {
 		return err
 	}
+	scaleout, err := runClusterScaleout(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
@@ -248,6 +256,7 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 		ServerThroughput: throughput,
 		DeltaSavings:     savings,
 		DeadlineAB:       deadlines,
+		ClusterScaleout:  scaleout,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

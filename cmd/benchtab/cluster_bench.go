@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"coterie/internal/cluster"
+	"coterie/internal/core"
+	"coterie/internal/games"
+	"coterie/internal/loadgen"
+	"coterie/internal/render"
+	"coterie/internal/server"
+)
+
+// clusterScaleout is one row of the cluster scale-out bench: the same
+// per-node offered load against 1, 2, and 4 in-process nodes joined by
+// rendezvous-hashed ownership, players spread round-robin.
+type clusterScaleout struct {
+	Nodes   int `json:"nodes"`
+	Players int `json:"players"`
+	// FramesPerSec is the aggregate cluster throughput; PerNodeFPS divides
+	// it by the node count, and Efficiency normalises that against the
+	// single-node row (1.0 = perfect scale-out). On one machine every
+	// node shares the same cores, so Efficiency mostly measures cluster
+	// overhead (the peer hop, replication) rather than real speedup.
+	FramesPerSec float64 `json:"frames_per_sec"`
+	PerNodeFPS   float64 `json:"per_node_fps"`
+	Efficiency   float64 `json:"efficiency"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	// PeerFrames/FailoverFrames are the origin mix the players saw;
+	// PeerFetchRatio is PeerFrames over all frames. The ratio starts near
+	// (n-1)/n on a cold cluster and falls as read-through replication
+	// turns remote points into local store hits.
+	PeerFrames     int64   `json:"peer_frames"`
+	FailoverFrames int64   `json:"failover_frames"`
+	PeerFetchRatio float64 `json:"peer_fetch_ratio"`
+	HitRate        float64 `json:"hit_rate"`
+}
+
+// clusterScaleoutNodes are the cluster sizes benched.
+var clusterScaleoutNodes = []int{1, 2, 4}
+
+// playersPerNode fixes the offered load per node so the rows compare
+// scale-out, not load level.
+const playersPerNode = 4
+
+// runClusterScaleout hosts n in-process cluster nodes over loopback TCP
+// (shared prepared environment, separate frame stores) and drives the
+// same walk load per node at each cluster size.
+func runClusterScaleout(quick bool) ([]clusterScaleout, error) {
+	spec, err := games.ByName("pool")
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg:   render.Config{W: 128, H: 64},
+		SizeSamples: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+
+	var rows []clusterScaleout
+	var basePerNode float64
+	for _, n := range clusterScaleoutNodes {
+		rep, err := runClusterNodes(env, n, playersPerNode*n, dur)
+		if err != nil {
+			return nil, fmt.Errorf("cluster-scaleout %dn: %w", n, err)
+		}
+		if rep.Errors > 0 {
+			return nil, fmt.Errorf("cluster-scaleout %dn: %d request errors", n, rep.Errors)
+		}
+		row := clusterScaleout{
+			Nodes:          n,
+			Players:        playersPerNode * n,
+			FramesPerSec:   rep.FramesPerSec,
+			PerNodeFPS:     rep.FramesPerSec / float64(n),
+			P50Ms:          rep.P50Ms,
+			P99Ms:          rep.P99Ms,
+			PeerFrames:     rep.PeerFrames,
+			FailoverFrames: rep.FailoverFrames,
+			HitRate:        rep.HitRate,
+		}
+		if rep.Frames > 0 {
+			row.PeerFetchRatio = float64(rep.PeerFrames) / float64(rep.Frames)
+		}
+		if n == 1 {
+			basePerNode = row.PerNodeFPS
+		}
+		if basePerNode > 0 {
+			row.Efficiency = row.PerNodeFPS / basePerNode
+		}
+		rows = append(rows, row)
+		fmt.Printf("[cluster-scaleout: %d nodes %2d players  %8.0f frames/sec  eff %.2f  peer %4.1f%%  p99 %6.2f ms]\n",
+			n, row.Players, row.FramesPerSec, row.Efficiency, 100*row.PeerFetchRatio, row.P99Ms)
+	}
+	return rows, nil
+}
+
+// runClusterNodes stands up n cluster nodes on loopback listeners, runs
+// the load with players spread round-robin across them, and tears the
+// cluster down.
+func runClusterNodes(env *core.Env, n, players int, dur time.Duration) (loadgen.Report, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return loadgen.Report{}, err
+		}
+		defer ln.Close()
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := range lns {
+		srv := server.New(env)
+		srv.DrainTimeout = 500 * time.Millisecond
+		if n > 1 {
+			cl, err := cluster.New(cluster.Config{
+				Self:  addrs[i],
+				Nodes: addrs,
+				Game:  env.Game.Spec.Name,
+			})
+			if err != nil {
+				return loadgen.Report{}, err
+			}
+			cl.Start()
+			defer cl.Close()
+			srv.SetCluster(cl)
+		}
+		go srv.ServeContext(ctx, lns[i])
+	}
+	return loadgen.Run(loadgen.Config{
+		Addr: strings.Join(addrs, ","), Game: env.Game.Spec.Name,
+		Players: players, Duration: dur, Seed: 1,
+		Pattern: loadgen.PatternWalk,
+	})
+}

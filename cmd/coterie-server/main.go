@@ -24,9 +24,11 @@ import (
 	"net"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"coterie/internal/cluster"
 	"coterie/internal/core"
 	"coterie/internal/games"
 	"coterie/internal/geom"
@@ -49,6 +51,10 @@ func main() {
 	prerender := flag.Float64("prerender", 0, "warm up frames within this radius (m) of the spawn before serving")
 	stride := flag.Int("prerender-stride", 16, "grid stride for prerendering (1 = every point)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown wait for in-flight sessions")
+	clusterList := flag.String("cluster", "", "comma-separated node addresses forming a static cluster; grid-point ownership is rendezvous-hashed across them (empty = single node)")
+	nodeID := flag.Int("node-id", 0, "this node's index into the -cluster address list")
+	peerHealth := flag.Duration("peer-health-interval", cluster.DefaultHealthInterval, "cluster peer health-probe period")
+	peerFetchTO := flag.Duration("peer-fetch-timeout", cluster.DefaultFetchTimeout, "cluster peer frame-fetch timeout")
 	flag.Parse()
 
 	spec, err := games.ByName(*game)
@@ -88,6 +94,34 @@ func main() {
 	reg := obs.NewRegistry()
 	reg.PublishExpvar("coterie")
 	srv.Instrument(reg)
+
+	if *clusterList != "" {
+		var nodes []string
+		for _, a := range strings.Split(*clusterList, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				nodes = append(nodes, a)
+			}
+		}
+		if *nodeID < 0 || *nodeID >= len(nodes) {
+			log.Fatalf("coterie-server: -node-id %d out of range for %d-node cluster", *nodeID, len(nodes))
+		}
+		cl, err := cluster.New(cluster.Config{
+			Self:           nodes[*nodeID],
+			Nodes:          nodes,
+			Game:           spec.Name,
+			HealthInterval: *peerHealth,
+			FetchTimeout:   *peerFetchTO,
+		})
+		if err != nil {
+			log.Fatalf("coterie-server: %v", err)
+		}
+		cl.Instrument(reg)
+		srv.SetCluster(cl)
+		cl.Start()
+		defer cl.Close()
+		log.Printf("cluster node %d/%d (%s): ownership rendezvous-hashed across %v",
+			*nodeID, cl.Size(), cl.Self(), cl.Nodes())
+	}
 
 	var adminSrv *http.Server
 	if *admin != "" {

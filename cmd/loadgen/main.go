@@ -6,6 +6,11 @@
 //
 //	loadgen -game pool -players 16 -duration 5s
 //	loadgen -addr host:7368 -game viking -players 64 -rate 30
+//
+// Against a cluster, -addr takes the comma-separated node list; players
+// are assigned round-robin (player p connects to the p mod n-th node):
+//
+//	loadgen -addr host1:7368,host2:7368 -game viking -players 64
 package main
 
 import (
@@ -27,7 +32,7 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "", "frame server address; empty hosts one in-process")
+	addr := flag.String("addr", "", "frame server address, or a comma-separated cluster node list (players assigned round-robin); empty hosts one in-process")
 	game := flag.String("game", "pool", "game to load (must match the server's)")
 	players := flag.Int("players", 4, "concurrent synthetic players")
 	rate := flag.Float64("rate", 0, "per-player request rate in frames/sec (0 = unthrottled)")
@@ -103,6 +108,10 @@ func main() {
 		100*rep.DeadlineCompliance, budgetMs)
 	fmt.Printf("  rungs       %d exact, %d stale, %d reproject, %d lowres\n",
 		rep.RungExact, rep.RungStale, rep.RungReproject, rep.RungLowRes)
+	if rep.PeerFrames > 0 || rep.FailoverFrames > 0 {
+		fmt.Printf("  cluster     %d peer-fetched, %d failover re-renders\n",
+			rep.PeerFrames, rep.FailoverFrames)
+	}
 	fmt.Printf("  store       %.1f%% hits (%d hits, %d joins, %d renders)\n",
 		100*rep.HitRate, rep.Hits, rep.Joins, rep.Renders)
 	fmt.Printf("  wire        %.0f bytes/frame mean (%d delta frames)\n",

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"coterie/internal/geom"
+	"coterie/internal/obs"
+	"coterie/internal/transport"
+)
+
+// Defaults for the knobs a Config leaves zero.
+const (
+	// DefaultHealthInterval is how often the health loop probes each
+	// peer. Probes are one pooled round trip, so a sub-second cadence is
+	// cheap and bounds how long a dead peer keeps absorbing fetch
+	// attempts (each of which still fails fast on the dial/IO timeout).
+	DefaultHealthInterval = 500 * time.Millisecond
+	// DefaultFetchTimeout caps one peer fetch round trip (dial excluded;
+	// dials are bounded separately). A peer slower than this is treated
+	// as down for the request and the caller falls back to rendering
+	// locally.
+	DefaultFetchTimeout = 2 * time.Second
+	// DefaultPoolSize is the idle connection pool per peer. Fetches
+	// beyond it dial extra connections and close them on return.
+	DefaultPoolSize = 4
+)
+
+// Config describes one node's view of a static cluster.
+type Config struct {
+	// Self is this node's own address, exactly as it appears in Nodes.
+	Self string
+	// Nodes is the full membership, including Self. Every node must be
+	// configured with the same set (order irrelevant — ownership is
+	// rendezvous-hashed, not position-based).
+	Nodes []string
+	// Game is the game name sent in the hello of peer connections; peers
+	// reject mismatches exactly like clients.
+	Game string
+	// DialTimeout bounds peer connection establishment (0: the
+	// transport default). FetchTimeout caps a fetch round trip,
+	// HealthInterval the probe cadence, PoolSize the idle conns per
+	// peer; zero selects the package defaults above.
+	DialTimeout    time.Duration
+	FetchTimeout   time.Duration
+	HealthInterval time.Duration
+	PoolSize       int
+}
+
+// clusterObs holds the registry instruments (nil-safe zero values when
+// uninstrumented).
+type clusterObs struct {
+	fetches     *obs.Counter
+	fetchErrors *obs.Counter
+	fetchShared *obs.Counter
+	fetchMs     *obs.Histogram
+	peersUp     *obs.Gauge
+	downEvents  *obs.Counter
+	probes      *obs.Counter
+}
+
+// fetchCall is one in-flight peer fetch shared by concurrent requesters
+// for the same grid point (singleflight below the store's own — direct
+// Fetch callers outside the store path coalesce here too).
+type fetchCall struct {
+	done  chan struct{}
+	reply transport.FrameReply
+	err   error
+}
+
+// Cluster is one node's membership view plus its peer-fetch clients.
+// Construct with New; Start launches the health loop, Close stops it
+// and drops pooled connections. Ownership queries and Fetch are safe
+// for concurrent use.
+type Cluster struct {
+	cfg   Config
+	nodes []string
+	peers map[string]*peer
+
+	fetchMu sync.Mutex
+	fetches map[geom.GridPoint]*fetchCall
+
+	obs clusterObs
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New validates the membership and builds the node's cluster view. The
+// node list is deduplicated; Self must appear in it.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = transport.DefaultDialTimeout
+	}
+	if cfg.FetchTimeout <= 0 {
+		cfg.FetchTimeout = DefaultFetchTimeout
+	}
+	if cfg.HealthInterval <= 0 {
+		cfg.HealthInterval = DefaultHealthInterval
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	seen := make(map[string]bool, len(cfg.Nodes))
+	var nodes []string
+	for _, n := range cfg.Nodes {
+		if n == "" {
+			return nil, fmt.Errorf("cluster: empty node address")
+		}
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	if !seen[cfg.Self] {
+		return nil, fmt.Errorf("cluster: self %q not in node list %v", cfg.Self, nodes)
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		nodes:   nodes,
+		peers:   make(map[string]*peer, len(nodes)-1),
+		fetches: make(map[geom.GridPoint]*fetchCall),
+		stop:    make(chan struct{}),
+	}
+	for _, n := range nodes {
+		if n != cfg.Self {
+			c.peers[n] = newPeer(n, cfg, c)
+		}
+	}
+	return c, nil
+}
+
+// Instrument resolves the cluster's instruments under the "cluster."
+// namespace. Call before Start; Instrument(nil) is a no-op.
+func (c *Cluster) Instrument(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	c.obs = clusterObs{
+		fetches:     r.Counter("cluster.peer_fetches"),
+		fetchErrors: r.Counter("cluster.peer_fetch_errors"),
+		fetchShared: r.Counter("cluster.peer_fetches_shared"),
+		fetchMs:     r.Histogram("cluster.peer_fetch_ms"),
+		peersUp:     r.Gauge("cluster.peers_up"),
+		downEvents:  r.Counter("cluster.peer_down_events"),
+		probes:      r.Counter("cluster.health_probes"),
+	}
+	c.obs.peersUp.Set(int64(len(c.peers)))
+}
+
+// Self returns this node's own address.
+func (c *Cluster) Self() string { return c.cfg.Self }
+
+// Nodes returns the (deduplicated) membership.
+func (c *Cluster) Nodes() []string { return append([]string(nil), c.nodes...) }
+
+// Size returns the membership count.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Owner returns the rendezvous owner of pt over the full static
+// membership. Ownership deliberately ignores liveness: a down owner
+// must not reshuffle every node's shard (and thrash stores); callers
+// handle a down owner by rendering locally (failover).
+func (c *Cluster) Owner(pt geom.GridPoint) string { return Owner(c.nodes, pt) }
+
+// OwnsSelf reports whether this node owns pt.
+func (c *Cluster) OwnsSelf(pt geom.GridPoint) bool { return c.Owner(pt) == c.cfg.Self }
+
+// Up reports whether addr is believed reachable: true for self and for
+// peers whose last probe or fetch succeeded (peers start optimistic
+// until the first failure).
+func (c *Cluster) Up(addr string) bool {
+	if addr == c.cfg.Self {
+		return true
+	}
+	p, ok := c.peers[addr]
+	return ok && p.isUp()
+}
+
+// PeersUp returns how many peers are currently believed up.
+func (c *Cluster) PeersUp() int {
+	n := 0
+	for _, p := range c.peers {
+		if p.isUp() {
+			n++
+		}
+	}
+	return n
+}
+
+// Start launches the periodic health loop. Safe to skip for clusters
+// that rely purely on passive (fetch-failure) down-marking.
+func (c *Cluster) Start() {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		t := time.NewTicker(c.cfg.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				c.probeAll()
+			}
+		}
+	}()
+}
+
+// probeAll health-checks every peer once: a pooled connection is
+// acquired (dialling and performing the hello exchange if the pool is
+// empty) and returned. Success marks the peer up — the only way a
+// down peer recovers.
+func (c *Cluster) probeAll() {
+	for _, p := range c.peers {
+		c.obs.probes.Inc()
+		pc, err := p.get()
+		if err != nil {
+			p.markDown()
+			continue
+		}
+		p.put(pc)
+		p.markUp()
+	}
+	c.obs.peersUp.Set(int64(c.PeersUp()))
+}
+
+// Close stops the health loop and closes pooled peer connections.
+func (c *Cluster) Close() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	c.wg.Wait()
+	for _, p := range c.peers {
+		p.drain()
+	}
+}
+
+// Fetch proxies a frame request for pt to its owner and returns the
+// owner's reply (always intra-coded; the owner's stage timings ride in
+// the reply so the non-owner can pass them through to its client).
+// Concurrent fetches for the same point coalesce into one round trip.
+// deadlineMs is the client's absolute display deadline (wall ms, <=0
+// none) and propagates to the owner, which schedules and degrades
+// against it exactly as if the client had connected directly.
+func (c *Cluster) Fetch(pt geom.GridPoint, deadlineMs float64) (transport.FrameReply, error) {
+	owner := c.Owner(pt)
+	if owner == c.cfg.Self {
+		return transport.FrameReply{}, fmt.Errorf("cluster: self owns %v, nothing to fetch", pt)
+	}
+	p := c.peers[owner]
+	if !p.isUp() {
+		return transport.FrameReply{}, fmt.Errorf("cluster: owner %s of %v is down", owner, pt)
+	}
+
+	c.fetchMu.Lock()
+	if call, inflight := c.fetches[pt]; inflight {
+		c.fetchMu.Unlock()
+		c.obs.fetchShared.Inc()
+		<-call.done
+		return call.reply, call.err
+	}
+	call := &fetchCall{done: make(chan struct{})}
+	c.fetches[pt] = call
+	c.fetchMu.Unlock()
+
+	c.obs.fetches.Inc()
+	start := time.Now()
+	call.reply, call.err = p.fetch(pt, deadlineMs)
+	c.obs.fetchMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	if call.err != nil {
+		c.obs.fetchErrors.Inc()
+	}
+
+	c.fetchMu.Lock()
+	delete(c.fetches, pt)
+	c.fetchMu.Unlock()
+	close(call.done)
+	return call.reply, call.err
+}

@@ -1,0 +1,226 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coterie/internal/geom"
+	"coterie/internal/transport"
+)
+
+// PeerPlayer is the player id peer connections present in their hello.
+// Peers never join FI sync, so the id only labels the session in logs
+// and stats; the top of the range keeps it clear of real players.
+const PeerPlayer uint8 = 0xFF
+
+// RemoteError is an application-level rejection from the owner (e.g. an
+// admission-control shed) delivered as MsgError on a healthy peer
+// connection. The connection is reusable and the peer stays up; the
+// caller falls back to rendering locally.
+type RemoteError struct {
+	Addr string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string { return "cluster: peer " + e.Addr + ": " + e.Msg }
+
+// peerConn is one pooled connection to a peer, with its monotonic
+// request-id counter (ids are per connection, like client sessions).
+type peerConn struct {
+	nc    net.Conn
+	c     *transport.Conn
+	reqID uint32
+}
+
+// peer is the fetch client for one remote node: a bounded idle
+// connection pool plus the up/down belief the health loop and passive
+// fetch failures maintain.
+type peer struct {
+	addr    string
+	game    string
+	dialTO  time.Duration
+	fetchTO time.Duration
+	pool    int
+	cluster *Cluster
+
+	mu   sync.Mutex
+	idle []*peerConn
+
+	up atomic.Bool
+}
+
+func newPeer(addr string, cfg Config, c *Cluster) *peer {
+	p := &peer{
+		addr:    addr,
+		game:    cfg.Game,
+		dialTO:  cfg.DialTimeout,
+		fetchTO: cfg.FetchTimeout,
+		pool:    cfg.PoolSize,
+		cluster: c,
+	}
+	// Optimistic start: the first fetch or probe corrects the belief.
+	// Starting down would force every node to wait out a health interval
+	// before any peer traffic flows.
+	p.up.Store(true)
+	return p
+}
+
+func (p *peer) isUp() bool { return p.up.Load() }
+
+// markDown flips the peer down and drops pooled connections (they share
+// the failed endpoint; reusing them would just fail again slower). Only
+// a successful probe brings the peer back.
+func (p *peer) markDown() {
+	if p.up.CompareAndSwap(true, false) {
+		p.cluster.obs.downEvents.Inc()
+		p.cluster.obs.peersUp.Set(int64(p.cluster.PeersUp()))
+	}
+	p.drain()
+}
+
+func (p *peer) markUp() {
+	if p.up.CompareAndSwap(false, true) {
+		p.cluster.obs.peersUp.Set(int64(p.cluster.PeersUp()))
+	}
+}
+
+// get returns a pooled connection, dialling and performing the hello
+// exchange when the pool is empty.
+func (p *peer) get() (*peerConn, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		pc := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+	return p.dial()
+}
+
+// put returns a healthy connection to the pool, closing it when the
+// pool is full.
+func (p *peer) put(pc *peerConn) {
+	p.mu.Lock()
+	if len(p.idle) < p.pool {
+		p.idle = append(p.idle, pc)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	pc.nc.Close()
+}
+
+// drain closes all pooled connections.
+func (p *peer) drain() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, pc := range idle {
+		pc.nc.Close()
+	}
+}
+
+// dial opens and handshakes a new peer connection. The dial and the
+// hello round trip are both bounded so an unreachable or wedged peer
+// fails in bounded time.
+func (p *peer) dial() (*peerConn, error) {
+	nc, err := transport.Dial(p.addr, p.dialTO)
+	if err != nil {
+		return nil, err
+	}
+	if err := nc.SetDeadline(time.Now().Add(p.dialTO)); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c := transport.NewConn(nc)
+	hello := transport.EncodeHello(transport.Hello{Player: PeerPlayer, Game: p.game})
+	if err := c.Send(transport.Message{Type: transport.MsgHello, Payload: hello}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	m, err := c.Recv()
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if m.Type == transport.MsgError {
+		nc.Close()
+		return nil, &RemoteError{Addr: p.addr, Msg: string(m.Payload)}
+	}
+	if m.Type != transport.MsgHello {
+		nc.Close()
+		return nil, fmt.Errorf("cluster: peer %s: unexpected hello reply %d", p.addr, m.Type)
+	}
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	return &peerConn{nc: nc, c: c}, nil
+}
+
+// fetch runs one MsgPeerFrameRequest round trip. Transport failures
+// close the connection and mark the peer down (passively — the health
+// loop will bring it back); application-level rejections (RemoteError)
+// keep both the connection and the peer's up state.
+func (p *peer) fetch(pt geom.GridPoint, deadlineMs float64) (transport.FrameReply, error) {
+	pc, err := p.get()
+	if err != nil {
+		p.markDown()
+		return transport.FrameReply{}, err
+	}
+	if err := pc.nc.SetDeadline(time.Now().Add(p.fetchTO)); err != nil {
+		pc.nc.Close()
+		p.markDown()
+		return transport.FrameReply{}, err
+	}
+	pc.reqID++
+	req := transport.EncodeFrameRequest(transport.FrameRequest{
+		Player:     PeerPlayer,
+		Point:      pt,
+		ReqID:      pc.reqID,
+		SentMs:     float64(time.Now().UnixNano()) / 1e6,
+		DeadlineMs: deadlineMs,
+	})
+	if err := pc.c.Send(transport.Message{Type: transport.MsgPeerFrameRequest, Payload: req}); err != nil {
+		pc.nc.Close()
+		p.markDown()
+		return transport.FrameReply{}, err
+	}
+	m, err := pc.c.Recv()
+	if err != nil {
+		pc.nc.Close()
+		p.markDown()
+		return transport.FrameReply{}, err
+	}
+	if m.Type == transport.MsgError {
+		if derr := pc.nc.SetDeadline(time.Time{}); derr == nil {
+			p.put(pc)
+		} else {
+			pc.nc.Close()
+		}
+		return transport.FrameReply{}, &RemoteError{Addr: p.addr, Msg: string(m.Payload)}
+	}
+	if m.Type != transport.MsgPeerFrameReply {
+		pc.nc.Close()
+		p.markDown()
+		return transport.FrameReply{}, fmt.Errorf("cluster: peer %s: unexpected reply %d", p.addr, m.Type)
+	}
+	reply, err := transport.DecodeFrameReply(m.Payload)
+	if err != nil {
+		pc.nc.Close()
+		p.markDown()
+		return transport.FrameReply{}, err
+	}
+	if err := pc.nc.SetDeadline(time.Time{}); err != nil {
+		pc.nc.Close()
+		return reply, nil // reply is good; only the pooled reuse is lost
+	}
+	p.put(pc)
+	return reply, nil
+}

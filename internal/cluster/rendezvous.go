@@ -1,0 +1,65 @@
+// Package cluster shards grid-point ownership across N coterie-server
+// processes. Ownership is decided by rendezvous (highest-random-weight)
+// hashing: every node scores every grid point independently and the
+// highest score owns the point, so all nodes agree on ownership with no
+// coordination, distribution is balanced by the hash, and when a node
+// leaves only the points it owned move (each orphaned point falls to its
+// second-highest scorer; points owned by surviving nodes keep their
+// owner — the property consistent hashing is chosen for).
+//
+// The rest of the package is the runtime around that decision: a static
+// membership list with periodic health checks (membership.go) and a
+// pooled, singleflighted peer-fetch client that proxies frame requests
+// to a point's owner over the transport's MsgPeerFrameRequest hop
+// (peer.go).
+package cluster
+
+import "coterie/internal/geom"
+
+// fnv64Offset/fnv64Prime are the FNV-1a constants; the node hash must be
+// identical in every process, so the hash is spelled out here rather
+// than delegated to anything seed- or process-dependent.
+const (
+	fnv64Offset = 0xcbf29ce484222325
+	fnv64Prime  = 0x100000001b3
+)
+
+// nodeHash hashes a node address with FNV-1a.
+func nodeHash(node string) uint64 {
+	h := uint64(fnv64Offset)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= fnv64Prime
+	}
+	return h
+}
+
+// Score is the rendezvous weight of a node for a grid point: the node's
+// address hash mixed with the point coordinates through a splitmix64
+// finaliser. Deterministic across processes and Go versions — it uses
+// nothing but the bytes of the address and the point indices.
+func Score(node string, pt geom.GridPoint) uint64 {
+	h := nodeHash(node)
+	h ^= uint64(uint32(pt.I)) | uint64(uint32(pt.J))<<32
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// Owner returns the rendezvous owner of pt among nodes: the node with
+// the highest Score, ties broken toward the lexicographically smaller
+// address so the choice is total. Returns "" for an empty node list.
+func Owner(nodes []string, pt geom.GridPoint) string {
+	best := ""
+	var bestScore uint64
+	for _, n := range nodes {
+		s := Score(n, pt)
+		if best == "" || s > bestScore || (s == bestScore && n < best) {
+			best, bestScore = n, s
+		}
+	}
+	return best
+}

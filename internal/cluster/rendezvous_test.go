@@ -1,0 +1,143 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"coterie/internal/games"
+	"coterie/internal/geom"
+)
+
+// sampleGrid walks a world's grid with a stride chosen so roughly
+// target points are visited, calling f on each. Deterministic: the
+// stride depends only on the grid dimensions.
+func sampleGrid(g geom.Grid, target int, f func(geom.GridPoint)) int {
+	cols, rows := g.Cols(), g.Rows()
+	total := int64(cols) * int64(rows)
+	stride := 1
+	if total > int64(target) {
+		stride = int(total / int64(target))
+	}
+	n, k := 0, 0
+	for j := 0; j < rows; j++ {
+		for i := 0; i < cols; i++ {
+			if k%stride == 0 {
+				f(geom.GridPoint{I: i, J: j})
+				n++
+			}
+			k++
+		}
+	}
+	return n
+}
+
+func worldGrids(t *testing.T) map[string]geom.Grid {
+	t.Helper()
+	grids := make(map[string]geom.Grid)
+	for _, spec := range games.Catalog() {
+		grids[spec.Name] = geom.NewGrid(geom.NewRect(spec.Width, spec.Depth), spec.GridStep)
+	}
+	if len(grids) != 9 {
+		t.Fatalf("expected 9 worlds, got %d", len(grids))
+	}
+	return grids
+}
+
+func clusterNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("10.0.0.%d:7000", i+1)
+	}
+	return nodes
+}
+
+// Ownership must be a pure function of (membership set, point): every
+// process computes it locally, so any order- or process-dependence
+// would split the cluster's view of the shard map.
+func TestOwnerDeterministic(t *testing.T) {
+	nodes := clusterNodes(4)
+	reversed := make([]string, len(nodes))
+	for i, n := range nodes {
+		reversed[len(nodes)-1-i] = n
+	}
+	g := geom.NewGrid(geom.NewRect(100, 100), 0.5)
+	sampleGrid(g, 20000, func(pt geom.GridPoint) {
+		a := Owner(nodes, pt)
+		if b := Owner(nodes, pt); b != a {
+			t.Fatalf("owner of %v unstable: %q then %q", pt, a, b)
+		}
+		if b := Owner(reversed, pt); b != a {
+			t.Fatalf("owner of %v depends on node order: %q vs %q", pt, a, b)
+		}
+	})
+	if Owner(nil, geom.GridPoint{}) != "" {
+		t.Fatal("empty membership should own nothing")
+	}
+}
+
+// The hash must spread each world's grid evenly: a skewed shard map
+// turns one node into the hotspot the cluster exists to avoid. Bound
+// max/min shard population over every world at 4 nodes.
+func TestOwnerBalancedAcrossWorlds(t *testing.T) {
+	nodes := clusterNodes(4)
+	for name, g := range worldGrids(t) {
+		counts := make(map[string]int, len(nodes))
+		total := sampleGrid(g, 20000, func(pt geom.GridPoint) {
+			counts[Owner(nodes, pt)]++
+		})
+		min, max := total, 0
+		for _, n := range nodes {
+			c := counts[n]
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if min == 0 {
+			t.Fatalf("%s: a node owns no points (counts %v)", name, counts)
+		}
+		if skew := float64(max) / float64(min); skew > 1.25 {
+			t.Errorf("%s: shard skew %.3f > 1.25 (counts %v over %d points)",
+				name, skew, counts, total)
+		}
+	}
+}
+
+// When a node leaves, rendezvous hashing must move only its points:
+// every point owned by a survivor keeps its owner (their scores did not
+// change), and the departed node's points spread across all survivors.
+func TestMinimalReownershipOnLeave(t *testing.T) {
+	nodes := clusterNodes(4)
+	departed := nodes[2]
+	var survivors []string
+	for _, n := range nodes {
+		if n != departed {
+			survivors = append(survivors, n)
+		}
+	}
+	g := geom.NewGrid(geom.NewRect(200, 200), 0.5)
+	moved := make(map[string]int)
+	orphaned := 0
+	sampleGrid(g, 40000, func(pt geom.GridPoint) {
+		before := Owner(nodes, pt)
+		after := Owner(survivors, pt)
+		if before != departed {
+			if after != before {
+				t.Fatalf("point %v moved %q -> %q though %q survived", pt, before, after, before)
+			}
+			return
+		}
+		orphaned++
+		moved[after]++
+	})
+	if orphaned == 0 {
+		t.Fatal("departed node owned no sampled points; sample too small")
+	}
+	for _, n := range survivors {
+		if moved[n] == 0 {
+			t.Errorf("survivor %q inherited none of the %d orphaned points (%v)", n, orphaned, moved)
+		}
+	}
+}

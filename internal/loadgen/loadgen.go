@@ -13,6 +13,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,7 +35,10 @@ const (
 
 // Config parameterises one load run.
 type Config struct {
-	// Addr is the frame server's TCP address.
+	// Addr is the frame server's TCP address. A comma-separated list
+	// drives a cluster: player p connects to the p mod len(list)-th
+	// address, spreading sessions round-robin across the nodes the way a
+	// matchmaker would.
 	Addr string
 	// Game must match the game the server hosts.
 	Game string
@@ -116,6 +120,12 @@ type Report struct {
 	RungStale     int64 `json:"rung_stale"`
 	RungReproject int64 `json:"rung_reproject"`
 	RungLowRes    int64 `json:"rung_lowres"`
+	// Origin mix (see transport.FrameOrigin): PeerFrames were answered by
+	// the grid point's owner over the cluster peer hop, FailoverFrames
+	// were re-rendered locally because the owner was down or the hop was
+	// at deadline risk. Both zero against a single-node server.
+	PeerFrames     int64 `json:"peer_frames"`
+	FailoverFrames int64 `json:"failover_frames"`
 
 	// Frame-store state after the run; -1 when the server is remote.
 	StoreBytes int64 `json:"store_bytes"`
@@ -128,6 +138,7 @@ type playerStats struct {
 	hits, joins, renders  int64
 	deltas                int64
 	rungs                 [4]int64
+	peer, failover        int64
 	latencies             []float64 // ms per successful fetch
 	errLatencies          []float64 // ms per errored (shed/rejected) fetch
 	err                   error
@@ -155,6 +166,10 @@ func Run(cfg Config) (Report, error) {
 	if err != nil {
 		return Report{}, fmt.Errorf("loadgen: %w", err)
 	}
+	addrs := splitAddrs(cfg.Addr)
+	if len(addrs) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no server address")
+	}
 	step := cfg.StepM
 	if step <= 0 {
 		step = 3 * g.Scene.Grid.Step
@@ -168,7 +183,7 @@ func Run(cfg Config) (Report, error) {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			stats[p] = runPlayer(cfg, g, step, p, deadline)
+			stats[p] = runPlayer(cfg, addrFor(addrs, p), g, step, p, deadline)
 		}(p)
 	}
 	wg.Wait()
@@ -202,6 +217,8 @@ func Run(cfg Config) (Report, error) {
 		rep.RungStale += st.rungs[transport.RungStale]
 		rep.RungReproject += st.rungs[transport.RungReproject]
 		rep.RungLowRes += st.rungs[transport.RungLowRes]
+		rep.PeerFrames += st.peer
+		rep.FailoverFrames += st.failover
 		all = append(all, st.latencies...)
 		allErr = append(allErr, st.errLatencies...)
 	}
@@ -240,6 +257,27 @@ func Run(cfg Config) (Report, error) {
 		rep.StoreBytes, rep.Evictions, _ = cfg.Server.StoreStats()
 	}
 	return rep, nil
+}
+
+// splitAddrs parses Config.Addr into the node address list: comma-split,
+// whitespace-trimmed, empties dropped.
+func splitAddrs(addr string) []string {
+	var addrs []string
+	for _, a := range strings.Split(addr, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	return addrs
+}
+
+// addrFor is the round-robin node assignment: player p connects to the
+// p mod n-th address.
+func addrFor(addrs []string, p int) string {
+	if len(addrs) == 0 {
+		return ""
+	}
+	return addrs[p%len(addrs)]
 }
 
 // walker replays one player's deterministic movement: trajectory is a pure
@@ -293,11 +331,11 @@ func (w *walker) advance() {
 }
 
 // Warm replays every player's first `steps` trajectory positions and
-// fetches each distinct grid point once over a single session, so the
-// server's frame store holds the ground a measured run will cover — the
-// load-harness stand-in for the paper's offline pre-rendering of all
-// reachable grid points (§5.1). Returns the number of distinct points
-// fetched.
+// fetches each distinct grid point once per target node (one warm session
+// per address in Config.Addr), so the frame stores hold the ground a
+// measured run will cover — the load-harness stand-in for the paper's
+// offline pre-rendering of all reachable grid points (§5.1). Returns the
+// number of warm fetches issued.
 func Warm(cfg Config, steps int) (int, error) {
 	if cfg.Players <= 0 {
 		cfg.Players = 1
@@ -313,32 +351,52 @@ func Warm(cfg Config, steps int) (int, error) {
 	if step <= 0 {
 		step = 3 * g.Scene.Grid.Step
 	}
-	cl, err := server.Dial(cfg.Addr, cfg.Game, 0)
-	if err != nil {
-		return 0, fmt.Errorf("loadgen warm: %w", err)
+	addrs := splitAddrs(cfg.Addr)
+	if len(addrs) == 0 {
+		return 0, fmt.Errorf("loadgen warm: no server address")
 	}
-	defer cl.Close()
-	seen := make(map[geom.GridPoint]bool)
+	// One warm session per node: each player's ground is fetched through
+	// the node that player will use in the measured run, so every node's
+	// store (not just the owners') holds it.
+	cls := make(map[string]*server.Client, len(addrs))
+	defer func() {
+		for _, cl := range cls {
+			cl.Close()
+		}
+	}()
+	seen := make(map[string]map[geom.GridPoint]bool, len(addrs))
+	total := 0
 	for p := 0; p < cfg.Players; p++ {
+		addr := addrFor(addrs, p)
+		cl := cls[addr]
+		if cl == nil {
+			var err error
+			if cl, err = server.Dial(addr, cfg.Game, 0); err != nil {
+				return total, fmt.Errorf("loadgen warm: %w", err)
+			}
+			cls[addr] = cl
+			seen[addr] = make(map[geom.GridPoint]bool)
+		}
 		w := newWalker(cfg, g, step, p)
 		for s := 0; s < steps; s++ {
 			pt := g.Scene.Grid.Snap(w.pos)
-			if !seen[pt] {
-				seen[pt] = true
+			if !seen[addr][pt] {
+				seen[addr][pt] = true
+				total++
 				if _, _, _, err := cl.FetchTraced(pt); err != nil {
-					return len(seen), fmt.Errorf("loadgen warm: %w", err)
+					return total, fmt.Errorf("loadgen warm: %w", err)
 				}
 			}
 			w.advance()
 		}
 	}
-	return len(seen), nil
+	return total, nil
 }
 
 // runPlayer is one synthetic player's session: connect, walk, fetch.
-func runPlayer(cfg Config, g *games.Game, step float64, p int, deadline time.Time) playerStats {
+func runPlayer(cfg Config, addr string, g *games.Game, step float64, p int, deadline time.Time) playerStats {
 	var st playerStats
-	cl, err := server.Dial(cfg.Addr, cfg.Game, uint8(p))
+	cl, err := server.Dial(addr, cfg.Game, uint8(p))
 	if err != nil {
 		st.err = err
 		return st
@@ -385,6 +443,12 @@ func runPlayer(cfg Config, g *games.Game, step float64, p int, deadline time.Tim
 			st.latencies = append(st.latencies, doneMs-sentMs)
 			if int(reply.Rung) < len(st.rungs) {
 				st.rungs[reply.Rung]++
+			}
+			switch reply.Origin {
+			case transport.OriginPeer:
+				st.peer++
+			case transport.OriginFailover:
+				st.failover++
 			}
 			switch {
 			case reply.RenderMs > 0:

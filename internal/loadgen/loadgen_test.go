@@ -165,3 +165,47 @@ func TestRateThrottling(t *testing.T) {
 		t.Errorf("throttled run fetched only %d frames", rep.Frames)
 	}
 }
+
+func TestSplitAddrsRoundRobin(t *testing.T) {
+	addrs := splitAddrs(" a:1, b:2 ,,c:3 ")
+	if len(addrs) != 3 || addrs[0] != "a:1" || addrs[1] != "b:2" || addrs[2] != "c:3" {
+		t.Fatalf("splitAddrs = %v", addrs)
+	}
+	// Player p lands on the p mod n-th node.
+	for p, want := range []string{"a:1", "b:2", "c:3", "a:1", "b:2"} {
+		if got := addrFor(addrs, p); got != want {
+			t.Errorf("player %d -> %s, want %s", p, got, want)
+		}
+	}
+	if got := splitAddrs(" , "); got != nil {
+		t.Errorf("splitAddrs blank = %v, want nil", got)
+	}
+	if got := addrFor(nil, 0); got != "" {
+		t.Errorf("addrFor empty = %q", got)
+	}
+}
+
+func TestMultiAddrRun(t *testing.T) {
+	// Same server listed twice: the round-robin still has to produce a
+	// working session per player, and a blank Addr list must refuse.
+	srv, addr := testServer(t)
+	rep, err := Run(Config{
+		Addr: addr + " , " + addr, Game: "pool", Players: 2,
+		Duration: 300 * time.Millisecond, Seed: 11, Server: srv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Frames == 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+	if rep.PeerFrames != 0 || rep.FailoverFrames != 0 {
+		t.Errorf("single-node run reported peer=%d failover=%d", rep.PeerFrames, rep.FailoverFrames)
+	}
+	if _, err := Run(Config{Addr: " , ", Game: "pool"}); err == nil {
+		t.Error("Run with blank address list did not error")
+	}
+	if _, err := Warm(Config{Addr: "", Game: "pool"}, 1); err == nil {
+		t.Error("Warm with blank address list did not error")
+	}
+}

@@ -69,6 +69,13 @@ type PlayerQoE struct {
 	RungStale     int     `json:"rung_stale"`
 	RungReproject int     `json:"rung_reproject"`
 	RungLowRes    int     `json:"rung_lowres"`
+	// PeerServedRatio is the fraction of window frames whose delivering
+	// fetch was answered from a cluster peer (origin 1); PeerFrames and
+	// FailoverFrames count the origin-1 and origin-2 frames. All zero
+	// outside cluster deployments.
+	PeerServedRatio float64 `json:"peer_served_ratio"`
+	PeerFrames      int     `json:"peer_frames"`
+	FailoverFrames  int     `json:"failover_frames"`
 }
 
 // QoESnapshot is a point-in-time QoE summary over the recorded spans.
@@ -153,6 +160,8 @@ type accQoE struct {
 	rungStale  int
 	rungReproj int
 	rungLowRes int
+	peer       int
+	failover   int
 	frameSum   float64
 	frameMax   float64
 	firstMs    float64
@@ -184,6 +193,12 @@ func (a *accQoE) add(ps []FrameSpan, budget float64) {
 		case 3:
 			a.rungLowRes++
 		}
+		switch sp.Origin {
+		case 1:
+			a.peer++
+		case 2:
+			a.failover++
+		}
 		if i > 0 {
 			if inter := sp.DisplayMs - ps[i-1].DisplayMs; inter > budget*missedVsyncFactor {
 				a.missed++
@@ -210,6 +225,8 @@ func (a *accQoE) finish(player int) PlayerQoE {
 	q.CacheHitRate = float64(a.hits) / float64(a.frames)
 	q.RungStale, q.RungReproject, q.RungLowRes = a.rungStale, a.rungReproj, a.rungLowRes
 	q.DegradedRatio = float64(a.rungStale+a.rungReproj+a.rungLowRes) / float64(a.frames)
+	q.PeerFrames, q.FailoverFrames = a.peer, a.failover
+	q.PeerServedRatio = float64(a.peer) / float64(a.frames)
 	if a.frames > 1 && a.lastMs > a.firstMs {
 		q.WindowFPS = float64(a.frames-1) / (a.lastMs - a.firstMs) * 1000
 	}

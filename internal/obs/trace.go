@@ -63,6 +63,11 @@ type FrameSpan struct {
 	// reprojected-under-pressure, 3 low-res upscaled). Always 0 on cache
 	// hits and on backends without a deadline scheduler.
 	DegradeRung uint8 `json:"degrade_rung"`
+	// Origin is where the serving node got the delivering fetch's bytes
+	// (transport.FrameOrigin values: 0 local, 1 fetched from the grid
+	// point's cluster owner, 2 failover re-render of a remotely owned
+	// point). Always 0 on cache hits and outside cluster deployments.
+	Origin uint8 `json:"origin"`
 }
 
 // FetchStages decomposes one BE-frame fetch round trip across the
@@ -95,6 +100,9 @@ type FetchStages struct {
 	// DegradeRung is the server's quality-degrade rung for the frame
 	// (transport.DegradeRung values); 0 when the frame is exact.
 	DegradeRung uint8
+	// Origin is where the serving node got the frame's bytes
+	// (transport.FrameOrigin values); 0 outside cluster deployments.
+	Origin uint8
 	// Valid marks stages actually populated by the source.
 	Valid bool
 }

@@ -359,6 +359,7 @@ func (c *Client) fillFetchStages() {
 	c.span.EncodeMs = st.EncodeMs
 	c.span.DeltaFrame = st.DeltaFrame
 	c.span.DegradeRung = st.DegradeRung
+	c.span.Origin = st.Origin
 }
 
 // setDeadline stamps the source's next fetch with the virtual time its

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"coterie/internal/cluster"
+	"coterie/internal/geom"
+	"coterie/internal/obs"
+	"coterie/internal/transport"
+)
+
+// clusterNode is one in-process member of a loopback cluster.
+type clusterNode struct {
+	srv  *Server
+	cl   *cluster.Cluster
+	reg  *obs.Registry
+	addr string
+	stop func()
+}
+
+// startCluster runs n live servers on loopback listeners joined into one
+// static cluster. Reprojection is disabled on every node so a full
+// ray-cast is the only render path — the determinism the byte-identity
+// assertions lean on (reprojection output depends on each node's pano
+// cache history). The health loop is not started: down-marking is
+// purely passive (fetch failures), which keeps the tests deterministic.
+func startCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	env := poolEnv(t)
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		srv := New(env)
+		srv.SetReprojectEnabled(false)
+		srv.DrainTimeout = 200 * time.Millisecond
+		reg := obs.NewRegistry()
+		srv.Instrument(reg)
+		cl, err := cluster.New(cluster.Config{
+			Self:         addrs[i],
+			Nodes:        addrs,
+			Game:         env.Game.Spec.Name,
+			DialTimeout:  500 * time.Millisecond,
+			FetchTimeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl.Instrument(reg)
+		srv.SetCluster(cl)
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		ln := lns[i]
+		go func() {
+			defer close(done)
+			srv.ServeContext(ctx, ln)
+		}()
+		stopped := false
+		node := &clusterNode{srv: srv, cl: cl, reg: reg, addr: addrs[i]}
+		node.stop = func() {
+			if stopped {
+				return
+			}
+			stopped = true
+			cancel()
+			<-done
+			cl.Close()
+		}
+		nodes[i] = node
+		t.Cleanup(node.stop)
+	}
+	return nodes
+}
+
+// pointsOwnedBy returns up to max in-grid points owned by addr, scanning
+// from the spawn outward so every point is renderable.
+func pointsOwnedBy(t *testing.T, cl *cluster.Cluster, addr string, max int) []geom.GridPoint {
+	t.Helper()
+	env := poolEnv(t)
+	grid := env.Game.Scene.Grid
+	spawn := grid.Snap(env.Game.Spawn)
+	var pts []geom.GridPoint
+	seen := map[geom.GridPoint]bool{}
+	for d := 0; d < 40 && len(pts) < max; d++ {
+		for di := -d; di <= d && len(pts) < max; di++ {
+			for _, dj := range []int{-d, d} {
+				pt := geom.GridPoint{I: spawn.I + di, J: spawn.J + dj}
+				if seen[pt] {
+					continue
+				}
+				seen[pt] = true
+				if grid.In(pt) && cl.Owner(pt) == addr {
+					pts = append(pts, pt)
+					if len(pts) >= max {
+						break
+					}
+				}
+			}
+		}
+	}
+	if len(pts) == 0 {
+		t.Fatalf("no in-grid points owned by %s near spawn", addr)
+	}
+	return pts
+}
+
+// TestClusterPeerFetchByteIdentical: a frame served by a non-owner via
+// the peer hop must be byte-for-byte the owner's frame, the reply must
+// be tagged OriginPeer, and the fetched bytes must enter the non-owner's
+// store (read-through replication: the re-request is a local hit).
+func TestClusterPeerFetchByteIdentical(t *testing.T) {
+	nodes := startCluster(t, 2)
+	a, b := nodes[0], nodes[1]
+
+	game := poolEnv(t).Game.Spec.Name
+	ca, err := Dial(a.addr, game, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+	cb, err := Dial(b.addr, game, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cb.Close()
+
+	for _, pt := range pointsOwnedBy(t, a.cl, b.addr, 3) {
+		// Non-owner serve: A proxies to B.
+		ra, _, _, err := ca.FetchTraced(pt)
+		if err != nil {
+			t.Fatalf("fetch %v via non-owner: %v", pt, err)
+		}
+		if ra.Origin != transport.OriginPeer {
+			t.Errorf("point %v: origin %d, want OriginPeer", pt, ra.Origin)
+		}
+		// Owner serve of the same point (store hit on B now).
+		rb, _, _, err := cb.FetchTraced(pt)
+		if err != nil {
+			t.Fatalf("fetch %v via owner: %v", pt, err)
+		}
+		if rb.Origin != transport.OriginLocal {
+			t.Errorf("point %v: owner origin %d, want OriginLocal", pt, rb.Origin)
+		}
+		da, err := decodeServed(ra, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := decodeServed(rb, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytesEqual(da, db) {
+			t.Errorf("point %v: peer-fetched frame differs from owner-rendered frame", pt)
+		}
+		// Read-through replication: the same request on A is now a local
+		// store hit with the same bytes.
+		ra2, _, _, err := ca.FetchTraced(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ra2.Origin != transport.OriginLocal {
+			t.Errorf("point %v: replicated re-request origin %d, want OriginLocal", pt, ra2.Origin)
+		}
+	}
+
+	// The peer traffic is visible on both sides' instruments.
+	dumpA, dumpB := a.reg.Snapshot(), b.reg.Snapshot()
+	if dumpA.Counters["server.peer_frames"] == 0 {
+		t.Error("non-owner recorded no server.peer_frames")
+	}
+	if dumpA.Counters["cluster.peer_fetches"] == 0 {
+		t.Error("non-owner recorded no cluster.peer_fetches")
+	}
+	if dumpB.Counters["server.peer_frames_served"] == 0 {
+		t.Error("owner recorded no server.peer_frames_served")
+	}
+}
+
+// decodeServed normalises a reply for comparison: replies are always
+// intra in these tests (fresh sessions, distinct points), so the served
+// bytes compare directly; a delta reply would need its reference.
+func decodeServed(r transport.FrameReply, _ []byte) ([]byte, error) {
+	return r.Data, nil
+}
+
+// TestClusterFailoverSurvivesNodeStop: after the owner stops, a session
+// on the surviving node keeps getting frames — re-rendered locally,
+// byte-identical to what the owner served, tagged OriginFailover and
+// counted.
+func TestClusterFailoverSurvivesNodeStop(t *testing.T) {
+	nodes := startCluster(t, 2)
+	a, b := nodes[0], nodes[1]
+	game := poolEnv(t).Game.Spec.Name
+
+	bPts := pointsOwnedBy(t, a.cl, b.addr, 2)
+	warm, cold := bPts[0], bPts[1]
+
+	// The owner renders warm pre-stop: its bytes are the reference the
+	// failover render must reproduce.
+	cb, err := Dial(b.addr, game, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, _, _, err := cb.FetchTraced(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownerBytes := append([]byte(nil), rb.Data...)
+	cb.Close()
+
+	b.stop()
+
+	ca, err := Dial(a.addr, game, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+
+	// First post-stop fetch: the hop fails (dead peer), A re-renders
+	// locally and the session survives.
+	ra, _, _, err := ca.FetchTraced(warm)
+	if err != nil {
+		t.Fatalf("session did not survive owner stop: %v", err)
+	}
+	if ra.Origin != transport.OriginFailover {
+		t.Errorf("post-stop origin %d, want OriginFailover", ra.Origin)
+	}
+	if !bytesEqual(ra.Data, ownerBytes) {
+		t.Error("failover re-render differs from the owner's render")
+	}
+	// Second remotely-owned point: the peer is now marked down, so the
+	// hop is skipped outright — still a failover serve, still counted.
+	ra2, _, _, err := ca.FetchTraced(cold)
+	if err != nil {
+		t.Fatalf("second post-stop fetch: %v", err)
+	}
+	if ra2.Origin != transport.OriginFailover {
+		t.Errorf("down-peer origin %d, want OriginFailover", ra2.Origin)
+	}
+	if n := a.reg.Snapshot().Counters["server.peer_failovers"]; n < 2 {
+		t.Errorf("server.peer_failovers = %d, want >= 2", n)
+	}
+}

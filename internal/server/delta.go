@@ -102,7 +102,7 @@ func (sr *sessionRefs) drop(pts []geom.GridPoint) {
 // shed by admission control. Stale and low-res serves bypass the delta
 // path and never become references: their bytes are not the render of
 // pt a later delta would have to name.
-func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, rung transport.DegradeRung, stg frameStages, err error) {
+func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, rung transport.DegradeRung, origin transport.FrameOrigin, stg frameStages, err error) {
 	if deadlineMs > 0 && !s.schedOff.Load() && !s.degradeOff.Load() &&
 		s.sched.AtRisk(wallMs(), deadlineMs) {
 		if stale, refPt, seq, ok := s.staleFor(pt); ok {
@@ -110,44 +110,44 @@ func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, sr *sess
 				// The exact frame is cached: serve it as the store hit it is
 				// and let the delta path shrink it as usual.
 				s.obs.frameStoreHits.Inc()
-				return s.deltaOrIntra(pt, seq, stale, sr, transport.RungExact, stg)
+				return s.deltaOrIntra(pt, seq, stale, sr, transport.RungExact, transport.OriginLocal, stg)
 			}
 			s.obs.degradeStale.Inc()
-			return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, stg, nil
+			return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, transport.OriginLocal, stg, nil
 		}
 	}
-	intra, _, seq, rung, fstg, err := s.frameForStaged(pt, deadlineMs)
+	intra, _, seq, rung, origin, fstg, err := s.frameForStaged(pt, deadlineMs)
 	stg = fstg
 	if err != nil {
 		if errors.Is(err, errOverloaded) && !s.degradeOff.Load() {
 			if stale, refPt, _, ok := s.staleFor(pt); ok && refPt != pt {
 				s.obs.degradeStale.Inc()
-				return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, stg, nil
+				return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, transport.OriginLocal, stg, nil
 			}
 		}
-		return nil, transport.FrameIntra, geom.GridPoint{}, transport.RungExact, stg, err
+		return nil, transport.FrameIntra, geom.GridPoint{}, transport.RungExact, origin, stg, err
 	}
 	if rung == transport.RungLowRes {
 		// Transient frame: seq is 0, it is not in the store, and it must not
 		// become a delta reference — serve the bytes as-is.
-		return intra, transport.FrameIntra, geom.GridPoint{}, rung, stg, nil
+		return intra, transport.FrameIntra, geom.GridPoint{}, rung, origin, stg, nil
 	}
-	return s.deltaOrIntra(pt, seq, intra, sr, rung, stg)
+	return s.deltaOrIntra(pt, seq, intra, sr, rung, origin, stg)
 }
 
 // deltaOrIntra finishes a store-backed serve (rung 0 or 2): delta-code
 // against the session's best held reference when that wins bytes, else
 // serve intra and register the frame as the next pending reference.
-func (s *Server) deltaOrIntra(pt geom.GridPoint, seq uint64, intra []byte, sr *sessionRefs, rung transport.DegradeRung, stg frameStages) ([]byte, transport.FrameEncoding, geom.GridPoint, transport.DegradeRung, frameStages, error) {
+func (s *Server) deltaOrIntra(pt geom.GridPoint, seq uint64, intra []byte, sr *sessionRefs, rung transport.DegradeRung, origin transport.FrameOrigin, stg frameStages) ([]byte, transport.FrameEncoding, geom.GridPoint, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
 	if !s.deltaOff.Load() {
 		if d, refPt, ok := s.deltaFor(pt, seq, intra, sr); ok {
 			s.obs.deltaFrames.Inc()
 			s.obs.deltaSaved.Add(int64(len(intra) - len(d)))
-			return d, transport.FrameDelta, refPt, rung, stg, nil
+			return d, transport.FrameDelta, refPt, rung, origin, stg, nil
 		}
 	}
 	sr.setPending(pt, seq)
-	return intra, transport.FrameIntra, geom.GridPoint{}, rung, stg, nil
+	return intra, transport.FrameIntra, geom.GridPoint{}, rung, origin, stg, nil
 }
 
 // deltaFor tries to produce a delta encoding of frame (pt, seq) against

@@ -302,6 +302,7 @@ func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rt
 		RTTMs:       rttVirtual,
 		DeltaFrame:  reply.Kind == transport.FrameDelta,
 		DegradeRung: uint8(reply.Rung),
+		Origin:      uint8(reply.Origin),
 		Valid:       true,
 	}
 	// NTP offset: t0=sentMs (client), t1=RecvMs, t2=SendMs (server),

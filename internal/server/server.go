@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"coterie/internal/cluster"
 	"coterie/internal/codec"
 	"coterie/internal/core"
 	"coterie/internal/fisync"
@@ -73,6 +74,14 @@ type Server struct {
 	schedOff   atomic.Bool
 	degradeOff atomic.Bool
 
+	// cluster, when set, shards grid-point ownership across nodes: the
+	// staged pipeline proxies requests for remotely owned points to
+	// their rendezvous owner (caching the reply — read-through
+	// replication) and falls back to rendering locally when the owner
+	// is down or the hop does not fit the deadline. nil (the default)
+	// is standalone serving. Set before Serve via SetCluster.
+	cluster *cluster.Cluster
+
 	mu  sync.Mutex // guards hub
 	hub *fisync.Hub
 
@@ -120,6 +129,13 @@ type serverObs struct {
 	deadlineMisses *obs.Counter
 	deadlineMissMs *obs.Histogram
 	udpSendErrors  *obs.Counter
+
+	// Cluster serving: frames obtained via a peer fetch, local renders
+	// of remotely owned points (owner down, hop at deadline risk, or
+	// fetch failed), and peer requests this node answered.
+	peerFrames       *obs.Counter
+	peerFailovers    *obs.Counter
+	peerFramesServed *obs.Counter
 }
 
 // SetStoreBudget bounds the frame store to the given number of encoded
@@ -168,6 +184,10 @@ func (s *Server) Instrument(r *obs.Registry) {
 		deadlineMisses: r.Counter("server.deadline_misses"),
 		deadlineMissMs: r.Histogram("server.deadline_miss_ms"),
 		udpSendErrors:  r.Counter("server.udp_send_errors"),
+
+		peerFrames:       r.Counter("server.peer_frames"),
+		peerFailovers:    r.Counter("server.peer_failovers"),
+		peerFramesServed: r.Counter("server.peer_frames_served"),
 	}
 	s.store.instrument(
 		r.Gauge("server.store_bytes"),
@@ -253,6 +273,14 @@ func (s *Server) SetDegradeEnabled(on bool) { s.degradeOff.Store(!on) }
 // schedulable core). Safe to call at any time.
 func (s *Server) SetMaxInflight(n int) { s.sched.SetWorkers(n) }
 
+// SetCluster joins the server to a cluster membership view (nil leaves
+// it standalone). Requests for grid points owned by a peer are proxied
+// to the owner and the replies cached locally under the normal store
+// budget; a down owner or a hop that no longer fits the deadline falls
+// back to a local render. Call before Serve; the caller owns the
+// cluster's lifecycle (Start/Close).
+func (s *Server) SetCluster(c *cluster.Cluster) { s.cluster = c }
+
 // errOverloaded is the admission-control rejection: the render queue is
 // past its bound and the degrade ladder found nothing servable. Sessions
 // deliver it as MsgError, so the connection stays usable and the client
@@ -269,7 +297,7 @@ func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
 // frameFor additionally reports whether this call rendered the frame.
 // Deadline-less: never shed, never degraded.
 func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
-	data, rendered, _, _, _, err := s.frameForStaged(pt, 0)
+	data, rendered, _, _, _, _, err := s.frameForStaged(pt, 0)
 	return data, rendered, err
 }
 
@@ -289,32 +317,75 @@ func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 // instead of the full ray-cast. Deadline-less callers (prerender, tests,
 // unloaded clients) take the slot gate too but sort last and never
 // degrade, so their output is byte-identical to the unscheduled path.
-func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64) ([]byte, bool, uint64, transport.DegradeRung, frameStages, error) {
+// frameForStaged allows the peer hop; the MsgPeerFrameRequest handler
+// calls frameForStagedOpt with allowPeer=false so a membership
+// disagreement between nodes can never chain proxy hops into a loop.
+func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64) ([]byte, bool, uint64, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
+	return s.frameForStagedOpt(pt, deadlineMs, true)
+}
+
+func (s *Server) frameForStagedOpt(pt geom.GridPoint, deadlineMs float64, allowPeer bool) ([]byte, bool, uint64, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
 	var stg frameStages
 	if !s.env.Game.Scene.Grid.In(pt) {
-		return nil, false, 0, transport.RungExact, stg, fmt.Errorf("server: grid point %v outside world", pt)
+		return nil, false, 0, transport.RungExact, transport.OriginLocal, stg, fmt.Errorf("server: grid point %v outside world", pt)
 	}
 	data, seq, ok, c, leader := s.store.lookup(pt)
 	if ok {
+		// A store hit is a local serve even when the bytes were
+		// originally peer-fetched: that is the read-through replication
+		// paying off, and Origin describes this serve, not the history.
 		s.obs.frameStoreHits.Inc()
-		return data, false, seq, transport.RungExact, stg, nil
+		return data, false, seq, transport.RungExact, transport.OriginLocal, stg, nil
 	}
 	if !leader {
 		s.obs.renderShared.Inc()
 		waitStart := time.Now()
 		<-c.done
 		stg.QueueMs = float64(time.Since(waitStart)) / float64(time.Millisecond)
-		return c.data, false, c.seq, c.rung, stg, c.err
+		return c.data, false, c.seq, c.rung, c.origin, stg, c.err
+	}
+
+	// Cluster ownership gate: a leader for a remotely owned point
+	// proxies the request to its owner instead of rendering, unless the
+	// owner is down or the hop itself is projected past the deadline —
+	// then this node re-renders locally (byte-identical output, counted
+	// as a failover).
+	origin := transport.OriginLocal
+	useSched := !s.schedOff.Load()
+	if cl := s.cluster; cl != nil && allowPeer {
+		if owner := cl.Owner(pt); owner != cl.Self() {
+			if cl.Up(owner) && !(useSched && s.sched.FetchAtRisk(wallMs(), deadlineMs)) {
+				fetchStart := time.Now()
+				reply, err := cl.Fetch(pt, deadlineMs)
+				if err == nil {
+					s.sched.ObserveFetchCost(float64(time.Since(fetchStart)) / float64(time.Millisecond))
+					s.obs.peerFrames.Inc()
+					// Read-through replication: the owner's bytes enter
+					// this node's store under the normal budget, so the
+					// next request for the point is a local hit. The
+					// owner's stage timings pass through to the caller —
+					// the hop's network time lands in the client's NetMs.
+					keep := reply.Rung != transport.RungLowRes
+					c.rung, c.origin = reply.Rung, transport.OriginPeer
+					seq = s.store.complete(pt, c, reply.Data, nil, keep)
+					stg.QueueMs += reply.QueueMs
+					stg.RenderMs = reply.RenderMs
+					stg.EncodeMs = reply.EncodeMs
+					return reply.Data, false, seq, reply.Rung, transport.OriginPeer, stg, nil
+				}
+			}
+			origin = transport.OriginFailover
+			s.obs.peerFailovers.Inc()
+		}
 	}
 
 	rushed := false
-	useSched := !s.schedOff.Load()
 	if useSched {
 		info, admitted := s.sched.Acquire(deadlineMs)
 		if !admitted {
 			err := errOverloaded
 			s.store.complete(pt, c, nil, err, false)
-			return nil, false, 0, transport.RungExact, stg, err
+			return nil, false, 0, transport.RungExact, origin, stg, err
 		}
 		stg.QueueMs += info.QueueMs
 		rushed = info.Rushed && !s.degradeOff.Load()
@@ -342,7 +413,7 @@ func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64) ([]byte, 
 	// stored: a later unloaded request must re-render the exact frame, not
 	// inherit deadline-pressure quality as a rung-0 store hit.
 	keep := rung != transport.RungLowRes
-	c.rung = rung
+	c.rung, c.origin = rung, origin
 	seq = s.store.complete(pt, c, data, err, keep)
 	if err == nil && keep && (!s.deltaOff.Load() || !s.reprojOff.Load()) {
 		// Cache both views of the render: the client-visible reconstruction
@@ -358,7 +429,7 @@ func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64) ([]byte, 
 	} else if clean != nil {
 		s.env.Renderer.ReleaseGray(clean)
 	}
-	return data, err == nil, seq, rung, stg, err
+	return data, err == nil, seq, rung, origin, stg, err
 }
 
 // render produces the encoded far-BE panorama for an in-grid point,
@@ -603,7 +674,7 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			if err != nil {
 				return err
 			}
-			data, kind, ref, rung, stg, err := s.frameForSession(req.Point, req.DeadlineMs, sr)
+			data, kind, ref, rung, origin, stg, err := s.frameForSession(req.Point, req.DeadlineMs, sr)
 			if err != nil {
 				if err := c.Send(errMsg(err.Error())); err != nil {
 					return err
@@ -634,6 +705,7 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 				EncodeMs:     stg.EncodeMs,
 				Kind:         kind,
 				Rung:         rung,
+				Origin:       origin,
 				Ref:          ref,
 				Data:         data,
 			})
@@ -650,6 +722,46 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 				} else {
 					s.obs.deadlineMet.Inc()
 				}
+			}
+		case transport.MsgPeerFrameRequest:
+			// Node-to-node hop: a peer that does not own req.Point proxies
+			// its client's request here. Served from the local pipeline
+			// with the peer hop disabled (allowPeer=false), so membership
+			// disagreement can never chain hops; the reply is always
+			// intra-coded — delta references are per client session and
+			// do not cross nodes — and carries this node's stage timings
+			// so they survive to the far client's trace.
+			recvMs := wallMs()
+			req, err := transport.DecodeFrameRequest(m.Payload)
+			if err != nil {
+				return err
+			}
+			data, _, _, rung, _, stg, err := s.frameForStagedOpt(req.Point, req.DeadlineMs, false)
+			if err != nil {
+				if err := c.Send(errMsg(err.Error())); err != nil {
+					return err
+				}
+				continue
+			}
+			s.obs.peerFramesServed.Inc()
+			st.FramesServed++
+			st.BytesSent += int64(len(data))
+			reply := transport.EncodeFrameReply(transport.FrameReply{
+				Point:        req.Point,
+				ReqID:        req.ReqID,
+				ClientSentMs: req.SentMs,
+				RecvMs:       recvMs,
+				SendMs:       wallMs(),
+				QueueMs:      stg.QueueMs,
+				RenderMs:     stg.RenderMs,
+				EncodeMs:     stg.EncodeMs,
+				Kind:         transport.FrameIntra,
+				Rung:         rung,
+				Origin:       transport.OriginLocal,
+				Data:         data,
+			})
+			if err := c.Send(transport.Message{Type: transport.MsgPeerFrameReply, Payload: reply}); err != nil {
+				return err
 			}
 		case transport.MsgEvictNotice:
 			pts, err := transport.DecodeEvictNotice(m.Payload)
@@ -697,7 +809,7 @@ type Client struct {
 
 // Dial connects and performs the hello exchange.
 func Dial(addr, game string, player uint8) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	nc, err := transport.Dial(addr, 0)
 	if err != nil {
 		return nil, err
 	}

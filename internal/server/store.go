@@ -29,11 +29,12 @@ const defaultStoreShards = 16
 // (singleflight). The leader renders, stores the result, then closes done;
 // joiners block on done and read data/err/seq.
 type frameCall struct {
-	done chan struct{}
-	data []byte
-	seq  uint64
-	rung transport.DegradeRung
-	err  error
+	done   chan struct{}
+	data   []byte
+	seq    uint64
+	rung   transport.DegradeRung
+	origin transport.FrameOrigin
+	err    error
 }
 
 // deltaRec is one cached delta encoding of an entry's frame against a

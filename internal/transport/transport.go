@@ -13,10 +13,29 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"time"
 
 	"coterie/internal/geom"
 	"coterie/internal/obs"
 )
+
+// DefaultDialTimeout bounds connection establishment when the caller does
+// not choose a timeout. An unreachable host must fail in seconds — a
+// frame pipeline stalled on the kernel's minutes-long connect timeout is
+// indistinguishable from a hang.
+const DefaultDialTimeout = 3 * time.Second
+
+// Dial opens a TCP connection with a bounded connect timeout (<= 0 means
+// DefaultDialTimeout). Every dial in the system goes through here so no
+// dead peer or mistyped address can stall a caller for the kernel
+// default.
+func Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
 
 // MsgType identifies a protocol message.
 type MsgType uint8
@@ -39,7 +58,20 @@ const (
 	// has dropped from its reference cache, so the server stops encoding
 	// deltas against them. Fire-and-forget: no reply.
 	MsgEvictNotice
+	// MsgPeerFrameRequest is a node-to-node frame fetch inside a cluster:
+	// a non-owner node proxies a client's request to the grid point's
+	// rendezvous owner. The payload is a FrameRequest, so the deadline
+	// propagates across the hop.
+	MsgPeerFrameRequest
+	// MsgPeerFrameReply answers a peer fetch with a FrameReply (always
+	// intra-coded — delta references are per client session and do not
+	// cross nodes), carrying the owner's v2 stage timings end-to-end.
+	MsgPeerFrameReply
 )
+
+// maxMsgType is the highest known message type; ReadMessage and the
+// metrics tables reject/ignore anything past it.
+const maxMsgType = MsgPeerFrameReply
 
 // MaxPayload bounds message payloads (a 4K panoramic frame fits well
 // within this).
@@ -75,7 +107,7 @@ func ReadMessage(r io.Reader) (Message, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return Message{}, err
 	}
-	if t := MsgType(hdr[0]); t < MsgHello || t > MsgEvictNotice {
+	if t := MsgType(hdr[0]); t < MsgHello || t > maxMsgType {
 		return Message{}, fmt.Errorf("transport: unknown message type %d", hdr[0])
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
@@ -121,8 +153,8 @@ func DecodeHello(b []byte) (Hello, error) {
 // id and cross-node timestamps). Both are fixed-size headers so encoding
 // stays one buffer allocation and decoding is bounds-checked up front.
 const (
-	frameRequestLen  = 1 + 4 + 4 + 4 + 8 + 8                   // player, point, req id, sent ms, deadline ms
-	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 + 1 + 1 + 8 // point, req id, 3 stamps, 3 stage spans, kind, rung, ref point
+	frameRequestLen  = 1 + 4 + 4 + 4 + 8 + 8                       // player, point, req id, sent ms, deadline ms
+	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 + 1 + 1 + 1 + 8 // point, req id, 3 stamps, 3 stage spans, kind, rung, origin, ref point
 )
 
 // FrameEncoding says how a FrameReply's Data payload is coded.
@@ -157,6 +189,24 @@ const (
 	// RungLowRes is a reduced-resolution render upscaled to full size and
 	// SSIM-verified; it is served but never cached as an exact frame.
 	RungLowRes
+)
+
+// FrameOrigin tags which node produced a reply's frame bytes inside a
+// cluster. Single-node servers always report OriginLocal; the other
+// values let clients and QoE accounting see where cluster work landed.
+type FrameOrigin uint8
+
+const (
+	// OriginLocal: the serving node owned the point (or runs standalone)
+	// and served from its own store or renderer.
+	OriginLocal FrameOrigin = iota
+	// OriginPeer: the serving node proxied the request to the point's
+	// rendezvous owner and relayed (and cached) the owner's frame.
+	OriginPeer
+	// OriginFailover: the point is owned by a peer, but the peer was down
+	// or the hop did not fit the deadline, so the serving node re-rendered
+	// locally (byte-identical output, at local render cost).
+	OriginFailover
 )
 
 // FrameRequest asks for the encoded far-BE panorama of a grid point. The
@@ -236,8 +286,11 @@ type FrameReply struct {
 	// frame, so clients and QoE accounting see deadline-driven
 	// degradation explicitly rather than inferring it from latency.
 	Rung DegradeRung
-	Ref  geom.GridPoint
-	Data []byte
+	// Origin tags which node produced the bytes (local, peer fetch, or
+	// failover re-render) so cluster serving is visible end-to-end.
+	Origin FrameOrigin
+	Ref    geom.GridPoint
+	Data   []byte
 }
 
 // EncodeFrameReply serialises a FrameReply (one buffer allocation; the
@@ -255,8 +308,9 @@ func EncodeFrameReply(r FrameReply) []byte {
 	binary.BigEndian.PutUint64(b[52:60], math.Float64bits(r.EncodeMs))
 	b[60] = byte(r.Kind)
 	b[61] = byte(r.Rung)
-	binary.BigEndian.PutUint32(b[62:66], uint32(int32(r.Ref.I)))
-	binary.BigEndian.PutUint32(b[66:70], uint32(int32(r.Ref.J)))
+	b[62] = byte(r.Origin)
+	binary.BigEndian.PutUint32(b[63:67], uint32(int32(r.Ref.I)))
+	binary.BigEndian.PutUint32(b[67:71], uint32(int32(r.Ref.J)))
 	return append(b, r.Data...)
 }
 
@@ -275,6 +329,9 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 	if g := DegradeRung(b[61]); g > RungLowRes {
 		return FrameReply{}, fmt.Errorf("transport: unknown degrade rung %d", b[61])
 	}
+	if o := FrameOrigin(b[62]); o > OriginFailover {
+		return FrameReply{}, fmt.Errorf("transport: unknown frame origin %d", b[62])
+	}
 	return FrameReply{
 		Point: geom.GridPoint{
 			I: int(int32(binary.BigEndian.Uint32(b[0:4]))),
@@ -289,9 +346,10 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 		EncodeMs:     math.Float64frombits(binary.BigEndian.Uint64(b[52:60])),
 		Kind:         FrameEncoding(b[60]),
 		Rung:         DegradeRung(b[61]),
+		Origin:       FrameOrigin(b[62]),
 		Ref: geom.GridPoint{
-			I: int(int32(binary.BigEndian.Uint32(b[62:66]))),
-			J: int(int32(binary.BigEndian.Uint32(b[66:70]))),
+			I: int(int32(binary.BigEndian.Uint32(b[63:67]))),
+			J: int(int32(binary.BigEndian.Uint32(b[67:71]))),
 		},
 		Data: b[frameReplyHdrLen:],
 	}, nil
@@ -340,6 +398,10 @@ func msgName(t MsgType) string {
 		return "bye"
 	case MsgEvictNotice:
 		return "evict_notice"
+	case MsgPeerFrameRequest:
+		return "peer_frame_request"
+	case MsgPeerFrameReply:
+		return "peer_frame_reply"
 	default:
 		return "unknown"
 	}
@@ -353,10 +415,10 @@ const frameOverhead = 5
 // pair, resolved once so the per-message cost is two atomic adds. A nil
 // *Metrics disables accounting.
 type Metrics struct {
-	sentCount [MsgEvictNotice + 1]*obs.Counter
-	sentBytes [MsgEvictNotice + 1]*obs.Counter
-	recvCount [MsgEvictNotice + 1]*obs.Counter
-	recvBytes [MsgEvictNotice + 1]*obs.Counter
+	sentCount [maxMsgType + 1]*obs.Counter
+	sentBytes [maxMsgType + 1]*obs.Counter
+	recvCount [maxMsgType + 1]*obs.Counter
+	recvBytes [maxMsgType + 1]*obs.Counter
 }
 
 // NewMetrics resolves per-message-type counters under
@@ -368,7 +430,7 @@ func NewMetrics(r *obs.Registry, prefix string) *Metrics {
 		return nil
 	}
 	m := &Metrics{}
-	for t := MsgHello; t <= MsgEvictNotice; t++ {
+	for t := MsgHello; t <= maxMsgType; t++ {
 		n := msgName(t)
 		m.sentCount[t] = r.Counter(prefix + ".sent." + n + ".count")
 		m.sentBytes[t] = r.Counter(prefix + ".sent." + n + ".bytes")
@@ -379,7 +441,7 @@ func NewMetrics(r *obs.Registry, prefix string) *Metrics {
 }
 
 func (m *Metrics) sent(msg Message) {
-	if m == nil || msg.Type < MsgHello || msg.Type > MsgEvictNotice {
+	if m == nil || msg.Type < MsgHello || msg.Type > maxMsgType {
 		return
 	}
 	m.sentCount[msg.Type].Inc()
@@ -387,7 +449,7 @@ func (m *Metrics) sent(msg Message) {
 }
 
 func (m *Metrics) received(msg Message) {
-	if m == nil || msg.Type < MsgHello || msg.Type > MsgEvictNotice {
+	if m == nil || msg.Type < MsgHello || msg.Type > maxMsgType {
 		return
 	}
 	m.recvCount[msg.Type].Inc()

@@ -5,6 +5,7 @@ import (
 	"net"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"coterie/internal/geom"
 )
@@ -63,7 +64,7 @@ func TestReadMessageTruncated(t *testing.T) {
 }
 
 func TestReadMessageUnknownType(t *testing.T) {
-	for _, typ := range []byte{0, byte(MsgEvictNotice) + 1, 0x7F, 0xFF} {
+	for _, typ := range []byte{0, byte(maxMsgType) + 1, 0x7F, 0xFF} {
 		hdr := []byte{typ, 0, 0, 0, 0}
 		if _, err := ReadMessage(bytes.NewReader(hdr)); err == nil {
 			t.Fatalf("unknown type %d accepted", typ)
@@ -148,6 +149,7 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 		EncodeMs:     9,
 		Kind:         FrameDelta,
 		Rung:         RungReproject,
+		Origin:       OriginPeer,
 		Ref:          geom.GridPoint{I: -6, J: 1<<20 - 1},
 		Data:         []byte{9, 8, 7},
 	}
@@ -158,7 +160,7 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 	if got.Point != r.Point || got.ReqID != r.ReqID ||
 		got.ClientSentMs != r.ClientSentMs || got.RecvMs != r.RecvMs || got.SendMs != r.SendMs ||
 		got.QueueMs != r.QueueMs || got.RenderMs != r.RenderMs || got.EncodeMs != r.EncodeMs ||
-		got.Kind != r.Kind || got.Rung != r.Rung || got.Ref != r.Ref ||
+		got.Kind != r.Kind || got.Rung != r.Rung || got.Origin != r.Origin || got.Ref != r.Ref ||
 		!bytes.Equal(got.Data, r.Data) {
 		t.Fatalf("got %+v want %+v", got, r)
 	}
@@ -195,6 +197,80 @@ func TestFrameReplyRejectsUnknownRung(t *testing.T) {
 		if err != nil || got.Rung != rung {
 			t.Fatalf("rung %d: got %d, err %v", rung, got.Rung, err)
 		}
+	}
+}
+
+func TestFrameReplyRejectsUnknownOrigin(t *testing.T) {
+	// Same pre-payload guard for the frame-origin byte: a node speaking a
+	// newer cluster protocol must fail loudly at the transport layer.
+	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
+	for _, origin := range []byte{byte(OriginFailover) + 1, 0x7F, 0xFF} {
+		forged := append([]byte(nil), full...)
+		forged[62] = origin
+		if _, err := DecodeFrameReply(forged); err == nil {
+			t.Fatalf("unknown frame origin %d accepted", origin)
+		}
+	}
+	for _, origin := range []FrameOrigin{OriginLocal, OriginPeer, OriginFailover} {
+		got, err := DecodeFrameReply(EncodeFrameReply(FrameReply{Origin: origin}))
+		if err != nil || got.Origin != origin {
+			t.Fatalf("origin %d: got %d, err %v", origin, got.Origin, err)
+		}
+	}
+}
+
+func TestPeerMessageTypesFrame(t *testing.T) {
+	// The peer fetch rides the normal framing: both peer types round-trip
+	// through Write/ReadMessage and carry the v2 frame payloads verbatim.
+	var buf bytes.Buffer
+	req := EncodeFrameRequest(FrameRequest{Player: 1, Point: geom.GridPoint{I: 3, J: 4}, DeadlineMs: 99.5})
+	reply := EncodeFrameReply(FrameReply{Point: geom.GridPoint{I: 3, J: 4}, Origin: OriginLocal, Data: []byte("f")})
+	for _, m := range []Message{
+		{Type: MsgPeerFrameRequest, Payload: req},
+		{Type: MsgPeerFrameReply, Payload: reply},
+	} {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != m.Type || !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("got %+v want %+v", got, m)
+		}
+	}
+}
+
+func TestDialBounded(t *testing.T) {
+	// Dial against a live listener succeeds well within the bound.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	conn, err := Dial(ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// Dial against a dead address must return (not hang) within the
+	// configured timeout plus slack — the staged pipeline sits behind this
+	// call during peer fetches.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+	start := time.Now()
+	if conn, err := Dial(deadAddr, 200*time.Millisecond); err == nil {
+		conn.Close()
+		t.Skip("closed port still accepting (port reused); cannot assert timeout")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("bounded dial took %v", elapsed)
 	}
 }
 

@@ -195,4 +195,91 @@ awk '
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=
+
+# --- 2-node cluster: peer fetch, then failover after killing one node ---
+# Two server processes share grid-point ownership by rendezvous hashing.
+# Players spread across both must trigger peer fetches (each node owns
+# ~half the points its sessions request); after one node is killed, load
+# against the survivor must finish with zero request errors — remote
+# points fail over to local re-renders, visible as failover_frames.
+echo "smoke: starting 2-node cluster..."
+n0_port=$((port + 3)); n1_port=$((port + 4)); n0_admin=$((port + 5))
+n0_addr="127.0.0.1:$n0_port"; n1_addr="127.0.0.1:$n1_port"
+cluster="$n0_addr,$n1_addr"
+"$bin/coterie-server" -game pool -addr "$n0_addr" -width 64 -height 32 \
+    -cluster "$cluster" -node-id 0 -admin "127.0.0.1:$n0_admin" -drain 2s \
+    >"$bin/node0.log" 2>&1 &
+node0_pid=$!
+"$bin/coterie-server" -game pool -addr "$n1_addr" -width 64 -height 32 \
+    -cluster "$cluster" -node-id 1 -drain 2s >"$bin/node1.log" 2>&1 &
+node1_pid=$!
+cleanup_cluster() {
+    [ -n "${node0_pid:-}" ] && kill "$node0_pid" 2>/dev/null
+    [ -n "${node1_pid:-}" ] && kill "$node1_pid" 2>/dev/null
+    wait 2>/dev/null || true
+}
+trap 'cleanup_cluster; cleanup' EXIT INT TERM
+
+for p in "$n0_port" "$n1_port"; do
+    for _ in $(seq 1 240); do
+        if (exec 3<>"/dev/tcp/127.0.0.1/$p") 2>/dev/null; then
+            exec 3>&- 3<&-
+            break
+        fi
+        sleep 0.5
+    done
+done
+
+echo "smoke: loadgen across both cluster nodes..."
+"$bin/loadgen" -addr "$cluster" -game pool -players 4 -duration 2s -json \
+    >"$bin/cluster.json" 2>"$bin/cluster.log" || {
+    echo "smoke: cluster loadgen failed" >&2
+    cat "$bin/cluster.log" "$bin/node0.log" "$bin/node1.log" >&2
+    exit 1
+}
+awk '
+    /"frames_per_sec":/ { v = $2; gsub(/[",]/, "", v); fps = v }
+    /"errors":/         { v = $2; gsub(/[",]/, "", v); errs = v }
+    END {
+        if (fps + 0 <= 0) { print "smoke: cluster throughput zero"; exit 1 }
+        if (errs + 0 != 0) { print "smoke: cluster run saw " errs " request errors"; exit 1 }
+    }' "$bin/cluster.json" || {
+    echo "smoke: cluster loadgen report failed sanity check" >&2
+    cat "$bin/cluster.json" >&2
+    exit 1
+}
+http_get 127.0.0.1 "$n0_admin" /metrics >"$bin/cluster.scrape" || true
+grep -Eq '"cluster\.peer_fetches": *[1-9]' "$bin/cluster.scrape" || {
+    echo "smoke: node 0 never peer-fetched a frame" >&2
+    cat "$bin/cluster.scrape" >&2
+    exit 1
+}
+
+echo "smoke: killing node 1, loadgen against the survivor..."
+kill "$node1_pid"
+wait "$node1_pid" 2>/dev/null || true
+node1_pid=
+"$bin/loadgen" -addr "$n0_addr" -game pool -players 4 -duration 2s -json \
+    >"$bin/failover.json" 2>"$bin/failover.log" || {
+    echo "smoke: failover loadgen failed" >&2
+    cat "$bin/failover.log" "$bin/node0.log" >&2
+    exit 1
+}
+awk '
+    /"frames_per_sec":/    { v = $2; gsub(/[",]/, "", v); fps = v }
+    /"errors":/            { v = $2; gsub(/[",]/, "", v); errs = v }
+    /"failover_frames":/   { v = $2; gsub(/[",]/, "", v); fo = v }
+    END {
+        if (fps + 0 <= 0) { print "smoke: failover throughput zero"; exit 1 }
+        if (errs + 0 != 0) { print "smoke: failover run saw " errs " request errors"; exit 1 }
+        if (fo + 0 <= 0) { print "smoke: no failover re-renders counted"; exit 1 }
+    }' "$bin/failover.json" || {
+    echo "smoke: failover report failed sanity check" >&2
+    cat "$bin/failover.json" >&2
+    exit 1
+}
+
+kill "$node0_pid"
+wait "$node0_pid" 2>/dev/null || true
+node0_pid=
 echo "smoke: OK"
