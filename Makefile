@@ -44,8 +44,8 @@ loadtest:
 
 # Bench regression gate: compare two benchtab JSON reports' micro results
 # and (when both reports carry it) the deadline_ab compliance section.
-# Usage: make bench-diff BENCH_OLD=BENCH_4.json BENCH_NEW=BENCH_5.json
-BENCH_OLD ?= BENCH_4.json
-BENCH_NEW ?= BENCH_5.json
+# Usage: make bench-diff BENCH_OLD=BENCH_5.json BENCH_NEW=BENCH_6.json
+BENCH_OLD ?= BENCH_5.json
+BENCH_NEW ?= BENCH_6.json
 bench-diff:
 	$(GO) run ./scripts $(BENCH_OLD) $(BENCH_NEW)

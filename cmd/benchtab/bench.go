@@ -42,6 +42,9 @@ type benchReport struct {
 	// against 1/2/4 rendezvous-hashed in-process nodes, with the peer-fetch
 	// mix and per-node efficiency.
 	ClusterScaleout []clusterScaleout `json:"cluster_scaleout,omitempty"`
+	// ObsOverhead is the observability A/B: the same walk load with the
+	// registry + trace + SLO pipeline off and on, and the throughput cost.
+	ObsOverhead *obsOverhead `json:"obs_overhead,omitempty"`
 }
 
 type expTiming struct {
@@ -246,6 +249,10 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 	if err != nil {
 		return err
 	}
+	overhead, err := runObsOverhead(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
@@ -257,6 +264,7 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 		DeltaSavings:     savings,
 		DeadlineAB:       deadlines,
 		ClusterScaleout:  scaleout,
+		ObsOverhead:      overhead,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

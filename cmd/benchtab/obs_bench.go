@@ -1,0 +1,115 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/games"
+	"coterie/internal/loadgen"
+	"coterie/internal/obs"
+	"coterie/internal/render"
+	"coterie/internal/server"
+)
+
+// obsOverhead is the observability A/B: the same walk load against an
+// uninstrumented server and against one carrying the full PR 9 pipeline —
+// registry instruments, trace ring, and the SLO burn-rate monitor
+// observing every served frame. The overhead fraction is the throughput
+// cost of leaving observability on in production; the design target is
+// under 5%.
+type obsOverhead struct {
+	Pattern          string  `json:"pattern"`
+	Players          int     `json:"players"`
+	FramesPerSecOff  float64 `json:"frames_per_sec_off"`
+	FramesPerSecOn   float64 `json:"frames_per_sec_on"`
+	OverheadFraction float64 `json:"overhead_fraction"`
+	// SLOFrames confirms the on-arm actually observed frames (the A/B is
+	// meaningless if the monitor silently stayed cold).
+	SLOFrames int64 `json:"slo_frames"`
+}
+
+// runObsOverhead measures the A/B on two servers sharing one prepared
+// environment, each warmed over the walk ground before its measured run
+// so both arms serve from an equally warm store.
+func runObsOverhead(quick bool) (*obsOverhead, error) {
+	spec, err := games.ByName("pool")
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg:   render.Config{W: 128, H: 64},
+		SizeSamples: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	const players = 8
+
+	run := func(instrument bool) (loadgen.Report, int64, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return loadgen.Report{}, 0, err
+		}
+		defer ln.Close()
+		srv := server.New(env)
+		var reg *obs.Registry
+		if instrument {
+			reg = obs.NewRegistry()
+			srv.Instrument(reg)
+			slo := obs.NewSLO(obs.SLOConfig{
+				Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+			})
+			reg.SetSLO(slo)
+			srv.SetSLO(slo)
+		}
+		go srv.Serve(ln)
+		cfg := loadgen.Config{
+			Addr: ln.Addr().String(), Game: "pool",
+			Players: players, Duration: dur, Seed: 1,
+			Pattern: loadgen.PatternWalk, Server: srv,
+		}
+		if _, err := loadgen.Warm(cfg, 64); err != nil {
+			return loadgen.Report{}, 0, err
+		}
+		rep, err := loadgen.Run(cfg)
+		var sloFrames int64
+		if reg != nil {
+			sloFrames = reg.Snapshot().Counters["slo.frames"]
+		}
+		return rep, sloFrames, err
+	}
+
+	off, _, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("obs-overhead off: %w", err)
+	}
+	on, sloFrames, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("obs-overhead on: %w", err)
+	}
+	if sloFrames == 0 {
+		return nil, fmt.Errorf("obs-overhead: SLO monitor observed no frames")
+	}
+	row := &obsOverhead{
+		Pattern:         loadgen.PatternWalk,
+		Players:         players,
+		FramesPerSecOff: off.FramesPerSec,
+		FramesPerSecOn:  on.FramesPerSec,
+		SLOFrames:       sloFrames,
+	}
+	if off.FramesPerSec > 0 {
+		row.OverheadFraction = 1 - on.FramesPerSec/off.FramesPerSec
+	}
+	fmt.Printf("[obs-overhead: %s %dp  off %.0f frames/sec  on %.0f frames/sec  %+.1f%%  (%d slo frames)]\n",
+		row.Pattern, row.Players, row.FramesPerSecOff, row.FramesPerSecOn,
+		100*row.OverheadFraction, row.SLOFrames)
+	return row, nil
+}

@@ -55,6 +55,9 @@ func main() {
 	nodeID := flag.Int("node-id", 0, "this node's index into the -cluster address list")
 	peerHealth := flag.Duration("peer-health-interval", cluster.DefaultHealthInterval, "cluster peer health-probe period")
 	peerFetchTO := flag.Duration("peer-fetch-timeout", cluster.DefaultFetchTimeout, "cluster peer frame-fetch timeout")
+	clusterAdmin := flag.String("cluster-admin", "", "comma-separated admin addresses of every cluster node (same order as -cluster); enables the /cluster fleet view on the admin endpoint")
+	sloObjective := flag.Float64("slo-objective", obs.DefaultSLOObjective, "SLO: fraction of frames that must be served within the frame budget at full quality")
+	sloWindow := flag.Duration("slo-window", time.Minute, "SLO: short burn-rate window (the long window is 5x this)")
 	flag.Parse()
 
 	spec, err := games.ByName(*game)
@@ -95,6 +98,16 @@ func main() {
 	reg.PublishExpvar("coterie")
 	srv.Instrument(reg)
 
+	// SLO burn-rate monitor: every served frame counts against the error
+	// budget (late, degraded or failover frames are budget spend).
+	slo := obs.NewSLO(obs.SLOConfig{
+		Objective:   *sloObjective,
+		ShortWindow: *sloWindow,
+		LongWindow:  5 * *sloWindow,
+	})
+	reg.SetSLO(slo)
+	srv.SetSLO(slo)
+
 	if *clusterList != "" {
 		var nodes []string
 		for _, a := range strings.Split(*clusterList, ",") {
@@ -129,13 +142,31 @@ func main() {
 		if err != nil {
 			log.Fatalf("coterie-server: admin: %v", err)
 		}
-		adminSrv = &http.Server{Handler: obs.AdminMux(reg)}
+		mux := obs.AdminMux(reg)
+		// /cluster merges the whole fleet's /metrics, /slo and /qoe into
+		// one view. -cluster-admin names every node's admin address; a
+		// single node falls back to scraping only itself.
+		admins := []string{*admin}
+		if *clusterAdmin != "" {
+			admins = admins[:0]
+			for _, a := range strings.Split(*clusterAdmin, ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					admins = append(admins, a)
+				}
+			}
+		}
+		self := *admin
+		if *clusterAdmin != "" && *nodeID >= 0 && *nodeID < len(admins) {
+			self = admins[*nodeID]
+		}
+		mux.Handle("/cluster", cluster.FleetHandler(cluster.FleetConfig{Self: self, Admins: admins}))
+		adminSrv = &http.Server{Handler: mux}
 		go func() {
 			if err := adminSrv.Serve(aln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				slog.Warn("admin listener failed", "err", err)
 			}
 		}()
-		log.Printf("admin endpoint on http://%s (/metrics, /trace, /debug/vars, /debug/pprof)", aln.Addr())
+		log.Printf("admin endpoint on http://%s (/metrics, /trace, /slo, /cluster, /debug/vars, /debug/pprof)", aln.Addr())
 	}
 
 	if *prerender > 0 {

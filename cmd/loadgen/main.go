@@ -21,6 +21,7 @@ import (
 	"net"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"coterie/internal/core"
@@ -46,6 +47,7 @@ func main() {
 	width := flag.Int("width", 256, "in-process server: panorama width")
 	height := flag.Int("height", 128, "in-process server: panorama height")
 	budget := flag.Int64("store-budget", 0, "in-process server: frame store byte budget (0 = unbounded)")
+	adminAddrs := flag.String("admin-addrs", "", "comma-separated admin HTTP addresses of the target cluster; the final report embeds a fleet view scraped from them")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
@@ -66,6 +68,13 @@ func main() {
 		Addr: *addr, Game: *game, Players: *players, Rate: *rate,
 		Duration: *duration, Pattern: *pattern, StepM: *stepM, Seed: *seed,
 		DeadlineMs: *deadlineMs,
+	}
+	if *adminAddrs != "" {
+		for _, a := range strings.Split(*adminAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.AdminAddrs = append(cfg.AdminAddrs, a)
+			}
+		}
 	}
 	if *addr == "" {
 		srv, hosted, stop, err := hostServer(*game, *width, *height, *budget)
@@ -118,6 +127,19 @@ func main() {
 		rep.BytesPerFrame, rep.DeltaFrames)
 	if rep.StoreBytes >= 0 {
 		fmt.Printf("  residency   %d bytes, %d evictions\n", rep.StoreBytes, rep.Evictions)
+	}
+	if rep.Fleet != nil {
+		fmt.Printf("  fleet       %d/%d nodes up: %d frames served, burn 1m %.2f / 5m %.2f\n",
+			rep.Fleet.NodesUp, rep.Fleet.NodesUp+rep.Fleet.NodesStale,
+			rep.Fleet.FramesServed, rep.Fleet.BurnRate1m, rep.Fleet.BurnRate5m)
+		for _, n := range rep.Fleet.Nodes {
+			if n.Stale {
+				fmt.Printf("    %-22s stale (%s)\n", n.Addr, n.Err)
+				continue
+			}
+			fmt.Printf("    %-22s %d served (%d peer, %d failover), burn 1m %.2f\n",
+				n.Addr, n.FramesServed, n.PeerFramesServed, n.PeerFailovers, n.SLO.Short.BurnRate)
+		}
 	}
 }
 

@@ -56,8 +56,10 @@ type clusterObs struct {
 	fetchShared *obs.Counter
 	fetchMs     *obs.Histogram
 	peersUp     *obs.Gauge
-	downEvents  *obs.Counter
+	downMarks   *obs.Counter
 	probes      *obs.Counter
+	probeFails  *obs.Counter
+	recoveries  *obs.Counter
 }
 
 // fetchCall is one in-flight peer fetch shared by concurrent requesters
@@ -147,10 +149,18 @@ func (c *Cluster) Instrument(r *obs.Registry) {
 		fetchShared: r.Counter("cluster.peer_fetches_shared"),
 		fetchMs:     r.Histogram("cluster.peer_fetch_ms"),
 		peersUp:     r.Gauge("cluster.peers_up"),
-		downEvents:  r.Counter("cluster.peer_down_events"),
-		probes:      r.Counter("cluster.health_probes"),
+		downMarks:   r.Counter("cluster.down_marks"),
+		probes:      r.Counter("cluster.probes"),
+		probeFails:  r.Counter("cluster.probe_failures"),
+		recoveries:  r.Counter("cluster.probe_recoveries"),
 	}
 	c.obs.peersUp.Set(int64(len(c.peers)))
+	// Per-peer up/down gauges make the health loop's belief — and probe
+	// recovery in particular — directly visible in /metrics.
+	for addr, p := range c.peers {
+		p.upGauge = r.Gauge("cluster.peer_up." + addr)
+		p.upGauge.Set(1)
+	}
 }
 
 // Self returns this node's own address.
@@ -221,6 +231,7 @@ func (c *Cluster) probeAll() {
 		c.obs.probes.Inc()
 		pc, err := p.get()
 		if err != nil {
+			c.obs.probeFails.Inc()
 			p.markDown()
 			continue
 		}
@@ -246,7 +257,13 @@ func (c *Cluster) Close() {
 // deadlineMs is the client's absolute display deadline (wall ms, <=0
 // none) and propagates to the owner, which schedules and degrades
 // against it exactly as if the client had connected directly.
-func (c *Cluster) Fetch(pt geom.GridPoint, deadlineMs float64) (transport.FrameReply, error) {
+//
+// traceID is the distributed trace id of the client request driving the
+// fetch (0 untraced): the hop forwards the id's request context verbatim
+// so the owner computes the same id and its serve span joins the
+// caller's. When concurrent fetches coalesce, the hop carries the
+// leader's id; joiners keep their own ids on their own spans.
+func (c *Cluster) Fetch(pt geom.GridPoint, deadlineMs float64, traceID uint64) (transport.FrameReply, error) {
 	owner := c.Owner(pt)
 	if owner == c.cfg.Self {
 		return transport.FrameReply{}, fmt.Errorf("cluster: self owns %v, nothing to fetch", pt)
@@ -269,7 +286,7 @@ func (c *Cluster) Fetch(pt geom.GridPoint, deadlineMs float64) (transport.FrameR
 
 	c.obs.fetches.Inc()
 	start := time.Now()
-	call.reply, call.err = p.fetch(pt, deadlineMs)
+	call.reply, call.err = p.fetch(pt, deadlineMs, traceID)
 	c.obs.fetchMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
 	if call.err != nil {
 		c.obs.fetchErrors.Inc()

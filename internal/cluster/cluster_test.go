@@ -179,7 +179,7 @@ func TestFetchRoundTripAndDeadlinePropagation(t *testing.T) {
 	c, pt := twoNode(t, f)
 
 	const deadline = 123456.5
-	reply, err := c.Fetch(pt, deadline)
+	reply, err := c.Fetch(pt, deadline, 0)
 	if err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
@@ -195,7 +195,7 @@ func TestFetchRoundTripAndDeadlinePropagation(t *testing.T) {
 	// Second fetch reuses the pooled connection: the fake accepts once
 	// per connection, so a second dial would show up as a second
 	// session; request count alone proves reuse is at least functional.
-	if _, err := c.Fetch(pt, 0); err != nil {
+	if _, err := c.Fetch(pt, 0, 0); err != nil {
 		t.Fatalf("pooled Fetch: %v", err)
 	}
 	if n := f.requests.Load(); n != 2 {
@@ -217,7 +217,7 @@ func TestFetchSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			r, err := c.Fetch(pt, 0)
+			r, err := c.Fetch(pt, 0, 0)
 			errs[i], datas[i] = err, r.Data
 		}(i)
 	}
@@ -241,7 +241,7 @@ func TestRemoteErrorKeepsPeerUp(t *testing.T) {
 	f.reject.Store(true)
 	c, pt := twoNode(t, f)
 
-	_, err := c.Fetch(pt, 0)
+	_, err := c.Fetch(pt, 0, 0)
 	var re *RemoteError
 	if !errors.As(err, &re) {
 		t.Fatalf("want *RemoteError, got %v", err)
@@ -252,7 +252,7 @@ func TestRemoteErrorKeepsPeerUp(t *testing.T) {
 	// The connection survives the rejection: a later accepted fetch
 	// reuses it.
 	f.reject.Store(false)
-	if _, err := c.Fetch(pt, 0); err != nil {
+	if _, err := c.Fetch(pt, 0, 0); err != nil {
 		t.Fatalf("Fetch after rejection: %v", err)
 	}
 }
@@ -262,14 +262,14 @@ func TestFetchFailureMarksDownAndProbeRecovers(t *testing.T) {
 	c, pt := twoNode(t, f)
 	addr := f.addr()
 
-	if _, err := c.Fetch(pt, 0); err != nil {
+	if _, err := c.Fetch(pt, 0, 0); err != nil {
 		t.Fatalf("Fetch: %v", err)
 	}
 	f.close()
 	// The pooled connection is dead and new dials are refused; the
 	// fetch must fail in bounded time and mark the peer down.
 	start := time.Now()
-	if _, err := c.Fetch(pt, 0); err == nil {
+	if _, err := c.Fetch(pt, 0, 0); err == nil {
 		t.Fatal("Fetch against a dead peer succeeded")
 	}
 	if elapsed := time.Since(start); elapsed > 10*time.Second {
@@ -278,7 +278,7 @@ func TestFetchFailureMarksDownAndProbeRecovers(t *testing.T) {
 	if c.Up(addr) {
 		t.Fatal("fetch failure did not mark the peer down")
 	}
-	if _, err := c.Fetch(pt, 0); err == nil {
+	if _, err := c.Fetch(pt, 0, 0); err == nil {
 		t.Fatal("Fetch to a down peer should fail fast")
 	}
 
@@ -294,7 +294,7 @@ func TestFetchFailureMarksDownAndProbeRecovers(t *testing.T) {
 	if !c.Up(addr) {
 		t.Fatal("probe did not mark the recovered peer up")
 	}
-	if _, err := c.Fetch(pt, 0); err != nil {
+	if _, err := c.Fetch(pt, 0, 0); err != nil {
 		t.Fatalf("Fetch after recovery: %v", err)
 	}
 }

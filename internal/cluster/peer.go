@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"coterie/internal/geom"
+	"coterie/internal/obs"
 	"coterie/internal/transport"
 )
 
@@ -50,6 +51,9 @@ type peer struct {
 	idle []*peerConn
 
 	up atomic.Bool
+	// upGauge mirrors the up belief into /metrics (1 up, 0 down);
+	// nil-safe when the cluster is uninstrumented.
+	upGauge *obs.Gauge
 }
 
 func newPeer(addr string, cfg Config, c *Cluster) *peer {
@@ -75,15 +79,18 @@ func (p *peer) isUp() bool { return p.up.Load() }
 // a successful probe brings the peer back.
 func (p *peer) markDown() {
 	if p.up.CompareAndSwap(true, false) {
-		p.cluster.obs.downEvents.Inc()
+		p.cluster.obs.downMarks.Inc()
 		p.cluster.obs.peersUp.Set(int64(p.cluster.PeersUp()))
+		p.upGauge.Set(0)
 	}
 	p.drain()
 }
 
 func (p *peer) markUp() {
 	if p.up.CompareAndSwap(false, true) {
+		p.cluster.obs.recoveries.Inc()
 		p.cluster.obs.peersUp.Set(int64(p.cluster.PeersUp()))
+		p.upGauge.Set(1)
 	}
 }
 
@@ -168,7 +175,14 @@ func (p *peer) dial() (*peerConn, error) {
 // close the connection and mark the peer down (passively — the health
 // loop will bring it back); application-level rejections (RemoteError)
 // keep both the connection and the peer's up state.
-func (p *peer) fetch(pt geom.GridPoint, deadlineMs float64) (transport.FrameReply, error) {
+//
+// traceID, when non-zero, is the distributed trace id of the client
+// request being proxied; the hop forwards its request context (player
+// and request id) verbatim so the owner derives the identical id. The
+// protocol is synchronous per connection, so reusing the client's id in
+// place of the per-connection counter is unambiguous. Untraced fetches
+// (traceID 0) keep the per-connection counter under PeerPlayer.
+func (p *peer) fetch(pt geom.GridPoint, deadlineMs float64, traceID uint64) (transport.FrameReply, error) {
 	pc, err := p.get()
 	if err != nil {
 		p.markDown()
@@ -179,11 +193,17 @@ func (p *peer) fetch(pt geom.GridPoint, deadlineMs float64) (transport.FrameRepl
 		p.markDown()
 		return transport.FrameReply{}, err
 	}
-	pc.reqID++
+	player, reqID := PeerPlayer, uint32(traceID)
+	if traceID != 0 {
+		player = uint8(traceID >> 32)
+	} else {
+		pc.reqID++
+		reqID = pc.reqID
+	}
 	req := transport.EncodeFrameRequest(transport.FrameRequest{
-		Player:     PeerPlayer,
+		Player:     player,
 		Point:      pt,
-		ReqID:      pc.reqID,
+		ReqID:      reqID,
 		SentMs:     float64(time.Now().UnixNano()) / 1e6,
 		DeadlineMs: deadlineMs,
 	})

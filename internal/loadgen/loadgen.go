@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"coterie/internal/cluster"
 	"coterie/internal/games"
 	"coterie/internal/geom"
 	"coterie/internal/obs"
@@ -70,6 +71,11 @@ type Config struct {
 	// Server, when the target runs in-process, lets the report include
 	// frame-store residency and evictions; nil leaves them at -1.
 	Server *server.Server
+	// AdminAddrs lists the cluster nodes' admin HTTP addresses. When
+	// non-empty, the final report embeds a fleet view scraped from them
+	// (merged /metrics, /slo and /qoe) so a cluster run's server-side
+	// tallies ride along with the client-side ones.
+	AdminAddrs []string
 }
 
 // Report summarises a load run.
@@ -130,6 +136,10 @@ type Report struct {
 	// Frame-store state after the run; -1 when the server is remote.
 	StoreBytes int64 `json:"store_bytes"`
 	Evictions  int64 `json:"evictions"`
+
+	// Fleet is the post-run fleet view scraped from Config.AdminAddrs
+	// (nil when none were configured).
+	Fleet *cluster.FleetView `json:"fleet,omitempty"`
 }
 
 // playerStats is one player's tally, merged after the run.
@@ -255,6 +265,10 @@ func Run(cfg Config) (Report, error) {
 	}
 	if cfg.Server != nil {
 		rep.StoreBytes, rep.Evictions, _ = cfg.Server.StoreStats()
+	}
+	if len(cfg.AdminAddrs) > 0 {
+		fleet := cluster.Scrape(cluster.FleetConfig{Admins: cfg.AdminAddrs})
+		rep.Fleet = &fleet
 	}
 	return rep, nil
 }

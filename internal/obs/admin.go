@@ -13,9 +13,13 @@ import (
 //
 //	/metrics      JSON registry snapshot (counters, gauges, histograms)
 //	/trace        recent per-frame stage spans from the trace ring
-//	              (?n= recent count, ?player= one player's spans only)
+//	              (?n= recent count, ?player= one player's spans only,
+//	              ?trace= every span of one distributed trace id)
 //	/qoe          sliding-window QoE summary derived from the spans
 //	              (?window= ms, ?budget= ms, ?player=)
+//	/slo          error-budget snapshot of the registry's SLO tracker
+//	              (burn rates over the short/long windows; zero-valued
+//	              when no tracker is attached)
 //	/debug/vars   expvar (includes the registry once PublishExpvar ran)
 //	/debug/pprof  the standard Go profiling endpoints
 //
@@ -49,6 +53,14 @@ func AdminMux(r *Registry) *http.ServeMux {
 			return
 		}
 		spans := r.Trace().RecentFor(n, player)
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil || id == 0 {
+				http.Error(w, "bad trace", http.StatusBadRequest)
+				return
+			}
+			spans = r.Trace().ForTrace(id)
+		}
 		if spans == nil {
 			spans = []FrameSpan{}
 		}
@@ -79,6 +91,9 @@ func AdminMux(r *Registry) *http.ServeMux {
 		}
 		cfg.Player = player
 		writeJSON(w, r.QoE(cfg))
+	})
+	mux.HandleFunc("/slo", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, r.SLO().Snapshot())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

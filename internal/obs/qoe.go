@@ -95,6 +95,9 @@ type QoESnapshot struct {
 
 // ComputeQoE derives a QoE snapshot from recorded frame spans (any order;
 // they are grouped per player and ordered by display time internally).
+// Server-side trace spans (Hop != 0 — cluster hop and owner-serve records)
+// are skipped: QoE is a display-side metric, and counting hop spans would
+// double-count frames on nodes that both proxy and serve.
 func ComputeQoE(spans []FrameSpan, cfg QoEConfig) QoESnapshot {
 	if cfg.WindowMs <= 0 {
 		cfg.WindowMs = DefaultQoEWindowMs
@@ -107,6 +110,9 @@ func ComputeQoE(spans []FrameSpan, cfg QoEConfig) QoESnapshot {
 
 	var end float64
 	for i := range spans {
+		if spans[i].Hop != 0 {
+			continue
+		}
 		if cfg.Player >= 0 && spans[i].Player != cfg.Player {
 			continue
 		}
@@ -122,6 +128,9 @@ func ComputeQoE(spans []FrameSpan, cfg QoEConfig) QoESnapshot {
 	// handled by the per-player sort below being insertion-friendly).
 	perPlayer := map[int][]FrameSpan{}
 	for _, sp := range spans {
+		if sp.Hop != 0 {
+			continue
+		}
 		if cfg.Player >= 0 && sp.Player != cfg.Player {
 			continue
 		}

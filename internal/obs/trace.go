@@ -38,6 +38,12 @@ type FrameSpan struct {
 	QueueMs  float64 `json:"queue_ms"`
 	RenderMs float64 `json:"render_ms"`
 	EncodeMs float64 `json:"encode_ms"`
+	// HopMs is the cluster proxy overhead when the delivering fetch was
+	// peer-served: the proxying node's wall time around the peer hop
+	// (dial/pool wait plus hop transit) minus the owner's echoed stages.
+	// Zero for local and failover frames, so the v2 identity extends to
+	// Net+Hop+Queue+Render+Encode across every origin.
+	HopMs float64 `json:"hop_ms,omitempty"`
 	// PrefetchMs is the span of the tracked prefetch for the *next* grid
 	// point (the T_prefetch term); 0 when the prefetch request hit the
 	// cache and no transfer was needed.
@@ -68,6 +74,26 @@ type FrameSpan struct {
 	// point's cluster owner, 2 failover re-render of a remotely owned
 	// point). Always 0 on cache hits and outside cluster deployments.
 	Origin uint8 `json:"origin"`
+	// TraceID names the distributed trace the delivering fetch belongs to.
+	// It is derived from the v2 request context (player and request id, see
+	// TraceID()), forwarded verbatim across MsgPeerFrameRequest hops, and
+	// recorded on every node that touched the request — so the client span,
+	// the proxy's hop span, and the owner's serve span of one peer-served
+	// frame all carry the same id. Zero when no fetch backed the frame.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// Hop marks server-side spans: 0 is a client display span, 1 a span
+	// recorded by the node that served (or proxied) the fetch, 2 a span
+	// recorded by the rendezvous owner answering a peer hop.
+	Hop uint8 `json:"hop,omitempty"`
+}
+
+// TraceID composes the distributed trace id of one v2 frame request from
+// its wire context: the requesting player and the per-connection request
+// id. Every node deriving the id from the same forwarded request context
+// computes the same value, which is what makes cross-node span joins
+// work without any extra wire field.
+func TraceID(player uint8, reqID uint32) uint64 {
+	return uint64(player)<<32 | uint64(reqID)
 }
 
 // FetchStages decomposes one BE-frame fetch round trip across the
@@ -87,6 +113,9 @@ type FetchStages struct {
 	// zero when the frame came out of the server's frame store.
 	RenderMs float64
 	EncodeMs float64
+	// HopMs is the cluster proxy overhead for peer-origin frames (see
+	// FrameSpan.HopMs); zero otherwise.
+	HopMs float64
 	// RTTMs is the full fetch round trip as the client measured it, from
 	// request issue to delivery.
 	RTTMs float64
@@ -103,6 +132,9 @@ type FetchStages struct {
 	// Origin is where the serving node got the frame's bytes
 	// (transport.FrameOrigin values); 0 outside cluster deployments.
 	Origin uint8
+	// TraceID is the distributed trace id of the fetch (see
+	// FrameSpan.TraceID); 0 when the source does not trace.
+	TraceID uint64
 	// Valid marks stages actually populated by the source.
 	Valid bool
 }
@@ -185,6 +217,29 @@ func (t *TraceRing) RecentFor(n, player int) []FrameSpan {
 	}
 	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
 		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// ForTrace returns every span in the ring carrying the given non-zero
+// trace id, oldest first. This is the cold path behind /trace?trace= and
+// the cross-node join tests; it allocates a fresh copy.
+func (t *TraceRing) ForTrace(id uint64) []FrameSpan {
+	if t == nil || id == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	avail := t.total
+	if avail > uint64(len(t.slots)) {
+		avail = uint64(len(t.slots))
+	}
+	var out []FrameSpan
+	for i := uint64(0); i < avail; i++ {
+		idx := (t.total - avail + i) % uint64(len(t.slots))
+		if t.slots[idx].TraceID == id {
+			out = append(out, t.slots[idx])
+		}
 	}
 	return out
 }

@@ -111,6 +111,7 @@ type pipelineObs struct {
 	// Cross-node fetch decomposition (span schema v2), observed once per
 	// delivering fetch rather than per frame.
 	netMs          *obs.Histogram
+	hopMs          *obs.Histogram
 	queueMs        *obs.Histogram
 	serverRenderMs *obs.Histogram
 	serverEncodeMs *obs.Histogram
@@ -130,6 +131,7 @@ func instrumentPipeline(r *obs.Registry) pipelineObs {
 		cacheMiss: r.Counter("frames.display_cache_misses"),
 
 		netMs:          r.Histogram("frame.net_ms"),
+		hopMs:          r.Histogram("frame.hop_ms"),
 		queueMs:        r.Histogram("frame.queue_ms"),
 		serverRenderMs: r.Histogram("frame.server_render_ms"),
 		serverEncodeMs: r.Histogram("frame.server_encode_ms"),
@@ -354,6 +356,8 @@ func (c *Client) fillFetchStages() {
 		return
 	}
 	c.span.NetMs = st.NetMs
+	c.span.HopMs = st.HopMs
+	c.span.TraceID = st.TraceID
 	c.span.QueueMs = st.QueueMs
 	c.span.RenderMs = st.RenderMs
 	c.span.EncodeMs = st.EncodeMs
@@ -410,8 +414,9 @@ func (c *Client) display(start, readyAt float64, renderMs float64, decoding bool
 		c.obs.decodeMs.Observe(c.span.DecodeMs)
 		c.obs.joinMs.Observe(c.span.JoinMs)
 		c.obs.slackMs.Observe(c.span.SlackMs)
-		if c.span.NetMs+c.span.QueueMs+c.span.RenderMs+c.span.EncodeMs > 0 {
+		if c.span.NetMs+c.span.HopMs+c.span.QueueMs+c.span.RenderMs+c.span.EncodeMs > 0 {
 			c.obs.netMs.Observe(c.span.NetMs)
+			c.obs.hopMs.Observe(c.span.HopMs)
 			c.obs.queueMs.Observe(c.span.QueueMs)
 			c.obs.serverRenderMs.Observe(c.span.RenderMs)
 			c.obs.serverEncodeMs.Observe(c.span.EncodeMs)

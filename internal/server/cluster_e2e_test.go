@@ -252,3 +252,100 @@ func TestClusterFailoverSurvivesNodeStop(t *testing.T) {
 		t.Errorf("server.peer_failovers = %d, want >= 2", n)
 	}
 }
+
+// TestClusterTraceIDPropagation: a peer-served frame's distributed trace
+// id — derived from the client's player and request id — must appear on
+// BOTH nodes' trace rings: the proxying node records the hop span
+// (Hop 1), the owner records the serve span (Hop 2), and the hop span's
+// wall duration decomposes exactly into HopMs plus the owner's echoed
+// stages.
+func TestClusterTraceIDPropagation(t *testing.T) {
+	nodes := startCluster(t, 2)
+	a, b := nodes[0], nodes[1]
+	game := poolEnv(t).Game.Spec.Name
+
+	ca, err := Dial(a.addr, game, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ca.Close()
+
+	pt := pointsOwnedBy(t, a.cl, b.addr, 1)[0]
+	reply, _, _, err := ca.FetchTraced(pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply.Origin != transport.OriginPeer {
+		t.Fatalf("origin %d, want OriginPeer", reply.Origin)
+	}
+	id := obs.TraceID(ca.Player, reply.ReqID)
+	if id == 0 {
+		t.Fatal("trace id is 0")
+	}
+
+	hopSpans := a.reg.Trace().ForTrace(id)
+	if len(hopSpans) != 1 {
+		t.Fatalf("proxy node recorded %d spans for trace %d, want 1", len(hopSpans), id)
+	}
+	hop := hopSpans[0]
+	if hop.Hop != 1 {
+		t.Errorf("proxy span hop = %d, want 1", hop.Hop)
+	}
+	if hop.Player != 7 {
+		t.Errorf("proxy span player = %d, want 7", hop.Player)
+	}
+	if hop.Origin != uint8(transport.OriginPeer) {
+		t.Errorf("proxy span origin = %d, want OriginPeer", hop.Origin)
+	}
+	// The hop span's wall time decomposes exactly: HopMs is defined as the
+	// proxy-side wall duration minus the owner's echoed stages (floored at
+	// zero for clock jitter), so the identity reads as a sum.
+	if hop.HopMs < 0 {
+		t.Errorf("proxy span HopMs = %v, negative", hop.HopMs)
+	}
+	sum := hop.HopMs + hop.QueueMs + hop.RenderMs + hop.EncodeMs
+	if diff := sum - hop.FetchMs; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("hop decomposition %.6f != hop wall %.6f (Hop %.3f Queue %.3f Render %.3f Encode %.3f)",
+			sum, hop.FetchMs, hop.HopMs, hop.QueueMs, hop.RenderMs, hop.EncodeMs)
+	}
+
+	serveSpans := b.reg.Trace().ForTrace(id)
+	if len(serveSpans) != 1 {
+		t.Fatalf("owner node recorded %d spans for trace %d, want 1", len(serveSpans), id)
+	}
+	serve := serveSpans[0]
+	if serve.Hop != 2 {
+		t.Errorf("owner span hop = %d, want 2", serve.Hop)
+	}
+	if serve.Player != 7 {
+		t.Errorf("owner span player = %d, want 7 (request context forwarded verbatim)", serve.Player)
+	}
+	if serve.RenderMs <= 0 {
+		t.Errorf("owner span has no render time: %+v", serve)
+	}
+	// The owner's echoed stages are the hop span's pass-through: what A
+	// credited to queue/render/encode is exactly what B measured.
+	if serve.RenderMs != hop.RenderMs || serve.EncodeMs != hop.EncodeMs {
+		t.Errorf("stage mismatch across the hop: owner render/encode %.3f/%.3f, proxy %.3f/%.3f",
+			serve.RenderMs, serve.EncodeMs, hop.RenderMs, hop.EncodeMs)
+	}
+
+	// Server-side spans must not pollute either node's /qoe view.
+	for name, reg := range map[string]*obs.Registry{"proxy": a.reg, "owner": b.reg} {
+		ring := reg.Trace()
+		if q := obs.ComputeQoE(ring.Recent(ring.Len()), obs.QoEConfig{Player: -1}); q.Spans != 0 {
+			t.Errorf("%s node QoE counted %d server-side spans, want 0", name, q.Spans)
+		}
+	}
+
+	// A locally-owned point must not record any trace span (local serves
+	// are not hops).
+	before := len(a.reg.Trace().Recent(a.reg.Trace().Len()))
+	local := pointsOwnedBy(t, a.cl, a.addr, 1)[0]
+	if _, _, _, err := ca.FetchTraced(local); err != nil {
+		t.Fatal(err)
+	}
+	if after := len(a.reg.Trace().Recent(a.reg.Trace().Len())); after != before {
+		t.Errorf("local serve grew the trace ring %d → %d; server spans are for cluster hops only", before, after)
+	}
+}

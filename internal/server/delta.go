@@ -102,7 +102,7 @@ func (sr *sessionRefs) drop(pts []geom.GridPoint) {
 // shed by admission control. Stale and low-res serves bypass the delta
 // path and never become references: their bytes are not the render of
 // pt a later delta would have to name.
-func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, rung transport.DegradeRung, origin transport.FrameOrigin, stg frameStages, err error) {
+func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, traceID uint64, sr *sessionRefs) (data []byte, kind transport.FrameEncoding, ref geom.GridPoint, rung transport.DegradeRung, origin transport.FrameOrigin, stg frameStages, err error) {
 	if deadlineMs > 0 && !s.schedOff.Load() && !s.degradeOff.Load() &&
 		s.sched.AtRisk(wallMs(), deadlineMs) {
 		if stale, refPt, seq, ok := s.staleFor(pt); ok {
@@ -116,7 +116,7 @@ func (s *Server) frameForSession(pt geom.GridPoint, deadlineMs float64, sr *sess
 			return stale, transport.FrameIntra, geom.GridPoint{}, transport.RungStale, transport.OriginLocal, stg, nil
 		}
 	}
-	intra, _, seq, rung, origin, fstg, err := s.frameForStaged(pt, deadlineMs)
+	intra, _, seq, rung, origin, fstg, err := s.frameForStaged(pt, deadlineMs, traceID)
 	stg = fstg
 	if err != nil {
 		if errors.Is(err, errOverloaded) && !s.degradeOff.Load() {

@@ -428,7 +428,7 @@ func TestFrameForSessionRacesEviction(t *testing.T) {
 					dl = wallMs() + 16.7
 				}
 				sr.promote()
-				data, _, _, _, _, _, err := srv.frameForSession(pt, dl, sr)
+				data, _, _, _, _, _, err := srv.frameForSession(pt, dl, 0, sr)
 				if err != nil {
 					if errors.Is(err, errOverloaded) {
 						continue

@@ -280,26 +280,31 @@ func (s *liveSource) Fetch(player int, pt geom.GridPoint, done func(data []byte,
 // completed fetch (clock goroutine only). Server-side wall durations are
 // converted to virtual session milliseconds via the replay speed; NetMs
 // absorbs the remainder of the pipeline-visible round trip so the identity
-// NetMs+QueueMs+RenderMs+EncodeMs == RTTMs holds exactly. The clock offset
-// is estimated NTP-style from the request/reply stamps, keeping the
-// estimate from the sample with the smallest network-only round trip.
+// NetMs+HopMs+QueueMs+RenderMs+EncodeMs == RTTMs holds exactly (HopMs is
+// zero unless the contact node proxied the frame from its cluster owner).
+// The clock offset is estimated NTP-style from the request/reply stamps,
+// keeping the estimate from the sample with the smallest network-only
+// round trip.
 func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rttVirtual float64) {
 	queue := reply.QueueMs * s.speed
 	render := reply.RenderMs * s.speed
 	encode := reply.EncodeMs * s.speed
-	if sum := queue + render + encode; sum > rttVirtual && sum > 0 {
+	hop := reply.HopMs * s.speed
+	if sum := queue + render + encode + hop; sum > rttVirtual && sum > 0 {
 		// Clock skew between the two hosts can make the server-side span
 		// nominally exceed the measured round trip; scale it down so the
 		// decomposition still sums to the RTT.
 		f := rttVirtual / sum
-		queue, render, encode = queue*f, render*f, encode*f
+		queue, render, encode, hop = queue*f, render*f, encode*f, hop*f
 	}
 	s.last = obs.FetchStages{
-		NetMs:       rttVirtual - queue - render - encode,
+		NetMs:       rttVirtual - queue - render - encode - hop,
+		HopMs:       hop,
 		QueueMs:     queue,
 		RenderMs:    render,
 		EncodeMs:    encode,
 		RTTMs:       rttVirtual,
+		TraceID:     obs.TraceID(s.cl.Player, reply.ReqID),
 		DeltaFrame:  reply.Kind == transport.FrameDelta,
 		DegradeRung: uint8(reply.Rung),
 		Origin:      uint8(reply.Origin),

@@ -265,7 +265,7 @@ func itoa(v int64) string { return fmt.Sprintf("%d", v) }
 // TestLoopbackTraceDecompositionAndQoE is the end-to-end check of span
 // schema v2: both backends replay the same trace with a registry attached,
 // and every recorded miss span's cross-node decomposition
-// (NetMs+QueueMs+RenderMs+EncodeMs) must account for the FetchMs the
+// (NetMs+HopMs+QueueMs+RenderMs+EncodeMs) must account for the FetchMs the
 // display waited. The stage sum is the delivering fetch's full round
 // trip; FetchMs clocks from the frame start, but the display path only
 // demands the frame (pf.Ensure) once the frame's parallel tasks join, at
@@ -313,15 +313,20 @@ func TestLoopbackTraceDecompositionAndQoE(t *testing.T) {
 			t.Fatalf("%s: no spans recorded", name)
 		}
 		for _, sp := range spans {
-			sum := sp.NetMs + sp.QueueMs + sp.RenderMs + sp.EncodeMs
+			sum := sp.NetMs + sp.HopMs + sp.QueueMs + sp.RenderMs + sp.EncodeMs
 			if sp.CacheHit {
 				if sum != 0 {
 					t.Errorf("%s: cache-hit span %d carries stages: %+v", name, sp.Frame, sp)
 				}
 				continue
 			}
-			if sp.NetMs < 0 || sp.QueueMs < 0 || sp.RenderMs < 0 || sp.EncodeMs < 0 {
+			if sp.NetMs < 0 || sp.HopMs < 0 || sp.QueueMs < 0 || sp.RenderMs < 0 || sp.EncodeMs < 0 {
 				t.Errorf("%s: negative stage in span %d: %+v", name, sp.Frame, sp)
+			}
+			// Single-node loopback: no cluster hop may appear in the
+			// decomposition (HopMs is reserved for peer-proxied frames).
+			if sp.HopMs != 0 {
+				t.Errorf("%s: span %d carries HopMs %.3f without a cluster", name, sp.Frame, sp.HopMs)
 			}
 			if sum == 0 {
 				continue // miss delivered before instrumented stages existed

@@ -96,6 +96,11 @@ type Server struct {
 	// Observability (zero values when not instrumented).
 	obs serverObs
 	tm  *transport.Metrics
+	// slo, when set, tracks every served client frame against the
+	// error-budget objective: a frame spends budget when it exceeded the
+	// latency budget server-side, was served off a degrade rung, or was a
+	// failover re-render. Set before Serve via SetSLO.
+	slo *obs.SLO
 }
 
 // serverObs holds the server's registry instruments; all fields are
@@ -136,6 +141,12 @@ type serverObs struct {
 	peerFrames       *obs.Counter
 	peerFailovers    *obs.Counter
 	peerFramesServed *obs.Counter
+
+	// trace receives the server-side spans of distributed traces: the
+	// hop span a proxying node records around its peer fetch, and the
+	// serve span the owner records answering one. Local client serves are
+	// not recorded here — the client's own ring has their display spans.
+	trace *obs.TraceRing
 }
 
 // SetStoreBudget bounds the frame store to the given number of encoded
@@ -188,6 +199,8 @@ func (s *Server) Instrument(r *obs.Registry) {
 		peerFrames:       r.Counter("server.peer_frames"),
 		peerFailovers:    r.Counter("server.peer_failovers"),
 		peerFramesServed: r.Counter("server.peer_frames_served"),
+
+		trace: r.Trace(),
 	}
 	s.store.instrument(
 		r.Gauge("server.store_bytes"),
@@ -218,6 +231,11 @@ type frameStages struct {
 	QueueMs  float64
 	RenderMs float64
 	EncodeMs float64
+	// HopMs is the cluster proxy overhead of a peer-served lookup: this
+	// node's wall time around the peer fetch minus the owner's own stages
+	// (which pass through to QueueMs/RenderMs/EncodeMs). Zero for local
+	// serves, so the client-side stage identity holds on every origin.
+	HopMs float64
 }
 
 // SessionStats describes one completed client session.
@@ -281,6 +299,12 @@ func (s *Server) SetMaxInflight(n int) { s.sched.SetWorkers(n) }
 // cluster's lifecycle (Start/Close).
 func (s *Server) SetCluster(c *cluster.Cluster) { s.cluster = c }
 
+// SetSLO attaches an error-budget tracker fed by every served client
+// frame: lateness against the tracker's latency budget, degrade-rung
+// serves, and failover re-renders all count against the budget. nil (the
+// default) disables tracking. Call before Serve.
+func (s *Server) SetSLO(t *obs.SLO) { s.slo = t }
+
 // errOverloaded is the admission-control rejection: the render queue is
 // past its bound and the degrade ladder found nothing servable. Sessions
 // deliver it as MsgError, so the connection stays usable and the client
@@ -297,7 +321,7 @@ func (s *Server) FrameFor(pt geom.GridPoint) ([]byte, error) {
 // frameFor additionally reports whether this call rendered the frame.
 // Deadline-less: never shed, never degraded.
 func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
-	data, rendered, _, _, _, _, err := s.frameForStaged(pt, 0)
+	data, rendered, _, _, _, _, err := s.frameForStaged(pt, 0, 0)
 	return data, rendered, err
 }
 
@@ -320,11 +344,17 @@ func (s *Server) frameFor(pt geom.GridPoint) ([]byte, bool, error) {
 // frameForStaged allows the peer hop; the MsgPeerFrameRequest handler
 // calls frameForStagedOpt with allowPeer=false so a membership
 // disagreement between nodes can never chain proxy hops into a loop.
-func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64) ([]byte, bool, uint64, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
-	return s.frameForStagedOpt(pt, deadlineMs, true)
+//
+// traceID is the distributed trace id of the client request driving this
+// lookup (obs.TraceID of the request's player and id; 0 untraced, e.g.
+// prerender). It is forwarded verbatim across the peer hop and stamped on
+// the hop span this node records, so the client span, this node's hop
+// span, and the owner's serve span join on one id.
+func (s *Server) frameForStaged(pt geom.GridPoint, deadlineMs float64, traceID uint64) ([]byte, bool, uint64, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
+	return s.frameForStagedOpt(pt, deadlineMs, traceID, true)
 }
 
-func (s *Server) frameForStagedOpt(pt geom.GridPoint, deadlineMs float64, allowPeer bool) ([]byte, bool, uint64, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
+func (s *Server) frameForStagedOpt(pt geom.GridPoint, deadlineMs float64, traceID uint64, allowPeer bool) ([]byte, bool, uint64, transport.DegradeRung, transport.FrameOrigin, frameStages, error) {
 	var stg frameStages
 	if !s.env.Game.Scene.Grid.In(pt) {
 		return nil, false, 0, transport.RungExact, transport.OriginLocal, stg, fmt.Errorf("server: grid point %v outside world", pt)
@@ -355,22 +385,48 @@ func (s *Server) frameForStagedOpt(pt geom.GridPoint, deadlineMs float64, allowP
 	if cl := s.cluster; cl != nil && allowPeer {
 		if owner := cl.Owner(pt); owner != cl.Self() {
 			if cl.Up(owner) && !(useSched && s.sched.FetchAtRisk(wallMs(), deadlineMs)) {
-				fetchStart := time.Now()
-				reply, err := cl.Fetch(pt, deadlineMs)
+				fetchStartMs := wallMs()
+				reply, err := cl.Fetch(pt, deadlineMs, traceID)
 				if err == nil {
-					s.sched.ObserveFetchCost(float64(time.Since(fetchStart)) / float64(time.Millisecond))
+					hopWallMs := wallMs() - fetchStartMs
+					s.sched.ObserveFetchCost(hopWallMs)
 					s.obs.peerFrames.Inc()
 					// Read-through replication: the owner's bytes enter
 					// this node's store under the normal budget, so the
 					// next request for the point is a local hit. The
-					// owner's stage timings pass through to the caller —
-					// the hop's network time lands in the client's NetMs.
+					// owner's stage timings pass through to the caller;
+					// what they do not cover — dial/pool wait plus hop
+					// network transit — is this node's proxy overhead and
+					// is split out as HopMs, so the client's NetMs stays
+					// pure client↔proxy transit.
 					keep := reply.Rung != transport.RungLowRes
 					c.rung, c.origin = reply.Rung, transport.OriginPeer
 					seq = s.store.complete(pt, c, reply.Data, nil, keep)
 					stg.QueueMs += reply.QueueMs
 					stg.RenderMs = reply.RenderMs
 					stg.EncodeMs = reply.EncodeMs
+					stg.HopMs = hopWallMs - (reply.QueueMs + reply.RenderMs + reply.EncodeMs)
+					if stg.HopMs < 0 {
+						// Clock jitter between the two nodes' stage clocks;
+						// never let the hop go negative or the client-side
+						// identity would over-subtract from NetMs.
+						stg.HopMs = 0
+					}
+					if traceID != 0 {
+						s.obs.trace.Record(&obs.FrameSpan{
+							Player:    int(uint8(traceID >> 32)),
+							TraceID:   traceID,
+							Hop:       1,
+							StartMs:   fetchStartMs,
+							DisplayMs: fetchStartMs + hopWallMs,
+							FetchMs:   hopWallMs,
+							HopMs:     stg.HopMs,
+							QueueMs:   reply.QueueMs,
+							RenderMs:  reply.RenderMs,
+							EncodeMs:  reply.EncodeMs,
+							Origin:    uint8(transport.OriginPeer),
+						})
+					}
 					return reply.Data, false, seq, reply.Rung, transport.OriginPeer, stg, nil
 				}
 			}
@@ -674,7 +730,8 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			if err != nil {
 				return err
 			}
-			data, kind, ref, rung, origin, stg, err := s.frameForSession(req.Point, req.DeadlineMs, sr)
+			traceID := obs.TraceID(req.Player, req.ReqID)
+			data, kind, ref, rung, origin, stg, err := s.frameForSession(req.Point, req.DeadlineMs, traceID, sr)
 			if err != nil {
 				if err := c.Send(errMsg(err.Error())); err != nil {
 					return err
@@ -703,6 +760,7 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 				QueueMs:      stg.QueueMs,
 				RenderMs:     stg.RenderMs,
 				EncodeMs:     stg.EncodeMs,
+				HopMs:        stg.HopMs,
 				Kind:         kind,
 				Rung:         rung,
 				Origin:       origin,
@@ -723,6 +781,15 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 					s.obs.deadlineMet.Inc()
 				}
 			}
+			// SLO accounting: a frame spends error budget when it was slow
+			// server-side, quality-degraded, or a failover re-render —
+			// quality loss burns the budget exactly like lateness.
+			if s.slo != nil {
+				good := sendMs-recvMs <= s.slo.BudgetMs() &&
+					rung == transport.RungExact &&
+					origin != transport.OriginFailover
+				s.slo.Observe(good)
+			}
 		case transport.MsgPeerFrameRequest:
 			// Node-to-node hop: a peer that does not own req.Point proxies
 			// its client's request here. Served from the local pipeline
@@ -736,7 +803,11 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			if err != nil {
 				return err
 			}
-			data, _, _, rung, _, stg, err := s.frameForStagedOpt(req.Point, req.DeadlineMs, false)
+			// The proxy forwards its client's request context verbatim, so
+			// the trace id computed here matches the one the proxy stamped
+			// on its hop span — the two nodes' rings join on it.
+			traceID := obs.TraceID(req.Player, req.ReqID)
+			data, _, _, rung, _, stg, err := s.frameForStagedOpt(req.Point, req.DeadlineMs, traceID, false)
 			if err != nil {
 				if err := c.Send(errMsg(err.Error())); err != nil {
 					return err
@@ -746,12 +817,27 @@ func (s *Server) session(nc net.Conn, st *SessionStats) error {
 			s.obs.peerFramesServed.Inc()
 			st.FramesServed++
 			st.BytesSent += int64(len(data))
+			sendMs := wallMs()
+			if traceID != 0 {
+				s.obs.trace.Record(&obs.FrameSpan{
+					Player:    int(req.Player),
+					TraceID:   traceID,
+					Hop:       2,
+					StartMs:   recvMs,
+					DisplayMs: sendMs,
+					FetchMs:   sendMs - recvMs,
+					QueueMs:   stg.QueueMs,
+					RenderMs:  stg.RenderMs,
+					EncodeMs:  stg.EncodeMs,
+					DegradeRung: uint8(rung),
+				})
+			}
 			reply := transport.EncodeFrameReply(transport.FrameReply{
 				Point:        req.Point,
 				ReqID:        req.ReqID,
 				ClientSentMs: req.SentMs,
 				RecvMs:       recvMs,
-				SendMs:       wallMs(),
+				SendMs:       sendMs,
 				QueueMs:      stg.QueueMs,
 				RenderMs:     stg.RenderMs,
 				EncodeMs:     stg.EncodeMs,

@@ -154,7 +154,7 @@ func DecodeHello(b []byte) (Hello, error) {
 // stays one buffer allocation and decoding is bounds-checked up front.
 const (
 	frameRequestLen  = 1 + 4 + 4 + 4 + 8 + 8                       // player, point, req id, sent ms, deadline ms
-	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*3 + 1 + 1 + 1 + 8 // point, req id, 3 stamps, 3 stage spans, kind, rung, origin, ref point
+	frameReplyHdrLen = 4 + 4 + 4 + 8 + 8 + 8 + 8*4 + 1 + 1 + 1 + 8 // point, req id, 3 stamps, 4 stage spans, kind, rung, origin, ref point
 )
 
 // FrameEncoding says how a FrameReply's Data payload is coded.
@@ -279,6 +279,13 @@ type FrameReply struct {
 	QueueMs  float64
 	RenderMs float64
 	EncodeMs float64
+	// HopMs is the cluster proxy overhead for peer-origin frames: the
+	// proxying node's wall time around its peer fetch (dial/pool wait plus
+	// hop network transit) minus the owner's own stages, which are echoed
+	// in QueueMs/RenderMs/EncodeMs. Zero for locally served frames, so the
+	// client-side identity Net+Hop+Queue+Render+Encode = RTT holds on
+	// every origin.
+	HopMs float64
 	// Kind says how Data is coded (intra or delta); Ref names the delta's
 	// reference grid point and is meaningful only when Kind is FrameDelta.
 	Kind FrameEncoding
@@ -306,11 +313,12 @@ func EncodeFrameReply(r FrameReply) []byte {
 	binary.BigEndian.PutUint64(b[36:44], math.Float64bits(r.QueueMs))
 	binary.BigEndian.PutUint64(b[44:52], math.Float64bits(r.RenderMs))
 	binary.BigEndian.PutUint64(b[52:60], math.Float64bits(r.EncodeMs))
-	b[60] = byte(r.Kind)
-	b[61] = byte(r.Rung)
-	b[62] = byte(r.Origin)
-	binary.BigEndian.PutUint32(b[63:67], uint32(int32(r.Ref.I)))
-	binary.BigEndian.PutUint32(b[67:71], uint32(int32(r.Ref.J)))
+	binary.BigEndian.PutUint64(b[60:68], math.Float64bits(r.HopMs))
+	b[68] = byte(r.Kind)
+	b[69] = byte(r.Rung)
+	b[70] = byte(r.Origin)
+	binary.BigEndian.PutUint32(b[71:75], uint32(int32(r.Ref.I)))
+	binary.BigEndian.PutUint32(b[75:79], uint32(int32(r.Ref.J)))
 	return append(b, r.Data...)
 }
 
@@ -323,14 +331,14 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 	if len(b) < frameReplyHdrLen {
 		return FrameReply{}, errors.New("transport: short frame reply")
 	}
-	if k := FrameEncoding(b[60]); k > FrameDelta {
-		return FrameReply{}, fmt.Errorf("transport: unknown frame kind %d", b[60])
+	if k := FrameEncoding(b[68]); k > FrameDelta {
+		return FrameReply{}, fmt.Errorf("transport: unknown frame kind %d", b[68])
 	}
-	if g := DegradeRung(b[61]); g > RungLowRes {
-		return FrameReply{}, fmt.Errorf("transport: unknown degrade rung %d", b[61])
+	if g := DegradeRung(b[69]); g > RungLowRes {
+		return FrameReply{}, fmt.Errorf("transport: unknown degrade rung %d", b[69])
 	}
-	if o := FrameOrigin(b[62]); o > OriginFailover {
-		return FrameReply{}, fmt.Errorf("transport: unknown frame origin %d", b[62])
+	if o := FrameOrigin(b[70]); o > OriginFailover {
+		return FrameReply{}, fmt.Errorf("transport: unknown frame origin %d", b[70])
 	}
 	return FrameReply{
 		Point: geom.GridPoint{
@@ -344,12 +352,13 @@ func DecodeFrameReply(b []byte) (FrameReply, error) {
 		QueueMs:      math.Float64frombits(binary.BigEndian.Uint64(b[36:44])),
 		RenderMs:     math.Float64frombits(binary.BigEndian.Uint64(b[44:52])),
 		EncodeMs:     math.Float64frombits(binary.BigEndian.Uint64(b[52:60])),
-		Kind:         FrameEncoding(b[60]),
-		Rung:         DegradeRung(b[61]),
-		Origin:       FrameOrigin(b[62]),
+		HopMs:        math.Float64frombits(binary.BigEndian.Uint64(b[60:68])),
+		Kind:         FrameEncoding(b[68]),
+		Rung:         DegradeRung(b[69]),
+		Origin:       FrameOrigin(b[70]),
 		Ref: geom.GridPoint{
-			I: int(int32(binary.BigEndian.Uint32(b[63:67]))),
-			J: int(int32(binary.BigEndian.Uint32(b[67:71]))),
+			I: int(int32(binary.BigEndian.Uint32(b[71:75]))),
+			J: int(int32(binary.BigEndian.Uint32(b[75:79]))),
 		},
 		Data: b[frameReplyHdrLen:],
 	}, nil

@@ -147,6 +147,7 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 		QueueMs:      3.5,
 		RenderMs:     12.25,
 		EncodeMs:     9,
+		HopMs:        1.75,
 		Kind:         FrameDelta,
 		Rung:         RungReproject,
 		Origin:       OriginPeer,
@@ -160,6 +161,7 @@ func TestFrameReplyRoundTrip(t *testing.T) {
 	if got.Point != r.Point || got.ReqID != r.ReqID ||
 		got.ClientSentMs != r.ClientSentMs || got.RecvMs != r.RecvMs || got.SendMs != r.SendMs ||
 		got.QueueMs != r.QueueMs || got.RenderMs != r.RenderMs || got.EncodeMs != r.EncodeMs ||
+		got.HopMs != r.HopMs ||
 		got.Kind != r.Kind || got.Rung != r.Rung || got.Origin != r.Origin || got.Ref != r.Ref ||
 		!bytes.Equal(got.Data, r.Data) {
 		t.Fatalf("got %+v want %+v", got, r)
@@ -173,7 +175,7 @@ func TestFrameReplyRejectsUnknownKind(t *testing.T) {
 	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
 	for _, kind := range []byte{byte(FrameDelta) + 1, 0x7F, 0xFF} {
 		forged := append([]byte(nil), full...)
-		forged[60] = kind
+		forged[68] = kind
 		if _, err := DecodeFrameReply(forged); err == nil {
 			t.Fatalf("unknown frame kind %d accepted", kind)
 		}
@@ -186,7 +188,7 @@ func TestFrameReplyRejectsUnknownRung(t *testing.T) {
 	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
 	for _, rung := range []byte{byte(RungLowRes) + 1, 0x7F, 0xFF} {
 		forged := append([]byte(nil), full...)
-		forged[61] = rung
+		forged[69] = rung
 		if _, err := DecodeFrameReply(forged); err == nil {
 			t.Fatalf("unknown degrade rung %d accepted", rung)
 		}
@@ -206,7 +208,7 @@ func TestFrameReplyRejectsUnknownOrigin(t *testing.T) {
 	full := EncodeFrameReply(FrameReply{ReqID: 1, Data: []byte("frame")})
 	for _, origin := range []byte{byte(OriginFailover) + 1, 0x7F, 0xFF} {
 		forged := append([]byte(nil), full...)
-		forged[62] = origin
+		forged[70] = origin
 		if _, err := DecodeFrameReply(forged); err == nil {
 			t.Fatalf("unknown frame origin %d accepted", origin)
 		}

@@ -11,7 +11,10 @@
 # internal/server (which compares the live runtime against the simulator).
 # After the session, the multi-player load harness (cmd/loadgen) runs
 # against the same server and must report non-zero throughput, a sane p99
-# fetch latency, and zero request errors.
+# fetch latency, and zero request errors. The 2-process cluster case then
+# scrapes /cluster and /slo mid-session: the fleet view must show both
+# nodes live with sane burn rates, and the loadgen report must embed the
+# fleet section it scraped itself.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -203,15 +206,18 @@ server_pid=
 # against the survivor must finish with zero request errors — remote
 # points fail over to local re-renders, visible as failover_frames.
 echo "smoke: starting 2-node cluster..."
-n0_port=$((port + 3)); n1_port=$((port + 4)); n0_admin=$((port + 5))
+n0_port=$((port + 3)); n1_port=$((port + 4)); n0_admin=$((port + 5)); n1_admin=$((port + 6))
 n0_addr="127.0.0.1:$n0_port"; n1_addr="127.0.0.1:$n1_port"
 cluster="$n0_addr,$n1_addr"
+cluster_admin="127.0.0.1:$n0_admin,127.0.0.1:$n1_admin"
 "$bin/coterie-server" -game pool -addr "$n0_addr" -width 64 -height 32 \
-    -cluster "$cluster" -node-id 0 -admin "127.0.0.1:$n0_admin" -drain 2s \
+    -cluster "$cluster" -node-id 0 -admin "127.0.0.1:$n0_admin" \
+    -cluster-admin "$cluster_admin" -drain 2s \
     >"$bin/node0.log" 2>&1 &
 node0_pid=$!
 "$bin/coterie-server" -game pool -addr "$n1_addr" -width 64 -height 32 \
-    -cluster "$cluster" -node-id 1 -drain 2s >"$bin/node1.log" 2>&1 &
+    -cluster "$cluster" -node-id 1 -admin "127.0.0.1:$n1_admin" \
+    -cluster-admin "$cluster_admin" -drain 2s >"$bin/node1.log" 2>&1 &
 node1_pid=$!
 cleanup_cluster() {
     [ -n "${node0_pid:-}" ] && kill "$node0_pid" 2>/dev/null
@@ -232,9 +238,80 @@ done
 
 echo "smoke: loadgen across both cluster nodes..."
 "$bin/loadgen" -addr "$cluster" -game pool -players 4 -duration 2s -json \
-    >"$bin/cluster.json" 2>"$bin/cluster.log" || {
+    -admin-addrs "$cluster_admin" \
+    >"$bin/cluster.json" 2>"$bin/cluster.log" &
+loadgen_pid=$!
+
+# Mid-session fleet view: /cluster on node 0 must merge both nodes (live,
+# not stale) and /slo must publish the error-budget snapshot with sane
+# burn rates while the load is running.
+fleet_ok=
+slo_ok=
+while kill -0 "$loadgen_pid" 2>/dev/null; do
+    if [ -z "$fleet_ok" ] &&
+        http_get 127.0.0.1 "$n0_admin" /cluster >"$bin/fleet.scrape" 2>/dev/null &&
+        grep -Eq '"nodes_up": *2' "$bin/fleet.scrape" &&
+        grep -q "127.0.0.1:$n1_admin" "$bin/fleet.scrape"; then
+        fleet_ok=1
+    fi
+    if [ -z "$slo_ok" ] &&
+        http_get 127.0.0.1 "$n0_admin" /slo >"$bin/slo.scrape" 2>/dev/null &&
+        grep -Eq '"objective": *0\.99' "$bin/slo.scrape"; then
+        slo_ok=1
+    fi
+    if [ -n "$fleet_ok" ] && [ -n "$slo_ok" ]; then
+        break
+    fi
+    sleep 0.2
+done
+wait "$loadgen_pid" || {
     echo "smoke: cluster loadgen failed" >&2
     cat "$bin/cluster.log" "$bin/node0.log" "$bin/node1.log" >&2
+    exit 1
+}
+# A 2-second load can race past the scrape loop; the fleet view is
+# served on demand, so a post-hoc scrape carries the same counters.
+if [ -z "$fleet_ok" ]; then
+    http_get 127.0.0.1 "$n0_admin" /cluster >"$bin/fleet.scrape" || true
+    grep -Eq '"nodes_up": *2' "$bin/fleet.scrape" &&
+        grep -q "127.0.0.1:$n1_admin" "$bin/fleet.scrape" || {
+        echo "smoke: /cluster never showed both nodes up" >&2
+        cat "$bin/fleet.scrape" >&2
+        exit 1
+    }
+fi
+if [ -z "$slo_ok" ]; then
+    http_get 127.0.0.1 "$n0_admin" /slo >"$bin/slo.scrape" || true
+    grep -Eq '"objective": *0\.99' "$bin/slo.scrape" || {
+        echo "smoke: /slo never published the SLO snapshot" >&2
+        cat "$bin/slo.scrape" >&2
+        exit 1
+    }
+fi
+# Burn rates must be sane on both views: non-negative, and not the
+# stratospheric values a broken window sum would produce.
+awk '
+    /"burn_rate_1m":/ { v = $2; gsub(/[",]/, "", v); b1 = v; seen = 1 }
+    END {
+        if (!seen) { print "smoke: /cluster has no fleet burn rate"; exit 1 }
+        if (b1 + 0 < 0 || b1 + 0 > 1000) { print "smoke: fleet burn rate insane: " b1; exit 1 }
+    }' "$bin/fleet.scrape" || {
+    echo "smoke: fleet burn-rate sanity check failed" >&2
+    cat "$bin/fleet.scrape" >&2
+    exit 1
+}
+awk '
+    /"burn_rate":/ { v = $2; gsub(/[",]/, "", v); if (v + 0 < 0 || v + 0 > 1000) bad = v }
+    END { if (bad != "") { print "smoke: /slo burn rate insane: " bad; exit 1 } }
+    ' "$bin/slo.scrape" || {
+    echo "smoke: /slo burn-rate sanity check failed" >&2
+    cat "$bin/slo.scrape" >&2
+    exit 1
+}
+# The loadgen report carries the fleet view it scraped itself.
+grep -Eq '"fleet":' "$bin/cluster.json" || {
+    echo "smoke: loadgen report has no fleet section" >&2
+    cat "$bin/cluster.json" >&2
     exit 1
 }
 awk '
