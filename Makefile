@@ -26,7 +26,8 @@ race:
 		./internal/runtime/... ./internal/server/... ./internal/transport/... \
 		./internal/cache/... ./internal/prefetch/... ./internal/obs/... \
 		./internal/par/... ./internal/render/... ./internal/loadgen/... \
-		./internal/codec/... ./internal/sched/... ./internal/cluster/...
+		./internal/codec/... ./internal/sched/... ./internal/cluster/... \
+		./internal/netsim/...
 
 # End-to-end smoke: build both binaries, run a short live session over a
 # real socket on localhost, and check the client printed a report.
@@ -42,10 +43,11 @@ bench:
 loadtest:
 	$(GO) run ./cmd/loadgen -game pool -players 16 -duration 5s
 
-# Bench regression gate: compare two benchtab JSON reports' micro results
-# and (when both reports carry it) the deadline_ab compliance section.
-# Usage: make bench-diff BENCH_OLD=BENCH_5.json BENCH_NEW=BENCH_6.json
-BENCH_OLD ?= BENCH_5.json
-BENCH_NEW ?= BENCH_6.json
+# Bench regression gate: compare two benchtab JSON reports' micro results,
+# the deadline_ab compliance section, and the udp_vs_tcp datagram-path
+# section (zero corrupt frames; push-hit ratio > 0 on the walk load).
+# Usage: make bench-diff BENCH_OLD=BENCH_6.json BENCH_NEW=BENCH_7.json
+BENCH_OLD ?= BENCH_6.json
+BENCH_NEW ?= BENCH_7.json
 bench-diff:
 	$(GO) run ./scripts $(BENCH_OLD) $(BENCH_NEW)

@@ -45,6 +45,10 @@ type benchReport struct {
 	// ObsOverhead is the observability A/B: the same walk load with the
 	// registry + trace + SLO pipeline off and on, and the throughput cost.
 	ObsOverhead *obsOverhead `json:"obs_overhead,omitempty"`
+	// UDPvsTCP is the datagram frame-path A/B: the same walk load fetched
+	// over the TCP baseline vs UDP with trajectory-driven push, at 0/1/5%
+	// injected datagram loss.
+	UDPvsTCP *udpVsTCP `json:"udp_vs_tcp,omitempty"`
 }
 
 type expTiming struct {
@@ -253,6 +257,10 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 	if err != nil {
 		return err
 	}
+	udpTCP, err := runUDPvsTCP(quick)
+	if err != nil {
+		return err
+	}
 	rep := benchReport{
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:       runtime.GOMAXPROCS(0),
@@ -265,6 +273,7 @@ func writeBenchJSON(path string, parallel int, quick bool, timings []expTiming) 
 		DeadlineAB:       deadlines,
 		ClusterScaleout:  scaleout,
 		ObsOverhead:      overhead,
+		UDPvsTCP:         udpTCP,
 	}
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

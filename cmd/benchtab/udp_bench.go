@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"coterie/internal/core"
+	"coterie/internal/games"
+	"coterie/internal/loadgen"
+	"coterie/internal/render"
+	"coterie/internal/server"
+)
+
+// udpRow is one arm of the UDP-vs-TCP A/B: the same 16-player walk load
+// fetched over the TCP request/reply baseline, or over the datagram path
+// (UDP-first with server push) at a given injected loss rate.
+type udpRow struct {
+	Mode         string  `json:"mode"` // "tcp" or "udp"
+	LossPct      float64 `json:"loss_pct"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	// GoodputMbps counts only bytes of frames the players actually
+	// displayed; pushed-but-wasted bytes are excluded (they are the push
+	// machinery's overhead, reported separately).
+	GoodputMbps float64 `json:"goodput_mbps"`
+	// Datagram-path economy (udp rows only).
+	UDPFetches      int64   `json:"udp_fetches,omitempty"`
+	TCPFallbacks    int64   `json:"tcp_fallbacks,omitempty"`
+	PushHitRatio    float64 `json:"push_hit_ratio,omitempty"`
+	PushedFrames    int64   `json:"pushed_frames,omitempty"`
+	WastedPushBytes int64   `json:"wasted_push_bytes,omitempty"`
+	NacksSent       int64   `json:"nacks_sent,omitempty"`
+	FECRecovered    int64   `json:"fec_recovered,omitempty"`
+	CorruptFrames   int64   `json:"corrupt_frames"`
+}
+
+// udpVsTCP is the datagram frame-path bench section.
+type udpVsTCP struct {
+	Players int      `json:"players"`
+	Rate    float64  `json:"rate"`
+	Rows    []udpRow `json:"rows"`
+	// Headline: lossless p50 fetch latency on each path. The datagram
+	// path wins by skipping the TCP request round trip whenever a pushed
+	// or previously-delivered frame is already client-resident.
+	TCPP50Ms float64 `json:"tcp_p50_ms"`
+	UDPP50Ms float64 `json:"udp_p50_ms"`
+}
+
+// udpABLossRates are the injected receive-side loss rates of the UDP arms.
+var udpABLossRates = []float64{0, 0.01, 0.05}
+
+const (
+	udpABPlayers = 16
+	udpABRate    = 60.0
+)
+
+// runUDPvsTCP hosts a pool server in-process (TCP + UDP listeners on the
+// same loopback port) and measures the same warm walk load over both
+// frame paths. Players walk at human speed, a quarter grid cell per vsync
+// tick, so the server's constant-velocity predictor has a trackable
+// trajectory — the regime where push pays. Each arm gets its own server
+// and an identical trajectory warm-up so the A/B isolates the transport.
+func runUDPvsTCP(quick bool) (*udpVsTCP, error) {
+	spec, err := games.ByName("pool")
+	if err != nil {
+		return nil, err
+	}
+	env, err := core.PrepareEnv(spec, core.EnvOptions{
+		RenderCfg:   render.Config{W: 128, H: 64},
+		SizeSamples: 2,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dur := 2 * time.Second
+	if quick {
+		dur = 500 * time.Millisecond
+	}
+	const seed = 1
+	grid := env.Game.Scene.Grid
+	stepM := grid.Step / 4
+	spreadM := (grid.Bounds.MaxX - grid.Bounds.MinX) / 4
+	steps := int(dur.Seconds()*udpABRate) + 4
+
+	runArm := func(udpOn bool, loss float64) (udpRow, error) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return udpRow{}, err
+		}
+		defer ln.Close()
+		srv := server.New(env)
+		go srv.Serve(ln)
+		if udpOn {
+			// UDP shares the TCP listener's port, like the real server
+			// binary: one address serves both frame paths.
+			pc, err := net.ListenPacket("udp", ln.Addr().String())
+			if err != nil {
+				return udpRow{}, err
+			}
+			defer pc.Close()
+			srv.SetPushEnabled(true)
+			go srv.ServeFIUDP(pc)
+		}
+		if _, err := loadgen.Warm(loadgen.Config{
+			Addr: ln.Addr().String(), Game: "pool",
+			Players: udpABPlayers, Seed: seed, StepM: stepM, SpreadM: spreadM,
+		}, steps); err != nil {
+			return udpRow{}, fmt.Errorf("warmup: %w", err)
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			Addr: ln.Addr().String(), Game: "pool",
+			Players: udpABPlayers, Rate: udpABRate, Duration: dur,
+			Seed: seed, StepM: stepM, SpreadM: spreadM, Server: srv,
+			UDPFrames: udpOn, Push: udpOn, LossRate: loss, LossSeed: 7,
+		})
+		if err != nil {
+			return udpRow{}, err
+		}
+		row := udpRow{
+			Mode:         "tcp",
+			LossPct:      100 * loss,
+			FramesPerSec: rep.FramesPerSec,
+			P50Ms:        rep.P50Ms,
+			P99Ms:        rep.P99Ms,
+		}
+		if secs := rep.Duration.Seconds(); secs > 0 {
+			row.GoodputMbps = 8 * float64(rep.Bytes) / secs / 1e6
+		}
+		if udpOn {
+			row.Mode = "udp"
+			row.UDPFetches = rep.UDPFetches
+			row.TCPFallbacks = rep.TCPFallbacks
+			row.PushHitRatio = rep.PushHitRatio
+			row.PushedFrames = rep.PushedFrames
+			row.WastedPushBytes = rep.WastedPushBytes
+			row.NacksSent = rep.NacksSent
+			row.FECRecovered = rep.FECRecovered
+			row.CorruptFrames = rep.CorruptFrames
+		}
+		fmt.Printf("[udp-vs-tcp: %s loss %4.1f%%  p50 %6.2f ms  p99 %7.2f ms  %6.2f Mbps  push-hit %4.1f%%  %d falls  %d nacks  %d corrupt]\n",
+			row.Mode, row.LossPct, row.P50Ms, row.P99Ms, row.GoodputMbps,
+			100*row.PushHitRatio, row.TCPFallbacks, row.NacksSent, row.CorruptFrames)
+		return row, nil
+	}
+
+	out := &udpVsTCP{Players: udpABPlayers, Rate: udpABRate}
+	tcpRow, err := runArm(false, 0)
+	if err != nil {
+		return nil, fmt.Errorf("udp-vs-tcp tcp arm: %w", err)
+	}
+	out.Rows = append(out.Rows, tcpRow)
+	out.TCPP50Ms = tcpRow.P50Ms
+	for _, loss := range udpABLossRates {
+		row, err := runArm(true, loss)
+		if err != nil {
+			return nil, fmt.Errorf("udp-vs-tcp udp arm (%.0f%% loss): %w", 100*loss, err)
+		}
+		out.Rows = append(out.Rows, row)
+		if loss == 0 {
+			out.UDPP50Ms = row.P50Ms
+		}
+	}
+	return out, nil
+}

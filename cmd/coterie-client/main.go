@@ -52,6 +52,8 @@ func run() error {
 	replay := flag.String("replay", "", "replay a previously recorded trace instead of generating one")
 	admin := flag.String("admin", "", "admin HTTP listen address for /metrics, /trace, expvar and pprof (empty = disabled)")
 	metricsJSON := flag.String("metrics-json", "", "write the metrics registry snapshot as JSON to this file at session end (\"-\" = stdout)")
+	udpFrames := flag.Bool("udp-frames", false, "fetch frames over the datagram path (UDP-first with TCP fallback)")
+	push := flag.Bool("push", false, "opt into trajectory-driven server push (requires -udp-frames and a server run with -push)")
 	flag.Parse()
 
 	spec, err := games.ByName(*game)
@@ -99,6 +101,8 @@ func run() error {
 		Speed:        *speed,
 		DecodeFrames: true,
 		Obs:          reg,
+		UDPFrames:    *udpFrames,
+		Push:         *push,
 	})
 	if report != nil {
 		printReport(report, tr.Seconds())

@@ -56,6 +56,9 @@ func main() {
 	peerHealth := flag.Duration("peer-health-interval", cluster.DefaultHealthInterval, "cluster peer health-probe period")
 	peerFetchTO := flag.Duration("peer-fetch-timeout", cluster.DefaultFetchTimeout, "cluster peer frame-fetch timeout")
 	clusterAdmin := flag.String("cluster-admin", "", "comma-separated admin addresses of every cluster node (same order as -cluster); enables the /cluster fleet view on the admin endpoint")
+	push := flag.Bool("push", false, "push predicted frames unsolicited over UDP to subscribed clients")
+	pushRate := flag.Int("push-rate", 0, "per-session push token-bucket rate in frames/sec (0 = default)")
+	fecK := flag.Int("fec-k", 0, "XOR-parity FEC group size on the datagram frame path (0 = default)")
 	sloObjective := flag.Float64("slo-objective", obs.DefaultSLOObjective, "SLO: fraction of frames that must be served within the frame budget at full quality")
 	sloWindow := flag.Duration("slo-window", time.Minute, "SLO: short burn-rate window (the long window is 5x this)")
 	flag.Parse()
@@ -84,6 +87,9 @@ func main() {
 	srv.DrainTimeout = *drain
 	srv.SetSchedEnabled(*sched)
 	srv.SetDegradeEnabled(*degrade)
+	srv.SetPushEnabled(*push)
+	srv.SetPushRate(*pushRate)
+	srv.SetFECK(*fecK)
 	if *maxInflight > 0 {
 		srv.SetMaxInflight(*maxInflight)
 	}

@@ -48,6 +48,10 @@ func main() {
 	height := flag.Int("height", 128, "in-process server: panorama height")
 	budget := flag.Int64("store-budget", 0, "in-process server: frame store byte budget (0 = unbounded)")
 	adminAddrs := flag.String("admin-addrs", "", "comma-separated admin HTTP addresses of the target cluster; the final report embeds a fleet view scraped from them")
+	udpFrames := flag.Bool("udp-frames", false, "fetch frames over the datagram path (UDP-first with TCP fallback); the in-process server grows a UDP listener")
+	push := flag.Bool("push", false, "opt into trajectory-driven server push (needs -udp-frames; enables push on the in-process server)")
+	lossRate := flag.Float64("loss", 0, "receive-side datagram loss rate injected per player (needs -udp-frames)")
+	lossSeed := flag.Int64("loss-seed", 1, "seed for the injected datagram loss")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
@@ -68,6 +72,8 @@ func main() {
 		Addr: *addr, Game: *game, Players: *players, Rate: *rate,
 		Duration: *duration, Pattern: *pattern, StepM: *stepM, Seed: *seed,
 		DeadlineMs: *deadlineMs,
+		UDPFrames:  *udpFrames, Push: *push,
+		LossRate: *lossRate, LossSeed: *lossSeed,
 	}
 	if *adminAddrs != "" {
 		for _, a := range strings.Split(*adminAddrs, ",") {
@@ -77,13 +83,14 @@ func main() {
 		}
 	}
 	if *addr == "" {
-		srv, hosted, stop, err := hostServer(*game, *width, *height, *budget)
+		srv, hosted, stop, err := hostServer(*game, *width, *height, *budget, *udpFrames)
 		if err != nil {
 			log.Fatalf("loadgen: %v", err)
 		}
 		defer stop()
 		srv.SetSchedEnabled(*sched)
 		srv.SetDegradeEnabled(*degrade)
+		srv.SetPushEnabled(*push)
 		cfg.Addr, cfg.Server = hosted, srv
 	}
 
@@ -125,6 +132,13 @@ func main() {
 		100*rep.HitRate, rep.Hits, rep.Joins, rep.Renders)
 	fmt.Printf("  wire        %.0f bytes/frame mean (%d delta frames)\n",
 		rep.BytesPerFrame, rep.DeltaFrames)
+	if rep.UDPFetches > 0 || rep.TCPFallbacks > 0 {
+		fmt.Printf("  datagram    %d UDP fetches, %d TCP fallbacks, push hit %.1f%% (%d pushed, %.1f KB wasted)\n",
+			rep.UDPFetches, rep.TCPFallbacks, 100*rep.PushHitRatio,
+			rep.PushedFrames, float64(rep.WastedPushBytes)/1e3)
+		fmt.Printf("  loss repair %d NACKs sent, %d FEC-recovered, %d corrupt dropped\n",
+			rep.NacksSent, rep.FECRecovered, rep.CorruptFrames)
+	}
 	if rep.StoreBytes >= 0 {
 		fmt.Printf("  residency   %d bytes, %d evictions\n", rep.StoreBytes, rep.Evictions)
 	}
@@ -144,8 +158,9 @@ func main() {
 }
 
 // hostServer prepares the game environment and serves it on a loopback
-// port, returning the server, its address, and a stop function.
-func hostServer(game string, w, h int, budget int64) (*server.Server, string, func(), error) {
+// port, returning the server, its address, and a stop function. With udp
+// set, a UDP listener on the same port carries the datagram frame path.
+func hostServer(game string, w, h int, budget int64, udp bool) (*server.Server, string, func(), error) {
 	spec, err := games.ByName(game)
 	if err != nil {
 		return nil, "", nil, err
@@ -166,5 +181,15 @@ func hostServer(game string, w, h int, budget int64) (*server.Server, string, fu
 		srv.SetStoreBudget(budget)
 	}
 	go srv.Serve(ln)
-	return srv, ln.Addr().String(), func() { ln.Close() }, nil
+	stop := func() { ln.Close() }
+	if udp {
+		pc, err := net.ListenPacket("udp", ln.Addr().String())
+		if err != nil {
+			ln.Close()
+			return nil, "", nil, err
+		}
+		go srv.ServeFIUDP(pc)
+		stop = func() { pc.Close(); ln.Close() }
+	}
+	return srv, ln.Addr().String(), stop, nil
 }

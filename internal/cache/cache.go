@@ -97,6 +97,10 @@ type Entry struct {
 	Data    []byte    // encoded frame payload (may be nil in trace studies)
 	Size    int       // payload size in bytes (used even when Data is nil)
 	Owner   int       // player that prefetched the frame
+	// Pushed marks a frame the server pushed unsolicited over the
+	// datagram path; a Lookup hit on one is the push paying off (the
+	// fetch the client never had to issue).
+	Pushed bool
 
 	seq uint64 // LRU clock
 }
@@ -118,6 +122,8 @@ type Stats struct {
 	Inserts, Evictions  int64
 	BytesStored         int64
 	BytesServedFromHits int64
+	// PushedHits counts Lookup hits served from server-pushed entries.
+	PushedHits int64
 }
 
 // HitRatio returns hits / (hits + misses), or 0 before any lookup.
@@ -153,6 +159,7 @@ type instruments struct {
 	inserts, evictions      *obs.Counter
 	bytesServed             *obs.Counter
 	bytesStored, entries    *obs.Gauge
+	pushedHits              *obs.Counter
 }
 
 // Instrument mirrors the cache's counters into a registry under the
@@ -171,6 +178,7 @@ func (c *Cache) Instrument(r *obs.Registry) {
 		bytesServed: r.Counter("cache.bytes_served_from_hits"),
 		bytesStored: r.Gauge("cache.bytes_stored"),
 		entries:     r.Gauge("cache.entries"),
+		pushedHits:  r.Counter("cache.pushed_hits"),
 	}
 }
 
@@ -302,6 +310,10 @@ func (c *Cache) Lookup(req Request) (*Entry, bool) {
 		if exact {
 			c.stats.ExactHits++
 			c.obs.exactHits.Inc()
+		}
+		if e.Pushed {
+			c.stats.PushedHits++
+			c.obs.pushedHits.Inc()
 		}
 		c.stats.BytesServedFromHits += int64(e.Size)
 		c.obs.bytesServed.Add(int64(e.Size))

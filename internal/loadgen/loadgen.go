@@ -18,8 +18,10 @@ import (
 	"time"
 
 	"coterie/internal/cluster"
+	"coterie/internal/fisync"
 	"coterie/internal/games"
 	"coterie/internal/geom"
+	"coterie/internal/netsim"
 	"coterie/internal/obs"
 	"coterie/internal/server"
 	"coterie/internal/transport"
@@ -76,6 +78,25 @@ type Config struct {
 	// (merged /metrics, /slo and /qoe) so a cluster run's server-side
 	// tallies ride along with the client-side ones.
 	AdminAddrs []string
+	// UDPFrames switches each player to the datagram frame path: fetches
+	// go UDP-first (pushed frames consumed from the channel store, then a
+	// request datagram) with the TCP session as fallback, and every step
+	// uploads FI state over the same socket so the server's trajectory
+	// predictor has positions to extrapolate. The server must run a UDP
+	// listener on the same address as its TCP one.
+	UDPFrames bool
+	// Push opts each player's subscription into trajectory-driven server
+	// push (needs UDPFrames and a push-enabled server).
+	Push bool
+	// UDPBudgetMs bounds each UDP fetch attempt before the player falls
+	// back to TCP (0 = 50 ms). Fallback round trips are charged the spent
+	// budget on top of the TCP time, so the percentiles price the miss.
+	UDPBudgetMs float64
+	// LossRate injects receive-side datagram loss per player (loopback
+	// sockets do not lose packets on their own), exercising FEC repair
+	// and NACK retransmits; LossSeed makes the drops reproducible.
+	LossRate float64
+	LossSeed int64
 }
 
 // Report summarises a load run.
@@ -133,6 +154,24 @@ type Report struct {
 	PeerFrames     int64 `json:"peer_frames"`
 	FailoverFrames int64 `json:"failover_frames"`
 
+	// Datagram-path mix (UDPFrames runs only). UDPFetches are successful
+	// fetches satisfied over UDP (pushed frame or request/reply datagram);
+	// TCPFallbacks exhausted their UDP budget and fell back. PushHits are
+	// fetches served by a frame the server pushed ahead of the request —
+	// the latency the push machinery exists to delete — and
+	// WastedPushBytes are pushed bytes the player never consumed
+	// (mispredicted or evicted pushes: the bandwidth cost of pushing).
+	UDPFetches      int64   `json:"udp_fetches,omitempty"`
+	TCPFallbacks    int64   `json:"tcp_fallbacks,omitempty"`
+	PushedFrames    int64   `json:"pushed_frames,omitempty"`
+	PushedBytes     int64   `json:"pushed_bytes,omitempty"`
+	PushHits        int64   `json:"push_hits,omitempty"`
+	PushHitRatio    float64 `json:"push_hit_ratio,omitempty"`
+	WastedPushBytes int64   `json:"wasted_push_bytes,omitempty"`
+	NacksSent       int64   `json:"nacks_sent,omitempty"`
+	FECRecovered    int64   `json:"fec_recovered,omitempty"`
+	CorruptFrames   int64   `json:"corrupt_frames,omitempty"`
+
 	// Frame-store state after the run; -1 when the server is remote.
 	StoreBytes int64 `json:"store_bytes"`
 	Evictions  int64 `json:"evictions"`
@@ -149,8 +188,10 @@ type playerStats struct {
 	deltas                int64
 	rungs                 [4]int64
 	peer, failover        int64
-	latencies             []float64 // ms per successful fetch
-	errLatencies          []float64 // ms per errored (shed/rejected) fetch
+	udpFetches, tcpFalls  int64
+	udp                   *server.UDPStats // end-of-run channel snapshot
+	latencies             []float64        // ms per successful fetch
+	errLatencies          []float64        // ms per errored (shed/rejected) fetch
 	err                   error
 }
 
@@ -229,6 +270,17 @@ func Run(cfg Config) (Report, error) {
 		rep.RungLowRes += st.rungs[transport.RungLowRes]
 		rep.PeerFrames += st.peer
 		rep.FailoverFrames += st.failover
+		rep.UDPFetches += st.udpFetches
+		rep.TCPFallbacks += st.tcpFalls
+		if st.udp != nil {
+			rep.PushedFrames += st.udp.PushedRecv
+			rep.PushedBytes += st.udp.PushedBytes
+			rep.PushHits += st.udp.PushServes
+			rep.WastedPushBytes += st.udp.PushedBytes - st.udp.PushedUsedBytes
+			rep.NacksSent += st.udp.NacksSent
+			rep.FECRecovered += st.udp.Reassembly.Recovered
+			rep.CorruptFrames += st.udp.Reassembly.Corrupt
+		}
 		all = append(all, st.latencies...)
 		allErr = append(allErr, st.errLatencies...)
 	}
@@ -241,6 +293,7 @@ func Run(cfg Config) (Report, error) {
 	if rep.Frames > 0 {
 		rep.HitRate = float64(rep.Hits) / float64(rep.Frames)
 		rep.BytesPerFrame = float64(rep.Bytes) / float64(rep.Frames)
+		rep.PushHitRatio = float64(rep.PushHits) / float64(rep.Frames)
 	}
 	sort.Float64s(all)
 	rep.P50Ms = percentile(all, 0.50)
@@ -417,6 +470,25 @@ func runPlayer(cfg Config, addr string, g *games.Game, step float64, p int, dead
 	}
 	defer cl.Close()
 
+	// The datagram frame path rides a second, UDP socket to the same
+	// address; the TCP session above stays open as the fallback.
+	var udp *server.UDPChannel
+	udpBudget := time.Duration(cfg.UDPBudgetMs * float64(time.Millisecond))
+	if udpBudget <= 0 {
+		udpBudget = 50 * time.Millisecond
+	}
+	if cfg.UDPFrames {
+		udp, err = server.DialUDP(addr, uint8(p), cfg.Push, nil)
+		if err != nil {
+			st.err = err
+			return st
+		}
+		defer udp.Close()
+		if cfg.LossRate > 0 {
+			udp.SetImpairer(netsim.NewImpairer(cfg.LossRate, cfg.LossSeed*1000003+int64(p)))
+		}
+	}
+
 	w := newWalker(cfg, g, step, p)
 
 	var interval time.Duration
@@ -431,46 +503,85 @@ func runPlayer(cfg Config, addr string, g *games.Game, step float64, p int, dead
 		time.Sleep(time.Duration(jrng.Float64() * float64(interval)))
 	}
 	next := time.Now()
+	var fiSeq uint32
 	for time.Now().Before(deadline) {
-		var reqDeadline float64
-		if cfg.DeadlineMs > 0 {
-			reqDeadline = float64(time.Now().UnixNano())/1e6 + cfg.DeadlineMs
+		pt := g.Scene.Grid.Snap(w.pos)
+		if udp != nil {
+			// FI state first: it carries the position the server's
+			// trajectory predictor extrapolates, so pushes target where
+			// this player is headed. A lost round self-heals (Sync
+			// resubscribes on timeout); the walk goes on regardless.
+			// It runs before the fetch timer starts: FI sync is
+			// control-plane traffic a real client overlaps with
+			// rendering, not part of the frame fetch.
+			fiSeq++
+			udp.Sync(fisync.State{Player: uint8(p), Seq: fiSeq, Pos: w.pos}, udpBudget)
 		}
-		reply, sentMs, doneMs, err := cl.FetchWithDeadline(g.Scene.Grid.Snap(w.pos), reqDeadline)
-		if err != nil {
-			st.errors++
-			// The server answering with an error (a shed under admission
-			// control, an out-of-grid reject) leaves the session usable:
-			// count it, keep its round trip out of the success percentiles,
-			// and walk on. A transport error kills the session.
-			var se *server.ServerError
-			if !errors.As(err, &se) {
-				return st
-			}
-			st.errLatencies = append(st.errLatencies, doneMs-sentMs)
-		} else {
-			st.frames++
-			st.bytes += int64(len(reply.Data))
-			if reply.Kind == transport.FrameDelta {
-				st.deltas++
-			}
-			st.latencies = append(st.latencies, doneMs-sentMs)
-			if int(reply.Rung) < len(st.rungs) {
-				st.rungs[reply.Rung]++
-			}
-			switch reply.Origin {
-			case transport.OriginPeer:
-				st.peer++
-			case transport.OriginFailover:
-				st.failover++
-			}
-			switch {
-			case reply.RenderMs > 0:
-				st.renders++
-			case reply.QueueMs > 0:
-				st.joins++
-			default:
+		fetchStart := time.Now()
+		served := false
+		if udp != nil {
+			if data, ok := udp.Fetch(pt, udpBudget); ok {
+				st.frames++
+				st.udpFetches++
+				st.bytes += int64(len(data))
+				// Datagram frames carry no rung or stage breakdown on the
+				// wire; they are whole store bytes (pushes and replies come
+				// from the warmed store), so they tally as exact hits.
 				st.hits++
+				st.rungs[transport.RungExact]++
+				st.latencies = append(st.latencies, msSince(fetchStart))
+				served = true
+			} else {
+				st.tcpFalls++
+			}
+		}
+		if !served {
+			var reqDeadline float64
+			if cfg.DeadlineMs > 0 {
+				reqDeadline = float64(time.Now().UnixNano())/1e6 + cfg.DeadlineMs
+			}
+			reply, sentMs, doneMs, err := cl.FetchWithDeadline(pt, reqDeadline)
+			// A UDP-mode fallback is charged its spent UDP budget on top of
+			// the TCP round trip: the player really waited both.
+			lat := doneMs - sentMs
+			if udp != nil {
+				lat = msSince(fetchStart)
+			}
+			if err != nil {
+				st.errors++
+				// The server answering with an error (a shed under admission
+				// control, an out-of-grid reject) leaves the session usable:
+				// count it, keep its round trip out of the success percentiles,
+				// and walk on. A transport error kills the session.
+				var se *server.ServerError
+				if !errors.As(err, &se) {
+					return st
+				}
+				st.errLatencies = append(st.errLatencies, lat)
+			} else {
+				st.frames++
+				st.bytes += int64(len(reply.Data))
+				if reply.Kind == transport.FrameDelta {
+					st.deltas++
+				}
+				st.latencies = append(st.latencies, lat)
+				if int(reply.Rung) < len(st.rungs) {
+					st.rungs[reply.Rung]++
+				}
+				switch reply.Origin {
+				case transport.OriginPeer:
+					st.peer++
+				case transport.OriginFailover:
+					st.failover++
+				}
+				switch {
+				case reply.RenderMs > 0:
+					st.renders++
+				case reply.QueueMs > 0:
+					st.joins++
+				default:
+					st.hits++
+				}
 			}
 		}
 
@@ -483,7 +594,16 @@ func runPlayer(cfg Config, addr string, g *games.Game, step float64, p int, dead
 			}
 		}
 	}
+	if udp != nil {
+		s := udp.Stats()
+		st.udp = &s
+	}
 	return st
+}
+
+// msSince is the wall milliseconds elapsed since t.
+func msSince(t time.Time) float64 {
+	return float64(time.Since(t)) / float64(time.Millisecond)
 }
 
 // percentile reads the q-quantile from ascending samples by

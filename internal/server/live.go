@@ -13,6 +13,7 @@ import (
 	"coterie/internal/fisync"
 	"coterie/internal/geom"
 	"coterie/internal/img"
+	"coterie/internal/netsim"
 	"coterie/internal/obs"
 	"coterie/internal/prefetch"
 	"coterie/internal/runtime"
@@ -53,6 +54,27 @@ type LiveConfig struct {
 	// the shared pipeline instruments plus live-specific ones (client
 	// transport byte counts, FI sync drops). nil disables instrumentation.
 	Obs *obs.Registry
+
+	// UDPFrames enables the datagram frame path: FI sync and frames share
+	// one UDP socket, fetches try UDP first (bounded by UDPBudget) and
+	// fall back to TCP, and reassembled pushes fill the frame cache ahead
+	// of the pipeline's lookups.
+	UDPFrames bool
+	// Push opts this session into trajectory-driven server push
+	// (meaningful only with UDPFrames; the server must run with -push).
+	Push bool
+	// UDPBudget bounds one UDP fetch attempt before the TCP fallback;
+	// 0 means 50 ms.
+	UDPBudget time.Duration
+	// LossRate injects receive-side datagram loss with a seeded generator
+	// (tests and A/B runs; loopback sockets do not lose on their own).
+	LossRate float64
+	LossSeed int64
+	// FrameSink, when set, observes every frame entering the display
+	// pipeline: fetch completions (pushed=false) and absorbed server
+	// pushes (pushed=true). Runs on the clock goroutine; the byte-identity
+	// e2e captures frames here.
+	FrameSink func(pt geom.GridPoint, data []byte, pushed bool)
 }
 
 // LiveReport aggregates one live session.
@@ -69,6 +91,12 @@ type LiveReport struct {
 	FIDrops int64
 	// Wall is the real elapsed time of the session.
 	Wall time.Duration
+	// UDP reports the datagram frame path (nil unless UDPFrames was on):
+	// push/NACK/reassembly accounting from the channel, plus the
+	// UDP-vs-TCP fetch split.
+	UDP          *UDPStats
+	UDPFetches   int64
+	TCPFallbacks int64
 }
 
 // LatencyQuantile returns the q-quantile fetch latency in milliseconds.
@@ -105,9 +133,24 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 	}
 	defer cl.Close()
 	cl.Instrument(transport.NewMetrics(cfg.Obs, "client.transport"))
-	fi, err := DialFI(addr)
-	if err != nil {
-		return nil, fmt.Errorf("fi sync: %w", err)
+	// The FI syncer: the legacy FI-only socket, or the multiplexed
+	// datagram channel when the UDP frame path is on.
+	var fi fiSyncer
+	var udp *UDPChannel
+	if cfg.UDPFrames {
+		udp, err = DialUDP(addr, uint8(player), cfg.Push, cfg.Obs)
+		if err != nil {
+			return nil, fmt.Errorf("udp frames: %w", err)
+		}
+		if cfg.LossRate > 0 {
+			udp.SetImpairer(netsim.NewImpairer(cfg.LossRate, cfg.LossSeed))
+		}
+		fi = udp
+	} else {
+		fi, err = DialFI(addr)
+		if err != nil {
+			return nil, fmt.Errorf("fi sync: %w", err)
+		}
 	}
 	defer fi.Close()
 
@@ -120,6 +163,14 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 		speed = 1
 	}
 	src := &liveSource{clock: clock, cl: cl, decode: cfg.DecodeFrames, lat: &runtime.LatencyAcc{}, speed: speed}
+	if udp != nil {
+		src.udp = udp
+		src.udpBudget = cfg.UDPBudget
+		if src.udpBudget == 0 {
+			src.udpBudget = 50 * time.Millisecond
+		}
+	}
+	src.sink = cfg.FrameSink
 	if cfg.DecodeFrames {
 		refBytes := cfg.RefBytes
 		if refBytes == 0 {
@@ -147,7 +198,38 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 	ccfg, _ := cache.Version(3) // intra-player similar frames, as in the testbed
 	ccfg.CapacityBytes = cfg.CacheBytes
 	frameCache := cache.New(ccfg)
-	pf := prefetch.New(env.Game.Scene.Grid, env.MetaFor(), frameCache, src, player, cfg.Prefetch)
+	meta := env.MetaFor()
+	pf := prefetch.New(env.Game.Scene.Grid, meta, frameCache, src, player, cfg.Prefetch)
+	if udp != nil {
+		// Server pushes land in the frame cache (via the clock, which owns
+		// it) so the pipeline's next lookup hits without a fetch. The
+		// reassembler already CRC-verified the bytes; marking the entry
+		// Pushed makes the consumption visible as cache.pushed_hits.
+		grid := env.Game.Scene.Grid
+		sink := cfg.FrameSink
+		udp.OnFrame = func(pt geom.GridPoint, data []byte, pushed bool) {
+			if !pushed {
+				return // late fetch replies stay in the channel's store
+			}
+			clock.IOStarted()
+			clock.Post(func() {
+				leaf, sig, _ := meta(pt)
+				frameCache.Insert(cache.Entry{
+					Point:   pt,
+					Pos:     grid.Pos(pt),
+					LeafID:  leaf,
+					NearSig: sig,
+					Data:    data,
+					Size:    len(data),
+					Owner:   player,
+					Pushed:  true,
+				})
+				if sink != nil {
+					sink(pt, data, true)
+				}
+			})
+		}
+	}
 
 	endMs := tr.Seconds() * 1000
 	scene := env.Game.Scene
@@ -190,6 +272,12 @@ func RunLive(env *core.Env, addr string, tr *trace.Trace, player int, cfg LiveCo
 		FIDrops:          fiSync.drops,
 		Wall:             time.Since(start),
 	}
+	if udp != nil {
+		st := udp.Stats()
+		report.UDP = &st
+		report.UDPFetches = src.udpHits.Load()
+		report.TCPFallbacks = src.tcpFalls.Load()
+	}
 	sort.Float64s(report.FetchLatenciesMs)
 	if err := src.firstError(); err != nil {
 		return report, err
@@ -213,6 +301,15 @@ type liveSource struct {
 	inflight atomic.Int64
 	fetches  atomic.Int64
 	bytes    atomic.Int64
+
+	// udp, when set, is tried before the TCP round trip: a pushed or
+	// UDP-replied frame within udpBudget skips the connection entirely.
+	udp       *UDPChannel
+	udpBudget time.Duration
+	udpHits   atomic.Int64
+	tcpFalls  atomic.Int64
+	// sink observes frames entering the pipeline (clock goroutine).
+	sink func(pt geom.GridPoint, data []byte, pushed bool)
 
 	// connMu serialises the request/reply connection and guards err, refs
 	// and pendingEvicts.
@@ -255,7 +352,29 @@ func (s *liveSource) Fetch(player int, pt geom.GridPoint, done func(data []byte,
 	s.inflight.Add(1)
 	go func() {
 		t0 := time.Now()
-		reply, sentMs, doneMs, err := s.fetchOnce(pt, deadlineMs)
+		var (
+			reply          transport.FrameReply
+			sentMs, doneMs float64
+			err            error
+		)
+		udpHit := false
+		if s.udp != nil {
+			if data, ok := s.udp.Fetch(pt, s.udpBudget); ok {
+				// The reassembler CRC-verified the payload; with decode
+				// validation on, a frame that fails to decode falls back
+				// to TCP rather than poisoning the pipeline. UDP frames
+				// are always intra-coded store bytes, and they never join
+				// the delta reference store: the server does not track
+				// them as client-held references.
+				if !s.decode || s.validateUDPFrame(pt, data) == nil {
+					reply = transport.FrameReply{Point: pt, Data: data}
+					udpHit = true
+				}
+			}
+		}
+		if !udpHit {
+			reply, sentMs, doneMs, err = s.fetchOnce(pt, deadlineMs)
+		}
 		wall := time.Since(t0)
 		s.inflight.Add(-1)
 		s.clock.Post(func() {
@@ -270,10 +389,37 @@ func (s *liveSource) Fetch(player int, pt geom.GridPoint, done func(data []byte,
 			s.bytes.Add(int64(len(data)))
 			s.wallMs = append(s.wallMs, float64(wall.Microseconds())/1000)
 			s.lat.Add(end - startVirtual)
-			s.recordStages(reply, sentMs, doneMs, end-startVirtual)
+			if udpHit {
+				s.udpHits.Add(1)
+				// No server timestamps on the datagram path: the whole
+				// round trip is network time, and the NTP offset estimate
+				// is left to TCP fetches (reply.RecvMs > 0 guards it).
+				rtt := end - startVirtual
+				s.last = obs.FetchStages{NetMs: rtt, RTTMs: rtt, OffsetMs: s.offsetMs, Valid: true}
+			} else {
+				if s.udp != nil {
+					s.tcpFalls.Add(1)
+				}
+				s.recordStages(reply, sentMs, doneMs, end-startVirtual)
+			}
 			done(data, len(data), startVirtual, end)
+			if s.sink != nil {
+				s.sink(pt, data, false)
+			}
 		})
 	}()
+}
+
+// validateUDPFrame decodes a UDP-fetched frame (always intra-coded) to
+// validate it; the raster is released immediately and never becomes a
+// delta reference.
+func (s *liveSource) validateUDPFrame(pt geom.GridPoint, data []byte) error {
+	g, err := codec.Decode(data)
+	if err != nil {
+		return fmt.Errorf("udp frame %v does not decode: %w", pt, err)
+	}
+	codec.ReleaseGray(g)
+	return nil
 }
 
 // recordStages derives the trace-context v2 stage decomposition of one
@@ -313,7 +459,7 @@ func (s *liveSource) recordStages(reply transport.FrameReply, sentMs, doneMs, rt
 	// NTP offset: t0=sentMs (client), t1=RecvMs, t2=SendMs (server),
 	// t3=doneMs (client). The network-only RTT excludes server hold time.
 	netRTT := (doneMs - sentMs) - (reply.SendMs - reply.RecvMs)
-	if netRTT >= 0 && (!s.haveOffset || netRTT < s.bestNetMs) {
+	if reply.RecvMs > 0 && netRTT >= 0 && (!s.haveOffset || netRTT < s.bestNetMs) {
 		s.haveOffset = true
 		s.bestNetMs = netRTT
 		s.offsetMs = ((reply.RecvMs - sentMs) + (reply.SendMs - doneMs)) / 2
@@ -422,11 +568,18 @@ func (s *liveSource) ActiveTransfers() int { return int(s.inflight.Load()) }
 // FlowBytes implements runtime.NetMonitor; the live client has one flow.
 func (s *liveSource) FlowBytes(int) int64 { return s.bytes.Load() }
 
+// fiSyncer abstracts the FI sync transport: the legacy FI-only socket
+// (FIClient) or the multiplexed datagram channel (UDPChannel).
+type fiSyncer interface {
+	Sync(st fisync.State, timeout time.Duration) ([]fisync.State, error)
+	Close() error
+}
+
 // liveFISync synchronises FI over UDP each frame, like the paper's PUN
 // path. A lost datagram simply counts as a drop — the next frame resends.
 type liveFISync struct {
 	clock   *runtime.WallClock
-	fi      *FIClient
+	fi      fiSyncer
 	timeout time.Duration
 
 	mu sync.Mutex // serialises the UDP socket

@@ -82,6 +82,18 @@ type Server struct {
 	// is standalone serving. Set before Serve via SetCluster.
 	cluster *cluster.Cluster
 
+	// pushOn enables trajectory-driven server push on the datagram frame
+	// path (off by default: pushes are opt-in via -push, and only reach
+	// clients that subscribed with the want-push flag). pushRate is the
+	// per-session token-bucket rate in frames/sec (0: default), fecK the
+	// FEC group size for sliced frames (0: transport.DefaultFECGroup).
+	pushOn   atomic.Bool
+	pushRate atomic.Int64
+	fecK     atomic.Int64
+	// pushContention, when set, reports the current network contention
+	// signal in [0,1]; the push pacer scales its rate by (1 - signal).
+	pushContention atomic.Pointer[func() float64]
+
 	mu  sync.Mutex // guards hub
 	hub *fisync.Hub
 
@@ -116,10 +128,25 @@ type serverObs struct {
 	sessionErrors  *obs.Counter
 	sessionsActive *obs.Gauge
 	renderMs       *obs.Histogram
-	udpDatagrams   *obs.Counter
-	udpDropped     *obs.Counter
-	udpBytesIn     *obs.Counter
-	udpBytesOut    *obs.Counter
+	udpDatagrams *obs.Counter
+	// Malformed / stale / overflow drops are split so the datagram frame
+	// path is debuggable from /metrics: a parse failure, a frame behind
+	// the delivery window, and a reassembly-cap eviction are three very
+	// different operator stories.
+	udpDroppedMalformed *obs.Counter
+	udpDroppedStale     *obs.Counter
+	udpDroppedOverflow  *obs.Counter
+	udpBytesIn          *obs.Counter
+	udpBytesOut         *obs.Counter
+
+	// Datagram frame path: unsolicited pushes, pacer skips, UDP frame
+	// requests served, and NACK-triggered chunk retransmits.
+	pushFrames     *obs.Counter
+	pushBytes      *obs.Counter
+	pushSkips      *obs.Counter
+	udpFrameReqs   *obs.Counter
+	udpRetransmits *obs.Counter
+	udpNacks       *obs.Counter
 	deltaFrames    *obs.Counter
 	deltaSaved     *obs.Counter
 	reprojHits     *obs.Counter
@@ -180,9 +207,17 @@ func (s *Server) Instrument(r *obs.Registry) {
 		sessionsActive: r.Gauge("server.sessions_active"),
 		renderMs:       r.Histogram("server.render_ms"),
 		udpDatagrams:   r.Counter("server.udp.datagrams"),
-		udpDropped:     r.Counter("server.udp.dropped"),
+		udpDroppedMalformed: r.Counter("server.udp.dropped_malformed"),
+		udpDroppedStale:     r.Counter("server.udp.dropped_stale"),
+		udpDroppedOverflow:  r.Counter("server.udp.dropped_overflow"),
 		udpBytesIn:     r.Counter("server.udp.bytes_in"),
 		udpBytesOut:    r.Counter("server.udp.bytes_out"),
+		pushFrames:     r.Counter("server.udp.push_frames"),
+		pushBytes:      r.Counter("server.udp.push_bytes"),
+		pushSkips:      r.Counter("server.udp.push_skips"),
+		udpFrameReqs:   r.Counter("server.udp.frame_reqs"),
+		udpRetransmits: r.Counter("server.udp.retransmits"),
+		udpNacks:       r.Counter("server.udp.nacks"),
 		deltaFrames:    r.Counter("server.delta_frames"),
 		deltaSaved:     r.Counter("server.delta_bytes_saved"),
 		reprojHits:     r.Counter("server.reproject_hits"),
@@ -304,6 +339,34 @@ func (s *Server) SetCluster(c *cluster.Cluster) { s.cluster = c }
 // serves, and failover re-renders all count against the budget. nil (the
 // default) disables tracking. Call before Serve.
 func (s *Server) SetSLO(t *obs.SLO) { s.slo = t }
+
+// SetPushEnabled toggles trajectory-driven frame push on the datagram
+// path (off by default). Pushes only reach UDP sessions that subscribed
+// with the want-push flag, so legacy FI-only clients never see one. Safe
+// to call at any time.
+func (s *Server) SetPushEnabled(on bool) { s.pushOn.Store(on) }
+
+// SetPushRate sets the per-session push token-bucket rate in frames/sec
+// (<= 0 restores the default). The effective rate backs off with the
+// session's NACK EWMA and the contention signal. Safe to call at any time.
+func (s *Server) SetPushRate(n int) { s.pushRate.Store(int64(n)) }
+
+// SetFECK sets the XOR-parity FEC group size for frames sliced onto the
+// datagram path (<= 0 restores transport.DefaultFECGroup). Safe to call
+// at any time.
+func (s *Server) SetFECK(k int) { s.fecK.Store(int64(k)) }
+
+// SetPushContention installs the network-contention signal the push pacer
+// adapts to: a func reporting utilisation in [0,1] (netsim's measured
+// contention in sim runs). nil disables the scaling. Safe to call at any
+// time.
+func (s *Server) SetPushContention(f func() float64) {
+	if f == nil {
+		s.pushContention.Store(nil)
+		return
+	}
+	s.pushContention.Store(&f)
+}
 
 // errOverloaded is the admission-control rejection: the render queue is
 // past its bound and the degrade ladder found nothing servable. Sessions

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"coterie/internal/fisync"
+	"coterie/internal/transport"
 )
 
 // The paper synchronises FI over UDP (PUN, §5.1 task 4) while frames go
@@ -14,11 +15,21 @@ import (
 // each frame and the server answers with the other players' latest states
 // in a single datagram. Loss is tolerable — the next frame resends, and
 // the hub's sequence numbers drop reordered updates.
+//
+// The same socket also carries the datagram frame path (push.go). Demux
+// is by a wire invariant: a bare FI state upload is exactly
+// fisync.WireSize bytes and carries no magic, while every frame-path
+// datagram starts with transport.DgramMagic and is never exactly that
+// long (transport pads the one colliding length). Legacy FI-only clients
+// are therefore byte-compatible: they never send a subscription, so they
+// keep getting the raw concatenated-state reply.
 
-// ServeFIUDP answers FI sync datagrams on the connection until it closes.
+// ServeFIUDP answers FI sync and datagram frame-path traffic on the
+// connection until it closes.
 func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 	buf := make([]byte, 64*1024)
 	var out []byte
+	u := newUDPServe(pc)
 	for {
 		n, addr, err := pc.ReadFrom(buf)
 		if err != nil {
@@ -29,9 +40,17 @@ func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 		}
 		s.obs.udpDatagrams.Inc()
 		s.obs.udpBytesIn.Add(int64(n))
+		if n != fisync.WireSize {
+			if transport.DgramType(buf[:n]) != 0 {
+				s.handleDgram(u, addr, buf[:n], nowMs())
+			} else {
+				s.obs.udpDroppedMalformed.Inc()
+			}
+			continue
+		}
 		st, _, err := fisync.DecodeState(buf[:n])
 		if err != nil {
-			s.obs.udpDropped.Inc()
+			s.obs.udpDroppedMalformed.Inc()
 			continue // malformed datagram: drop, like any UDP service
 		}
 		s.mu.Lock()
@@ -39,8 +58,19 @@ func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 		others := s.hub.Snapshot(st.Player)
 		s.mu.Unlock()
 		out = out[:0]
-		for _, o := range others {
-			out = o.Encode(out)
+		sess := u.session(addr)
+		if sess != nil {
+			// Subscribed client: typed reply, so its receive loop can
+			// demux FI replies from frame chunks.
+			states := make([]byte, 0, len(others)*fisync.WireSize)
+			for _, o := range others {
+				states = o.Encode(states)
+			}
+			out = transport.EncodeFIReply(out, states)
+		} else {
+			for _, o := range others {
+				out = o.Encode(out)
+			}
 		}
 		s.obs.udpBytesOut.Add(int64(len(out)))
 		if _, err := pc.WriteTo(out, addr); err != nil {
@@ -52,6 +82,9 @@ func (s *Server) ServeFIUDP(pc net.PacketConn) error {
 			// an operator distinguishes "socket died" from "client left".
 			s.obs.udpSendErrors.Inc()
 			return err
+		}
+		if sess != nil {
+			s.notePush(u, sess, st, nowMs())
 		}
 	}
 }

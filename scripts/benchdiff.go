@@ -36,6 +36,16 @@ type deadlineResult struct {
 	Compliance float64 `json:"deadline_compliance"`
 }
 
+// udpResult mirrors one udp_vs_tcp row of the benchtab report.
+type udpResult struct {
+	Mode          string  `json:"mode"`
+	LossPct       float64 `json:"loss_pct"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	PushHitRatio  float64 `json:"push_hit_ratio"`
+	CorruptFrames int64   `json:"corrupt_frames"`
+}
+
 // report mirrors the slice of the benchtab JSON shape the gate needs.
 type report struct {
 	Generated   string `json:"generated"`
@@ -48,6 +58,9 @@ type report struct {
 		DeadlineMs float64          `json:"deadline_ms"`
 		Rows       []deadlineResult `json:"rows"`
 	} `json:"deadline_ab"`
+	UDPvsTCP *struct {
+		Rows []udpResult `json:"rows"`
+	} `json:"udp_vs_tcp"`
 }
 
 func main() {
@@ -71,6 +84,9 @@ func main() {
 	}
 	failed := diff(old, cur, *tolerance, *floorNs)
 	if diffDeadlines(old, cur, *compTolerance) {
+		failed = true
+	}
+	if diffUDP(old, cur) {
 		failed = true
 	}
 	if failed {
@@ -115,6 +131,57 @@ func diffDeadlines(old, cur *report, tolerance float64) (failed bool) {
 	}
 	if failed {
 		fmt.Println("benchdiff: FAIL — deadline compliance regressed beyond tolerance")
+	}
+	return failed
+}
+
+// diffUDP gates the udp_vs_tcp section of the new report: the datagram
+// path must never hand the pipeline a corrupt frame (the CRC gate is
+// absolute — any corrupt delivery is a wire-layer bug, not a perf
+// regression), and trajectory-driven push must actually land hits on the
+// walk load (a push-hit ratio of zero means the predictor or the push
+// pipeline silently broke). Old-report rows are shown for context; the
+// section first appears in BENCH_7, so a missing old section is fine.
+func diffUDP(old, cur *report) (failed bool) {
+	if cur.UDPvsTCP == nil {
+		if old.UDPvsTCP != nil {
+			fmt.Println("udp_vs_tcp section dropped from new report")
+		}
+		return false
+	}
+	oldRows := map[string]udpResult{}
+	if old.UDPvsTCP != nil {
+		for _, r := range old.UDPvsTCP.Rows {
+			oldRows[fmt.Sprintf("%s/loss=%.1f%%", r.Mode, r.LossPct)] = r
+		}
+	}
+	fmt.Println("udp_vs_tcp (gates: zero corrupt frames; push-hit ratio > 0 on the lossless walk load):")
+	anyPushHit := false
+	for _, now := range cur.UDPvsTCP.Rows {
+		key := fmt.Sprintf("%s/loss=%.1f%%", now.Mode, now.LossPct)
+		verdict := "ok"
+		if now.Mode == "udp" {
+			if now.PushHitRatio > 0 {
+				anyPushHit = true
+			}
+			if now.CorruptFrames != 0 {
+				verdict = "CORRUPT"
+				failed = true
+			}
+		}
+		oldP50 := "-"
+		if was, ok := oldRows[key]; ok {
+			oldP50 = fmt.Sprintf("%.2f", was.P50Ms)
+		}
+		fmt.Printf("%-34s p50 %8s -> %6.2f ms  p99 %7.2f ms  push-hit %5.1f%% %8s\n",
+			key, oldP50, now.P50Ms, now.P99Ms, 100*now.PushHitRatio, verdict)
+	}
+	if !anyPushHit {
+		fmt.Println("udp_vs_tcp: PUSH-HIT — no UDP arm recorded a single push hit")
+		failed = true
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL — datagram frame path regressed (corrupt frames or dead push)")
 	}
 	return failed
 }

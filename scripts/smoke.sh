@@ -9,7 +9,9 @@
 # the client's end-of-session metrics snapshot must show cache hits. This
 # is the out-of-process complement to the in-process loopback e2e test in
 # internal/server (which compares the live runtime against the simulator).
-# After the session, the multi-player load harness (cmd/loadgen) runs
+# A second session runs the datagram frame path (-udp-frames -push) and
+# must consume at least one server-pushed frame with zero CRC-corrupt
+# drops. After the session, the multi-player load harness (cmd/loadgen) runs
 # against the same server and must report non-zero throughput, a sane p99
 # fetch latency, and zero request errors. The 2-process cluster case then
 # scrapes /cluster and /slo mid-session: the fleet view must show both
@@ -58,7 +60,7 @@ client_admin_addr="127.0.0.1:$client_admin_port"
 # Small panoramas keep the offline preprocessing and per-frame renders
 # fast; the protocol and pipeline are the same at any resolution.
 "$bin/coterie-server" -game pool -addr "$addr" -width 64 -height 32 \
-    -admin "$admin_addr" -drain 2s >"$bin/server.log" 2>&1 &
+    -admin "$admin_addr" -drain 2s -push >"$bin/server.log" 2>&1 &
 server_pid=$!
 
 echo "smoke: waiting for server on $addr..."
@@ -168,6 +170,41 @@ grep -Eq '"cache\.hits": *[1-9]' "$bin/metrics.json" || {
     cat "$bin/metrics.json" >&2
     exit 1
 }
+
+# Datagram frame path: the same server (started with -push) serves a
+# second session over UDP. The client must consume at least one pushed
+# frame — either served out of the channel's retained store
+# (client.udp.push_serves) or displayed by the pipeline
+# (cache.pushed_hits) — and must drop zero frames to CRC corruption.
+echo "smoke: running 2-second UDP session with push..."
+"$bin/coterie-client" -game pool -addr "$addr" -seconds 2 -speed 2 \
+    -width 64 -height 32 -udp-frames -push \
+    -metrics-json "$bin/metrics-udp.json" \
+    >"$bin/client-udp.log" 2>&1 || {
+    echo "smoke: UDP client session failed" >&2
+    cat "$bin/client-udp.log" "$bin/server.log" >&2
+    exit 1
+}
+grep -q "^pipeline: " "$bin/client-udp.log" || {
+    echo "smoke: UDP client report missing" >&2
+    cat "$bin/client-udp.log" "$bin/server.log" >&2
+    exit 1
+}
+grep -Eq '"client\.udp\.frames_delivered": *[1-9]' "$bin/metrics-udp.json" || {
+    echo "smoke: UDP session delivered no datagram frames" >&2
+    cat "$bin/metrics-udp.json" >&2
+    exit 1
+}
+grep -Eq '"(client\.udp\.push_serves|cache\.pushed_hits)": *[1-9]' "$bin/metrics-udp.json" || {
+    echo "smoke: UDP session consumed no pushed frames" >&2
+    cat "$bin/metrics-udp.json" >&2
+    exit 1
+}
+if grep -Eq '"client\.udp\.corrupt": *[1-9]' "$bin/metrics-udp.json"; then
+    echo "smoke: UDP session dropped frames to CRC corruption" >&2
+    cat "$bin/metrics-udp.json" >&2
+    exit 1
+fi
 
 # Multi-player load against the same live server: 4 synthetic players for
 # 2 seconds must sustain non-zero throughput with a sane p99 (the walkers
